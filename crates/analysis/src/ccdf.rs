@@ -1,0 +1,222 @@
+//! Complementary cumulative distribution functions.
+//!
+//! Nearly every figure in the paper is a CCDF: the fraction of samples with
+//! a value *greater than* `x`, plotted either on linear axes (Figs 6, 8–11,
+//! 14) or log-log axes (Fig 12). [`Ccdf`] stores the sorted sample and can
+//! be evaluated at arbitrary points, emitted as a step series, or resampled
+//! on linear/log grids for plotting.
+
+/// An empirical complementary cumulative distribution function.
+///
+/// # Examples
+///
+/// ```
+/// use borg_analysis::ccdf::Ccdf;
+///
+/// let c = Ccdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(c.eval(0.0), 1.0);   // every sample exceeds 0
+/// assert_eq!(c.eval(2.0), 0.5);   // 3 and 4 exceed 2
+/// assert_eq!(c.eval(4.0), 0.0);   // nothing exceeds the max
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ccdf {
+    sorted: Vec<f64>,
+}
+
+impl Ccdf {
+    /// Builds a CCDF from samples; non-finite values are dropped.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ccdf { sorted }
+    }
+
+    /// Number of samples retained.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `P(X > x)`: the fraction of samples strictly greater than `x`.
+    ///
+    /// Returns 0 for an empty CCDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point returns the count of samples <= x.
+        let le = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - le) as f64 / self.sorted.len() as f64
+    }
+
+    /// The value exceeded by a `q` fraction of samples (the inverse CCDF),
+    /// i.e. the `(1 - q)`-quantile. Returns `None` when empty or `q`
+    /// outside `[0, 1]`.
+    pub fn quantile_exceeding(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        Some(crate::percentile::percentile_of_sorted(
+            &self.sorted,
+            (1.0 - q) * 100.0,
+        ))
+    }
+
+    /// Median of the samples.
+    pub fn median(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(crate::percentile::percentile_of_sorted(&self.sorted, 50.0))
+        }
+    }
+
+    /// The full step series `(x_i, P(X > x_i))`, one point per distinct
+    /// sample value, suitable for plotting.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let x = self.sorted[i];
+            let mut j = i;
+            while j < n && self.sorted[j] == x {
+                j += 1;
+            }
+            out.push((x, (n - j) as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Evaluates the CCDF on `points` evenly spaced values of x between
+    /// `lo` and `hi` inclusive.
+    pub fn linear_series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        grid_series(self, linear_grid(lo, hi, points))
+    }
+
+    /// Evaluates the CCDF on `points` log-spaced values of x between `lo`
+    /// and `hi` inclusive; both bounds must be positive.
+    pub fn log_series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        grid_series(self, log_grid(lo, hi, points))
+    }
+}
+
+fn grid_series(ccdf: &Ccdf, grid: Vec<f64>) -> Vec<(f64, f64)> {
+    grid.into_iter().map(|x| (x, ccdf.eval(x))).collect()
+}
+
+/// `points` evenly spaced values covering `[lo, hi]`.
+pub fn linear_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if points == 0 {
+        return Vec::new();
+    }
+    if points == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (points - 1) as f64;
+    (0..points).map(|i| lo + step * i as f64).collect()
+}
+
+/// `points` log-spaced values covering `[lo, hi]`; requires `0 < lo <= hi`.
+pub fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo, "log grid requires 0 < lo <= hi");
+    if points == 0 {
+        return Vec::new();
+    }
+    if points == 1 {
+        return vec![lo];
+    }
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let step = (lhi - llo) / (points - 1) as f64;
+    (0..points).map(|i| (llo + step * i as f64).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        let c = Ccdf::from_samples([1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(c.eval(0.5), 1.0);
+        assert_eq!(c.eval(1.0), 0.75);
+        assert_eq!(c.eval(2.0), 0.25);
+        assert_eq!(c.eval(5.0), 0.0);
+        assert_eq!(c.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn empty_ccdf() {
+        let c = Ccdf::from_samples(std::iter::empty());
+        assert!(c.is_empty());
+        assert_eq!(c.eval(1.0), 0.0);
+        assert_eq!(c.median(), None);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        let c = Ccdf::from_samples((0..100).map(|i| (i as f64 * 17.0) % 31.0));
+        let mut prev = 1.0;
+        for (_, p) in c.linear_series(0.0, 31.0, 64) {
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn quantile_exceeding_is_inverse() {
+        let c = Ccdf::from_samples((1..=100).map(|i| i as f64));
+        let x = c.quantile_exceeding(0.1).unwrap();
+        // About 10% of samples exceed x.
+        let p = c.eval(x);
+        assert!((p - 0.1).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn median_works() {
+        let c = Ccdf::from_samples([1.0, 2.0, 3.0]);
+        assert_eq!(c.median(), Some(2.0));
+    }
+
+    #[test]
+    fn steps_deduplicate() {
+        let c = Ccdf::from_samples([1.0, 1.0, 2.0]);
+        let s = c.steps();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (1.0, 1.0 / 3.0));
+        assert_eq!(s[1], (2.0, 0.0));
+    }
+
+    #[test]
+    fn log_grid_spans_decades() {
+        let g = log_grid(1e-3, 1e3, 7);
+        assert_eq!(g.len(), 7);
+        assert!((g[0] - 1e-3).abs() < 1e-12);
+        assert!((g[6] - 1e3).abs() / 1e3 < 1e-9);
+        assert!((g[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "log grid")]
+    fn log_grid_rejects_nonpositive() {
+        log_grid(0.0, 1.0, 4);
+    }
+
+    #[test]
+    fn linear_grid_endpoints() {
+        let g = linear_grid(2.0, 10.0, 5);
+        assert_eq!(g, vec![2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(linear_grid(1.0, 2.0, 1), vec![1.0]);
+        assert!(linear_grid(1.0, 2.0, 0).is_empty());
+    }
+}

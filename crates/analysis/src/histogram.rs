@@ -1,0 +1,261 @@
+//! Fixed-bin and logarithmic histograms.
+//!
+//! The 2019 trace attaches a 21-element CPU-utilization histogram to every
+//! 5-minute usage sample (§3); [`Histogram`] provides the general machinery
+//! and `borg-trace` builds the biased-percentile variant on top of it.
+//! [`LogHistogram`] supports the log-log CCDF plots (Figure 12) where data
+//! spans nine orders of magnitude.
+
+/// A histogram with uniform-width bins over `[lo, hi)` plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// Upper edge of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.bin_lo(i + 1)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from bin midpoints; `None`
+    /// when the histogram is empty or all mass is in under/overflow.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((self.bin_lo(i) + self.bin_hi(i)) / 2.0);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+/// A histogram with logarithmically spaced bins, for data spanning many
+/// orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    log_lo: f64,
+    log_hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates `bins` log-spaced bins over `[lo, hi)`; both positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0`, `lo <= 0`, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo > 0.0 && lo < hi, "log histogram needs 0 < lo < hi");
+        LogHistogram {
+            log_lo: lo.ln(),
+            log_hi: hi.ln(),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation; non-positive and non-finite values count as
+    /// underflow.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() || x <= 0.0 {
+            self.underflow += 1;
+            return;
+        }
+        let lx = x.ln();
+        if lx < self.log_lo {
+            self.underflow += 1;
+        } else if lx >= self.log_hi {
+            self.overflow += 1;
+        } else {
+            let frac = (lx - self.log_lo) / (self.log_hi - self.log_lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Geometric midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.log_hi - self.log_lo) / self.counts.len() as f64;
+        (self.log_lo + w * (i as f64 + 0.5)).exp()
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations that fell below range (or were non-positive).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fill() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn bin_edges() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_hi(0), 25.0);
+        assert_eq!(h.bin_hi(3), 100.0);
+    }
+
+    #[test]
+    fn quantile_midpoints() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..9 {
+            h.push(0.5);
+        }
+        h.push(9.5);
+        assert_eq!(h.quantile(0.5), Some(0.5));
+        assert_eq!(h.quantile(1.0), Some(9.5));
+        assert_eq!(h.quantile(2.0), None);
+    }
+
+    #[test]
+    fn empty_quantile() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn log_bins_per_decade() {
+        let mut h = LogHistogram::new(1e-3, 1e3, 6);
+        h.push(3e-3); // decade [1e-3, 1e-2)
+        h.push(30.0); // decade [1e1, 1e2)
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn log_rejects_nonpositive_values_as_underflow() {
+        let mut h = LogHistogram::new(0.1, 10.0, 2);
+        h.push(0.0);
+        h.push(-5.0);
+        h.push(f64::NAN);
+        assert_eq!(h.underflow(), 3);
+    }
+
+    #[test]
+    fn log_bin_center_geometric() {
+        let h = LogHistogram::new(1.0, 100.0, 2);
+        assert!((h.bin_center(0) - 10f64.powf(0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

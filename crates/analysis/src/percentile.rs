@@ -1,0 +1,174 @@
+//! Percentile estimation on samples.
+//!
+//! The paper reports medians, 90/99/99.9 percentiles and maxima of the
+//! per-job usage integrals (Table 2). These helpers compute percentiles on
+//! in-memory samples with linear interpolation between order statistics
+//! (the "type 7" estimator used by most statistics packages).
+
+/// Computes the `p`-th percentile (0 ≤ `p` ≤ 100) of `xs` with linear
+/// interpolation between closest ranks.
+///
+/// The input slice is copied and sorted internally; call [`percentiles`]
+/// when several percentiles of the same data are needed.
+///
+/// Returns `None` for an empty input or a `p` outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use borg_analysis::percentile::percentile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Computes several percentiles of the same data with a single sort.
+///
+/// Returns `None` if the input is empty or any requested percentile is out
+/// of range.
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() || ps.iter().any(|p| !(0.0..=100.0).contains(p)) {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Some(ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect())
+}
+
+/// Percentile on an already-sorted, non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The fraction of total mass contributed by the top `top_percent` percent
+/// of the largest values.
+///
+/// This is the paper's "hogs" statistic: in the 2019 trace the top 1% of
+/// jobs account for 99.2% of all NCU-hours (Table 2). A value of `1.0` for
+/// `top_percent` computes exactly that share.
+///
+/// Returns `None` on empty input, non-positive totals, or an out-of-range
+/// `top_percent`.
+///
+/// # Examples
+///
+/// ```
+/// use borg_analysis::percentile::top_share;
+///
+/// // One hog of 99 units among 99 mice of ~0.0101 units each.
+/// let mut xs = vec![0.0101; 99];
+/// xs.push(99.0);
+/// let share = top_share(&xs, 1.0).unwrap();
+/// assert!(share > 0.98);
+/// ```
+pub fn top_share(xs: &[f64], top_percent: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&top_percent) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    // At least one job belongs to the top group whenever top_percent > 0.
+    let k = ((top_percent / 100.0 * sorted.len() as f64).round() as usize)
+        .max(usize::from(top_percent > 0.0))
+        .min(sorted.len());
+    let top: f64 = sorted[..k].iter().sum();
+    Some(top / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_even_count_interpolates() {
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), Some(2.5));
+    }
+
+    #[test]
+    fn median_of_odd_count_is_middle() {
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), Some(3.0));
+    }
+
+    #[test]
+    fn extremes() {
+        let xs = [9.0, 2.0, 7.0];
+        assert_eq!(percentile(&xs, 0.0), Some(2.0));
+        assert_eq!(percentile(&xs, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn empty_and_out_of_range() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], -1.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+    }
+
+    #[test]
+    fn multi_percentile_matches_single() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let got = percentiles(&xs, &[10.0, 50.0, 90.0, 99.0]).unwrap();
+        assert_eq!(got, vec![10.0, 50.0, 90.0, 99.0]);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 33.0), Some(7.0));
+    }
+
+    #[test]
+    fn top_share_uniform_is_proportional() {
+        let xs = vec![1.0; 100];
+        let s = top_share(&xs, 10.0).unwrap();
+        assert!((s - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_share_hog_dominates() {
+        let mut xs = vec![0.001; 999];
+        xs.push(1000.0);
+        let s = top_share(&xs, 0.1).unwrap();
+        assert!(s > 0.999, "share = {s}");
+    }
+
+    #[test]
+    fn top_share_rejects_zero_total() {
+        assert_eq!(top_share(&[0.0, 0.0], 1.0), None);
+    }
+
+    #[test]
+    fn non_finite_filtered() {
+        assert_eq!(percentile(&[f64::NAN, 1.0, 3.0], 50.0), Some(2.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! Time-bucketed aggregation.
+//!
+//! Figures 2 and 4 of the paper plot, for every hour of the month, the
+//! fraction of cell capacity used/allocated per tier. [`HourBuckets`]
+//! accumulates weighted interval contributions into fixed-width time
+//! buckets: a task running from `t0` to `t1` with rate `r` contributes
+//! `r × overlap(bucket, [t0, t1))` resource-time to every bucket it
+//! overlaps.
+
+/// Fixed-width time-bucket accumulator over `[0, horizon)`.
+///
+/// Times are in arbitrary integer units (the toolkit uses microseconds).
+///
+/// # Examples
+///
+/// ```
+/// use borg_analysis::timeseries::HourBuckets;
+///
+/// // Two buckets of 100 units each.
+/// let mut b = HourBuckets::new(100, 200);
+/// // A task at rate 2.0 running across both buckets.
+/// b.add_interval(50, 150, 2.0);
+/// // 50 time-units in each bucket, so 100 resource-time units each;
+/// // the average rate per bucket is therefore 1.0.
+/// assert_eq!(b.average_rates(), vec![1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HourBuckets {
+    width: u64,
+    totals: Vec<f64>,
+}
+
+impl HourBuckets {
+    /// Creates buckets of `width` time units spanning `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero.
+    pub fn new(width: u64, horizon: u64) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        let n = horizon.div_ceil(width) as usize;
+        HourBuckets {
+            width,
+            totals: vec![0.0; n],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// True when there are no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// Bucket width in time units.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Adds a constant-rate contribution over `[start, end)`.
+    ///
+    /// The portion outside `[0, horizon)` is ignored; inverted intervals
+    /// contribute nothing.
+    pub fn add_interval(&mut self, start: u64, end: u64, rate: f64) {
+        if end <= start || rate == 0.0 || self.totals.is_empty() {
+            return;
+        }
+        let horizon = self.width * self.totals.len() as u64;
+        let start = start.min(horizon);
+        let end = end.min(horizon);
+        if end <= start {
+            return;
+        }
+        let first = (start / self.width) as usize;
+        let last = ((end - 1) / self.width) as usize;
+        for (b, total) in self.totals.iter_mut().enumerate().take(last + 1).skip(first) {
+            let b_start = b as u64 * self.width;
+            let b_end = b_start + self.width;
+            let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+            *total += rate * overlap as f64;
+        }
+    }
+
+    /// Adds an instantaneous amount to the bucket containing `t`.
+    pub fn add_point(&mut self, t: u64, amount: f64) {
+        let idx = (t / self.width) as usize;
+        if let Some(total) = self.totals.get_mut(idx) {
+            *total += amount;
+        }
+    }
+
+    /// Raw accumulated resource-time per bucket.
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// Average rate per bucket: `total / width`, the quantity Figures 2
+    /// and 4 plot once divided by cell capacity.
+    pub fn average_rates(&self) -> Vec<f64> {
+        self.totals
+            .iter()
+            .map(|t| t / self.width as f64)
+            .collect()
+    }
+
+    /// Mean of the per-bucket average rates across the whole horizon —
+    /// the per-tier bar heights of Figures 3 and 5.
+    pub fn overall_average_rate(&self) -> f64 {
+        if self.totals.is_empty() {
+            return 0.0;
+        }
+        self.average_rates().iter().sum::<f64>() / self.totals.len() as f64
+    }
+
+    /// Element-wise sum with another accumulator of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn merge(&mut self, other: &HourBuckets) {
+        assert_eq!(self.width, other.width, "bucket widths differ");
+        assert_eq!(self.totals.len(), other.totals.len(), "bucket counts differ");
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += b;
+        }
+    }
+}
+
+/// Strength and phase of a periodic component in a uniformly sampled
+/// series: the amplitude of the single-frequency Fourier component at
+/// `period` samples, relative to the series mean, and the phase (in
+/// samples) at which the component peaks.
+///
+/// Used to verify the diurnal cycles of Figure 2 and the timezone shift
+/// of cell g (§4.1): a 24-bucket-period component on hourly utilization.
+///
+/// Returns `None` when the series is shorter than one period or has a
+/// non-positive mean.
+///
+/// # Examples
+///
+/// ```
+/// use borg_analysis::timeseries::periodic_component;
+///
+/// // A clean 24-sample sinusoid peaking at sample 6.
+/// let series: Vec<f64> = (0..96)
+///     .map(|i| 1.0 + 0.3 * (2.0 * std::f64::consts::PI * (i as f64 - 6.0) / 24.0).cos())
+///     .collect();
+/// let (strength, phase) = periodic_component(&series, 24).unwrap();
+/// assert!((strength - 0.3).abs() < 0.01);
+/// assert!((phase - 6.0).abs() < 0.5);
+/// ```
+pub fn periodic_component(series: &[f64], period: usize) -> Option<(f64, f64)> {
+    if period == 0 || series.len() < period {
+        return None;
+    }
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return None;
+    }
+    let omega = 2.0 * std::f64::consts::PI / period as f64;
+    let mut re = 0.0;
+    let mut im = 0.0;
+    for (i, &x) in series.iter().enumerate() {
+        let theta = omega * i as f64;
+        re += (x - mean) * theta.cos();
+        im += (x - mean) * theta.sin();
+    }
+    re *= 2.0 / n;
+    im *= 2.0 / n;
+    let amplitude = (re * re + im * im).sqrt();
+    // The component is amplitude × cos(ω(i − phase)).
+    let phase = im.atan2(re) / omega;
+    let phase = (phase % period as f64 + period as f64) % period as f64;
+    Some((amplitude / mean, phase))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_within_one_bucket() {
+        let mut b = HourBuckets::new(100, 300);
+        b.add_interval(10, 60, 4.0);
+        assert_eq!(b.totals(), &[200.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn interval_spanning_buckets() {
+        let mut b = HourBuckets::new(100, 300);
+        b.add_interval(50, 250, 1.0);
+        assert_eq!(b.totals(), &[50.0, 100.0, 50.0]);
+    }
+
+    #[test]
+    fn interval_clipped_to_horizon() {
+        let mut b = HourBuckets::new(100, 200);
+        b.add_interval(150, 900, 2.0);
+        assert_eq!(b.totals(), &[0.0, 100.0]);
+    }
+
+    #[test]
+    fn inverted_and_zero_rate_ignored() {
+        let mut b = HourBuckets::new(10, 100);
+        b.add_interval(50, 40, 1.0);
+        b.add_interval(0, 100, 0.0);
+        assert!(b.totals().iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn average_rate_full_occupation() {
+        let mut b = HourBuckets::new(60, 180);
+        b.add_interval(0, 180, 0.5);
+        assert_eq!(b.average_rates(), vec![0.5, 0.5, 0.5]);
+        assert_eq!(b.overall_average_rate(), 0.5);
+    }
+
+    #[test]
+    fn add_point() {
+        let mut b = HourBuckets::new(10, 30);
+        b.add_point(15, 7.0);
+        b.add_point(29, 3.0);
+        b.add_point(1000, 99.0); // out of range, ignored
+        assert_eq!(b.totals(), &[0.0, 7.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = HourBuckets::new(10, 20);
+        let mut b = HourBuckets::new(10, 20);
+        a.add_interval(0, 10, 1.0);
+        b.add_interval(10, 20, 2.0);
+        a.merge(&b);
+        assert_eq!(a.totals(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        HourBuckets::new(0, 100);
+    }
+
+    #[test]
+    fn horizon_rounds_up() {
+        let b = HourBuckets::new(100, 250);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn periodic_component_finds_phase_shift() {
+        let make = |peak_at: f64| -> Vec<f64> {
+            (0..240)
+                .map(|i| {
+                    1.0 + 0.25
+                        * (2.0 * std::f64::consts::PI * (i as f64 - peak_at) / 24.0).cos()
+                })
+                .collect()
+        };
+        let (s0, p0) = periodic_component(&make(3.0), 24).unwrap();
+        let (s1, p1) = periodic_component(&make(15.0), 24).unwrap();
+        assert!((s0 - 0.25).abs() < 0.01 && (s1 - 0.25).abs() < 0.01);
+        let shift = (p1 - p0 + 24.0) % 24.0;
+        assert!((shift - 12.0).abs() < 0.5, "shift = {shift}");
+    }
+
+    #[test]
+    fn periodic_component_rejects_degenerate() {
+        assert!(periodic_component(&[1.0; 10], 24).is_none());
+        assert!(periodic_component(&[1.0; 48], 0).is_none());
+        let (s, _) = periodic_component(&[1.0; 48], 24).unwrap();
+        assert!(s < 1e-12, "flat series has no cycle");
+    }
+}

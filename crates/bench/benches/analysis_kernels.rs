@@ -1,0 +1,57 @@
+//! Statistics-kernel throughput: CCDF, Pareto fits, moments, percentiles.
+
+use borg_analysis::ccdf::Ccdf;
+use borg_analysis::moments::Moments;
+use borg_analysis::pareto::{ParetoFit, TailShare};
+use borg_analysis::percentile::percentiles;
+use borg_workload::dist::Sample;
+use borg_workload::integral::IntegralModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn samples(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = IntegralModel::model_2019();
+    (0..n).map(|_| model.cpu.sample(&mut rng)).collect()
+}
+
+fn bench_ccdf(c: &mut Criterion) {
+    let xs = samples(100_000);
+    c.bench_function("ccdf_build_100k", |b| {
+        b.iter(|| Ccdf::from_samples(xs.iter().copied()));
+    });
+    let ccdf = Ccdf::from_samples(xs.iter().copied());
+    c.bench_function("ccdf_log_series_100k", |b| {
+        b.iter(|| ccdf.log_series(1e-6, 1e5, 100));
+    });
+}
+
+fn bench_pareto_fit(c: &mut Criterion) {
+    let xs = samples(100_000);
+    c.bench_function("pareto_regression_fit_100k", |b| {
+        b.iter(|| ParetoFit::fit_ccdf_regression(&xs, 1.0, 99.99));
+    });
+    c.bench_function("pareto_hill_fit_100k", |b| {
+        b.iter(|| ParetoFit::fit_hill(&xs, 1.0));
+    });
+    c.bench_function("tail_share_100k", |b| {
+        b.iter(|| TailShare::compute(&xs));
+    });
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let xs = samples(1_000_000);
+    c.bench_function("streaming_moments_1m", |b| {
+        b.iter(|| {
+            let m: Moments = xs.iter().copied().collect();
+            m.c_squared()
+        });
+    });
+    c.bench_function("percentiles_1m", |b| {
+        b.iter(|| percentiles(&xs, &[50.0, 90.0, 99.0, 99.9]));
+    });
+}
+
+criterion_group!(benches, bench_ccdf, bench_pareto_fit, bench_moments);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Query-engine operator throughput on trace-shaped tables.
+
+use borg_query::prelude::*;
+use borg_query::Agg;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn trace_shaped_table(rows: usize) -> Table {
+    let mut t = Table::new(vec![
+        ("time", DataType::Int),
+        ("tier", DataType::Str),
+        ("event", DataType::Str),
+        ("cpu", DataType::Float),
+    ]);
+    let tiers = ["free", "beb", "mid", "prod"];
+    let events = ["submit", "schedule", "finish", "kill"];
+    for i in 0..rows {
+        t.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(tiers[i % 4]),
+            Value::str(events[(i / 3) % 4]),
+            Value::Float((i % 100) as f64 / 100.0),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let t = trace_shaped_table(100_000);
+    c.bench_function("filter_100k_rows", |b| {
+        b.iter(|| {
+            Query::from(t.clone())
+                .filter(col("event").eq(lit("schedule")).and(col("cpu").gt(lit(0.5))))
+                .run()
+                .unwrap()
+        });
+    });
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let t = trace_shaped_table(100_000);
+    c.bench_function("group_by_100k_rows", |b| {
+        b.iter(|| {
+            Query::from(t.clone())
+                .group_by(
+                    &["tier", "event"],
+                    vec![Agg::sum("cpu", "total"), Agg::count_all("n"), Agg::percentile("cpu", 99.0, "p99")],
+                )
+                .run()
+                .unwrap()
+        });
+    });
+}
+
+fn bench_join(c: &mut Criterion) {
+    let left = trace_shaped_table(50_000);
+    let mut right = Table::new(vec![("tier", DataType::Str), ("weight", DataType::Float)]);
+    for (t, w) in [("free", 0.0), ("beb", 0.2), ("mid", 0.5), ("prod", 1.0)] {
+        right.push_row(vec![Value::str(t), Value::Float(w)]).unwrap();
+    }
+    c.bench_function("join_50k_rows", |b| {
+        b.iter(|| {
+            Query::from(left.clone())
+                .join(right.clone(), &["tier"], &["tier"])
+                .run()
+                .unwrap()
+        });
+    });
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let t = trace_shaped_table(100_000);
+    c.bench_function("sort_100k_rows", |b| {
+        b.iter(|| {
+            Query::from(t.clone())
+                .sort_by_many(&[("tier", SortOrder::Ascending), ("cpu", SortOrder::Descending)])
+                .run()
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_filter, bench_group_by, bench_join, bench_sort);
+criterion_main!(benches);

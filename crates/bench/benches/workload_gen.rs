@@ -1,0 +1,75 @@
+//! Workload-synthesis throughput: distribution sampling, arrival
+//! processes, and full cell-month workload generation.
+
+use borg_trace::resources::Resources;
+use borg_trace::time::Micros;
+use borg_workload::arrival::DiurnalRate;
+use borg_workload::integral::IntegralModel;
+use borg_workload::jobgen::{GenParams, JobGenerator};
+use borg_workload::cells::CellProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_integral_sampling(c: &mut Criterion) {
+    let model = IntegralModel::model_2019();
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("integral_sample_10k", |b| {
+        b.iter(|| model.sample_many(10_000, &mut rng));
+    });
+}
+
+fn bench_arrivals(c: &mut Criterion) {
+    let d = DiurnalRate::new(500.0, 0.3, 0.0);
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("diurnal_arrivals_week_at_500_per_hour", |b| {
+        b.iter(|| d.sample_times(Micros::from_days(7), &mut rng));
+    });
+}
+
+fn bench_full_workload(c: &mut Criterion) {
+    let profile = CellProfile::cell_2019('d');
+    let mut group = c.benchmark_group("generate_workload");
+    group.sample_size(10);
+    group.bench_function("cell_week", |b| {
+        b.iter(|| {
+            JobGenerator::new(
+                &profile,
+                GenParams {
+                    capacity: Resources::new(24.0, 16.0),
+                    job_rate_per_hour: 13.4,
+                    horizon: Micros::from_days(7),
+                    task_cap: Some(500),
+                    seed: 1,
+                },
+            )
+            .generate()
+        });
+    });
+    group.finish();
+}
+
+fn bench_usage_process(c: &mut Criterion) {
+    use borg_workload::usage_model::UsageProcess;
+    let p = UsageProcess::new(Resources::new(0.1, 0.08), 0.2, 0.0, 0.1, 1.35, 9);
+    c.bench_function("usage_window_eval_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000u64 {
+                let s = Micros::from_minutes(i * 5);
+                let e = Micros::from_minutes(i * 5 + 5);
+                acc += p.average_over(s, e).cpu + p.peak_cpu_over(s, e);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_integral_sampling,
+    bench_arrivals,
+    bench_full_workload,
+    bench_usage_process
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Criterion benchmarks for the borg2019 workspace.
+//!
+//! This crate exists only for its `benches/` targets:
+//!
+//! * `simulator` — cell-day simulation throughput, era comparison,
+//!   best-fit scanning, and design-choice ablations;
+//! * `query_engine` — filter/group-by/join/sort on trace-shaped tables;
+//! * `analysis_kernels` — CCDF construction, Pareto fits, moments;
+//! * `workload_gen` — integral sampling, arrival thinning, full workload
+//!   generation, usage-process evaluation;
+//! * `trace_ops` — validation, CSV writing, relational conversion, and
+//!   the lifecycle state machine.
+//!
+//! Run with `cargo bench --workspace`.

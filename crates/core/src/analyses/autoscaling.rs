@@ -1,0 +1,70 @@
+//! Figure 14: peak NCU slack by vertical-scaling mode (§8).
+
+use borg_analysis::ccdf::Ccdf;
+use borg_sim::CellOutcome;
+use borg_trace::collection::VerticalScalingMode;
+use std::collections::BTreeMap;
+
+/// Slack CCDFs per autopilot mode, pooled across cells; slack is in
+/// percent (0–100) as in the paper's x-axis.
+pub fn slack_ccdfs(outcomes: &[&CellOutcome]) -> BTreeMap<VerticalScalingMode, Ccdf> {
+    let mut by_mode: BTreeMap<VerticalScalingMode, Vec<f64>> = BTreeMap::new();
+    for o in outcomes {
+        for s in &o.metrics.slack {
+            by_mode
+                .entry(s.mode)
+                .or_default()
+                .push(s.slack * 100.0);
+        }
+    }
+    by_mode
+        .into_iter()
+        .map(|(mode, xs)| (mode, Ccdf::from_samples(xs)))
+        .collect()
+}
+
+/// Median slack reduction of fully autoscaled jobs vs manual ones, in
+/// percentage points (paper: "more than 25%").
+pub fn full_vs_manual_median_reduction(outcomes: &[&CellOutcome]) -> Option<f64> {
+    let ccdfs = slack_ccdfs(outcomes);
+    let full = ccdfs.get(&VerticalScalingMode::Full)?.median()?;
+    let off = ccdfs.get(&VerticalScalingMode::Off)?.median()?;
+    Some(off - full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_cell, SimScale};
+    use borg_workload::cells::CellProfile;
+    use std::sync::OnceLock;
+
+    fn outcome() -> &'static CellOutcome {
+        static O: OnceLock<CellOutcome> = OnceLock::new();
+        O.get_or_init(|| simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 21))
+    }
+
+    #[test]
+    fn all_modes_present_in_2019() {
+        let ccdfs = slack_ccdfs(&[outcome()]);
+        assert_eq!(ccdfs.len(), 3);
+    }
+
+    #[test]
+    fn full_autoscaling_wins() {
+        let reduction = full_vs_manual_median_reduction(&[outcome()]).unwrap();
+        assert!(
+            reduction > 10.0,
+            "median slack reduction = {reduction} points (paper: >25)"
+        );
+    }
+
+    #[test]
+    fn slack_in_percent_range() {
+        for ccdf in slack_ccdfs(&[outcome()]).values() {
+            for &x in ccdf.samples() {
+                assert!((0.0..=100.0).contains(&x));
+            }
+        }
+    }
+}

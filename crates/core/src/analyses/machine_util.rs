@@ -1,0 +1,103 @@
+//! Figure 6: CCDFs of per-machine CPU and memory utilization at one
+//! snapshot window (the paper uses day 15, 1:00–1:05pm local time).
+
+use borg_analysis::ccdf::Ccdf;
+use borg_sim::CellOutcome;
+use borg_trace::trace::Trace;
+
+/// The CCDF of machine CPU utilization at the snapshot.
+pub fn cpu_ccdf(outcome: &CellOutcome) -> Ccdf {
+    Ccdf::from_samples(
+        outcome
+            .metrics
+            .machine_snapshots
+            .iter()
+            .map(|s| s.cpu_utilization),
+    )
+}
+
+/// The CCDF of machine memory utilization at the snapshot.
+pub fn mem_ccdf(outcome: &CellOutcome) -> Ccdf {
+    Ccdf::from_samples(
+        outcome
+            .metrics
+            .machine_snapshots
+            .iter()
+            .map(|s| s.mem_utilization),
+    )
+}
+
+/// Median machine utilization `(cpu, memory)` at the snapshot.
+pub fn medians(outcome: &CellOutcome) -> (f64, f64) {
+    (
+        cpu_ccdf(outcome).median().unwrap_or(0.0),
+        mem_ccdf(outcome).median().unwrap_or(0.0),
+    )
+}
+
+/// Fraction of machines above a CPU-utilization threshold (the paper
+/// remarks there are fewer machines above 80% in 2019 than in 2011).
+pub fn fraction_above_cpu(outcome: &CellOutcome, threshold: f64) -> f64 {
+    cpu_ccdf(outcome).eval(threshold)
+}
+
+/// CCDF of within-window CPU burstiness — the ratio of the 99th to the
+/// 50th percentile of the 21-point CPU histograms the v3 trace attaches
+/// to every usage sample (§3). A ratio near 1 is steady consumption; high
+/// ratios are bursty tasks whose peaks drive the §8 slack metric.
+pub fn burstiness_ccdf(trace: &Trace) -> Ccdf {
+    Ccdf::from_samples(trace.usage.iter().filter_map(|u| {
+        let p50 = f64::from(u.cpu_histogram.median());
+        let p99 = f64::from(u.cpu_histogram.0[19]);
+        if p50 > 1e-9 {
+            Some(p99 / p50)
+        } else {
+            None
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_cell, SimScale};
+    use borg_workload::cells::CellProfile;
+    use std::sync::OnceLock;
+
+    fn outcome() -> &'static CellOutcome {
+        static O: OnceLock<CellOutcome> = OnceLock::new();
+        O.get_or_init(|| simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 6))
+    }
+
+    #[test]
+    fn snapshot_ccdfs_nonempty_and_bounded() {
+        let c = cpu_ccdf(outcome());
+        assert!(!c.is_empty());
+        assert_eq!(c.eval(1.0), 0.0);
+        assert!(c.eval(0.0) > 0.0, "some machine is doing work");
+    }
+
+    #[test]
+    fn medians_in_range() {
+        let (cpu, mem) = medians(outcome());
+        assert!((0.0..=1.0).contains(&cpu));
+        assert!((0.0..=1.0).contains(&mem));
+    }
+
+    #[test]
+    fn fraction_above_monotone() {
+        let lo = fraction_above_cpu(outcome(), 0.2);
+        let hi = fraction_above_cpu(outcome(), 0.8);
+        assert!(lo >= hi);
+    }
+
+    #[test]
+    fn burstiness_at_least_one() {
+        let c = burstiness_ccdf(&outcome().trace);
+        assert!(!c.is_empty(), "usage samples carry histograms");
+        // p99 ≥ p50 in a monotone histogram, so the ratio is ≥ 1.
+        assert!(c.samples().iter().all(|&r| r >= 1.0 - 1e-6));
+        // The workload's within-window peaks make some samples bursty.
+        assert!(c.median().unwrap() > 1.0);
+    }
+}

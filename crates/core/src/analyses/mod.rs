@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod allocs;
+pub mod autoscaling;
+pub mod consumption;
+pub mod correlation;
+pub mod delay;
+pub mod machine_util;
+pub mod queueing;
+pub mod shapes;
+pub mod submission;
+pub mod summary;
+pub mod tasks_per_job;
+pub mod terminations;
+pub mod transitions;
+pub mod utilization;

@@ -1,0 +1,78 @@
+//! §7.3: implications of heavy tails for queueing delay.
+//!
+//! The Pollaczek–Khinchine table: expected M/G/1 queueing delay (in mean
+//! service times) at several loads, for the measured C² values of both
+//! eras and for the "mice-only" workload with the hogs isolated.
+
+use borg_analysis::queueing::{isolation_benefit, mg1_mean_queueing_delay};
+use borg_analysis::Moments;
+
+/// One row of the §7.3 analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueingRow {
+    /// Offered load ρ.
+    pub rho: f64,
+    /// Delay with the full (hogs + mice) workload.
+    pub delay_full: f64,
+    /// Delay with the bottom-99% workload only.
+    pub delay_mice: f64,
+    /// The isolation benefit factor.
+    pub benefit: f64,
+}
+
+/// Computes the §7.3 rows from per-job usage integrals: the full-workload
+/// C² versus the C² of the bottom 99% ("mice") at the given loads.
+pub fn queueing_rows(samples: &[f64], loads: &[f64]) -> Option<Vec<QueueingRow>> {
+    let full: Moments = samples.iter().copied().collect();
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let cut = (sorted.len() as f64 * 0.99) as usize;
+    let mice: Moments = sorted[..cut.max(1)].iter().copied().collect();
+    let c2_full = full.c_squared();
+    let c2_mice = mice.c_squared();
+    loads
+        .iter()
+        .map(|&rho| {
+            Some(QueueingRow {
+                rho,
+                delay_full: mg1_mean_queueing_delay(rho, c2_full)?,
+                delay_mice: mg1_mean_queueing_delay(rho, c2_mice)?,
+                benefit: isolation_benefit(rho, c2_full, c2_mice)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_workload::integral::IntegralModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn isolating_mice_removes_queueing() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let xs: Vec<f64> = IntegralModel::model_2019()
+            .sample_many(200_000, &mut rng)
+            .iter()
+            .map(|j| j.ncu_hours)
+            .collect();
+        let rows = queueing_rows(&xs, &[0.3, 0.5, 0.7]).unwrap();
+        for row in &rows {
+            assert!(
+                row.benefit > 100.0,
+                "isolating the mice should collapse their delay (benefit {})",
+                row.benefit
+            );
+            assert!(row.delay_mice < row.delay_full);
+        }
+        // Delay grows with load.
+        assert!(rows[2].delay_full > rows[0].delay_full);
+    }
+
+    #[test]
+    fn invalid_load_rejected() {
+        assert!(queueing_rows(&[1.0, 2.0, 3.0], &[1.5]).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 1: frequency of machine shapes by CPU and memory capacity.
+
+use borg_sim::CellOutcome;
+use borg_trace::machine::count_shapes;
+
+/// One bubble of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeBubble {
+    /// Normalized CPU capacity.
+    pub cpu: f64,
+    /// Normalized memory capacity.
+    pub mem: f64,
+    /// Number of machines with this shape.
+    pub count: usize,
+}
+
+/// Shape bubbles across cells, most common first.
+pub fn shape_bubbles(outcomes: &[&CellOutcome]) -> Vec<ShapeBubble> {
+    let mut bubbles: Vec<ShapeBubble> = Vec::new();
+    for o in outcomes {
+        for (shape, count) in count_shapes(&o.trace.machine_events) {
+            if let Some(b) = bubbles.iter_mut().find(|b| {
+                (b.cpu - shape.capacity.cpu).abs() < 1e-9 && (b.mem - shape.capacity.mem).abs() < 1e-9
+            }) {
+                b.count += count;
+            } else {
+                bubbles.push(ShapeBubble {
+                    cpu: shape.capacity.cpu,
+                    mem: shape.capacity.mem,
+                    count,
+                });
+            }
+        }
+    }
+    bubbles.sort_by_key(|b| std::cmp::Reverse(b.count));
+    bubbles
+}
+
+/// Renders the bubble list.
+pub fn render_shapes(bubbles: &[ShapeBubble]) -> String {
+    let rows: Vec<Vec<String>> = bubbles
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{:.2}", b.cpu),
+                format!("{:.2}", b.mem),
+                b.count.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::render_table(&["cpu (NCU)", "memory (NMU)", "machines"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_cell, SimScale};
+    use borg_workload::cells::CellProfile;
+
+    #[test]
+    fn bubbles_cover_fleet() {
+        let o = simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 15);
+        let bubbles = shape_bubbles(&[&o]);
+        assert!(!bubbles.is_empty());
+        let total: usize = bubbles.iter().map(|b| b.count).sum();
+        assert_eq!(total, o.trace.machine_count());
+        // Sorted most-common-first.
+        assert!(bubbles.windows(2).all(|w| w[0].count >= w[1].count));
+        let s = render_shapes(&bubbles);
+        assert!(s.contains("machines"));
+    }
+}

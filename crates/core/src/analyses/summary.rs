@@ -1,0 +1,137 @@
+//! Table 1: high-level comparison between the 2011 and 2019 traces.
+
+use borg_sim::CellOutcome;
+use borg_trace::machine::count_shapes;
+use borg_trace::state::EventType;
+
+/// One era's summary column of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EraSummary {
+    /// "May 2011" / "May 2019".
+    pub label: String,
+    /// Trace duration in days.
+    pub duration_days: f64,
+    /// Number of cells.
+    pub cells: usize,
+    /// Total machines across cells.
+    pub machines: usize,
+    /// Machines per cell.
+    pub machines_per_cell: f64,
+    /// Distinct hardware platforms.
+    pub platforms: usize,
+    /// Distinct machine shapes.
+    pub machine_shapes: usize,
+    /// Largest raw priority observed.
+    pub max_priority: u16,
+    /// Whether alloc sets appear.
+    pub has_alloc_sets: bool,
+    /// Whether parent-child dependencies appear.
+    pub has_dependencies: bool,
+    /// Whether batch queueing appears.
+    pub has_batch_queueing: bool,
+    /// Whether vertical scaling appears.
+    pub has_vertical_scaling: bool,
+}
+
+/// Summarizes one era from its simulated cells.
+pub fn summarize_era(label: &str, cells: &[&CellOutcome]) -> EraSummary {
+    let mut machines = 0;
+    let mut platforms = std::collections::BTreeSet::new();
+    let mut shapes = 0;
+    let mut max_priority = 0u16;
+    let mut has_alloc_sets = false;
+    let mut has_dependencies = false;
+    let mut has_batch = false;
+    let mut has_vs = false;
+    let mut duration_days: f64 = 0.0;
+    for cell in cells {
+        machines += cell.trace.machine_count();
+        duration_days = duration_days.max(cell.trace.horizon.as_days_f64());
+        for ev in &cell.trace.machine_events {
+            platforms.insert(ev.platform.0);
+        }
+        shapes = shapes.max(count_shapes(&cell.trace.machine_events).len());
+        for ev in &cell.trace.collection_events {
+            max_priority = max_priority.max(ev.priority.raw());
+            has_alloc_sets |= ev.collection_type == borg_trace::collection::CollectionType::AllocSet;
+            has_dependencies |= ev.parent_id.is_some();
+            has_batch |= ev.event_type == EventType::Queue;
+            has_vs |= ev.vertical_scaling != borg_trace::collection::VerticalScalingMode::Off;
+        }
+    }
+    EraSummary {
+        label: label.to_string(),
+        duration_days,
+        cells: cells.len(),
+        machines,
+        machines_per_cell: machines as f64 / cells.len().max(1) as f64,
+        platforms: platforms.len(),
+        machine_shapes: shapes,
+        max_priority,
+        has_alloc_sets,
+        has_dependencies,
+        has_batch_queueing: has_batch,
+        has_vertical_scaling: has_vs,
+    }
+}
+
+/// Renders Table 1 from the two eras.
+pub fn render_table1(y2011: &EraSummary, y2019: &EraSummary) -> String {
+    let yn = |b: bool| if b { "Y" } else { "-" }.to_string();
+    let rows = vec![
+        vec!["Duration (days)".to_string(), format!("{:.0}", y2011.duration_days), format!("{:.0}", y2019.duration_days)],
+        vec!["Cells".to_string(), y2011.cells.to_string(), y2019.cells.to_string()],
+        vec!["Machines".to_string(), y2011.machines.to_string(), y2019.machines.to_string()],
+        vec![
+            "Machines per cell".to_string(),
+            format!("{:.0}", y2011.machines_per_cell),
+            format!("{:.0}", y2019.machines_per_cell),
+        ],
+        vec!["Hardware platforms".to_string(), y2011.platforms.to_string(), y2019.platforms.to_string()],
+        vec!["Machine shapes".to_string(), y2011.machine_shapes.to_string(), y2019.machine_shapes.to_string()],
+        vec![
+            "Priority values".to_string(),
+            format!(
+                "0-{} (bands)",
+                borg_trace::priority::PriorityBand2011::from_raw(
+                    borg_trace::priority::Priority::new(y2011.max_priority)
+                )
+                .0
+            ),
+            format!("0-{}", y2019.max_priority),
+        ],
+        vec!["Alloc sets".to_string(), yn(y2011.has_alloc_sets), yn(y2019.has_alloc_sets)],
+        vec!["Job dependencies".to_string(), yn(y2011.has_dependencies), yn(y2019.has_dependencies)],
+        vec!["Batch queueing".to_string(), yn(y2011.has_batch_queueing), yn(y2019.has_batch_queueing)],
+        vec![
+            "Vertical scaling".to_string(),
+            yn(y2011.has_vertical_scaling),
+            yn(y2019.has_vertical_scaling),
+        ],
+    ];
+    crate::report::render_table(&["", &y2011.label, &y2019.label], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_2011, simulate_cell, SimScale};
+    use borg_workload::cells::CellProfile;
+
+    #[test]
+    fn table1_feature_asymmetry() {
+        let y2011 = simulate_2011(SimScale::Tiny, 1);
+        let a = simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 2);
+        let s11 = summarize_era("May 2011", &[&y2011]);
+        let s19 = summarize_era("May 2019", &[&a]);
+        assert!(!s11.has_alloc_sets && s19.has_alloc_sets);
+        assert!(!s11.has_batch_queueing && s19.has_batch_queueing);
+        assert!(!s11.has_vertical_scaling && s19.has_vertical_scaling);
+        assert!(s19.has_dependencies);
+        // 2011 priorities are quantized band values; 2019 exposes raw ones.
+        assert!(s19.max_priority > 115);
+        let rendered = render_table1(&s11, &s19);
+        assert!(rendered.contains("Machines per cell"));
+        assert!(rendered.contains("May 2019"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 11: tasks per job by tier.
+//!
+//! Two views are provided: the calibrated model itself (exact Figure 11
+//! reproduction at any sample size, uncapped) and the distribution
+//! measured from a simulated trace (whose tail is capped by the
+//! simulation's `task_cap`; see DESIGN.md).
+
+use borg_analysis::ccdf::Ccdf;
+use borg_sim::CellOutcome;
+use borg_trace::priority::Tier;
+use borg_workload::jobmix::TaskCountModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Model-based tasks-per-job CCDF for one tier (uncapped).
+pub fn model_ccdf(tier: Tier, samples: usize, seed: u64) -> Ccdf {
+    let model = TaskCountModel::for_tier(tier);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ccdf::from_samples((0..samples).map(|_| f64::from(model.sample(&mut rng))))
+}
+
+/// Model-based CCDFs for the four reporting tiers.
+pub fn model_ccdfs(samples: usize, seed: u64) -> BTreeMap<Tier, Ccdf> {
+    Tier::REPORTING
+        .iter()
+        .map(|&t| (t, model_ccdf(t, samples, seed ^ t as u64)))
+        .collect()
+}
+
+/// Tasks-per-job CCDFs per tier measured from a simulated trace.
+pub fn trace_ccdfs(outcome: &CellOutcome) -> BTreeMap<Tier, Ccdf> {
+    let mut instance_counts: BTreeMap<borg_trace::collection::CollectionId, u32> = BTreeMap::new();
+    for ev in &outcome.trace.instance_events {
+        if ev.event_type == borg_trace::state::EventType::Submit {
+            let c = instance_counts.entry(ev.instance_id.collection).or_insert(0);
+            *c = (*c).max(ev.instance_id.index + 1);
+        }
+    }
+    let infos = outcome.trace.collections();
+    let mut by_tier: BTreeMap<Tier, Vec<f64>> = BTreeMap::new();
+    for (id, count) in instance_counts {
+        if let Some(info) = infos.get(&id) {
+            if info.collection_type == borg_trace::collection::CollectionType::Job {
+                by_tier
+                    .entry(info.priority.reporting_tier())
+                    .or_default()
+                    .push(f64::from(count));
+            }
+        }
+    }
+    by_tier
+        .into_iter()
+        .map(|(t, xs)| (t, Ccdf::from_samples(xs)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_percentiles_match_figure_11() {
+        let ccdfs = model_ccdfs(60_000, 3);
+        let p = |t: Tier, q: f64| ccdfs[&t].quantile_exceeding(1.0 - q).unwrap();
+        // 95th percentiles: 498 (beb), ~67 (mid), ~21 (free), ~3 (prod).
+        assert!((250.0..900.0).contains(&p(Tier::BestEffortBatch, 0.95)));
+        assert!((30.0..120.0).contains(&p(Tier::Mid, 0.95)));
+        assert!((10.0..40.0).contains(&p(Tier::Free, 0.95)));
+        assert!((2.0..7.0).contains(&p(Tier::Production, 0.95)));
+        // 80th percentile: beb 25 tasks, others 1.
+        assert!((12.0..45.0).contains(&p(Tier::BestEffortBatch, 0.80)));
+        assert_eq!(p(Tier::Production, 0.80), 1.0);
+    }
+
+    #[test]
+    fn trace_view_orders_tiers() {
+        use crate::pipeline::{simulate_cell, SimScale};
+        use borg_workload::cells::CellProfile;
+        let o = simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 14);
+        let ccdfs = trace_ccdfs(&o);
+        let beb = ccdfs[&Tier::BestEffortBatch].quantile_exceeding(0.05).unwrap();
+        let prod = ccdfs[&Tier::Production].quantile_exceeding(0.05).unwrap();
+        assert!(beb > prod, "beb p95 {beb} vs prod p95 {prod}");
+    }
+}

@@ -1,0 +1,107 @@
+//! The headline 2011-vs-2019 comparisons (§1's key observations).
+
+use crate::analyses::submission;
+use borg_sim::CellOutcome;
+use borg_trace::priority::Tier;
+
+/// The longitudinal summary the paper's introduction enumerates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Longitudinal {
+    /// Median job-arrival growth factor (paper: 3.7×).
+    pub job_rate_growth: f64,
+    /// Median all-task submission growth factor (paper: ~3.6×).
+    pub task_rate_growth: f64,
+    /// Reschedule churn 2011 (paper: 0.66).
+    pub churn_2011: f64,
+    /// Reschedule churn 2019 (paper: 2.26).
+    pub churn_2019: f64,
+    /// Best-effort batch CPU share of capacity, 2011 → 2019 (the tier
+    /// migration of §4).
+    pub beb_share_2011: f64,
+    /// Best-effort batch CPU share of capacity in 2019.
+    pub beb_share_2019: f64,
+    /// Free-tier CPU share, 2011.
+    pub free_share_2011: f64,
+    /// Free-tier CPU share, 2019.
+    pub free_share_2019: f64,
+}
+
+/// Computes the longitudinal comparison. `scale_2011` and `scale_2019`
+/// are the simulation scales, so rates normalize to full-cell numbers.
+pub fn compare(
+    y2011: &CellOutcome,
+    y2019: &[CellOutcome],
+    scale_2011: f64,
+    scale_2019: f64,
+) -> Longitudinal {
+    let med = |ccdf: borg_analysis::ccdf::Ccdf| ccdf.median().unwrap_or(0.0);
+    let m11 = med(submission::job_rate_ccdf(y2011, scale_2011));
+    let m19: f64 = y2019
+        .iter()
+        .map(|o| med(submission::job_rate_ccdf(o, scale_2019)))
+        .sum::<f64>()
+        / y2019.len().max(1) as f64;
+
+    let t11 = med(submission::task_rate_ccdfs(y2011, scale_2011).1);
+    let t19: f64 = y2019
+        .iter()
+        .map(|o| med(submission::task_rate_ccdfs(o, scale_2019).1))
+        .sum::<f64>()
+        / y2019.len().max(1) as f64;
+
+    let churn_2019 = y2019.iter().map(submission::churn_ratio).sum::<f64>()
+        / y2019.len().max(1) as f64;
+
+    let share = |o: &CellOutcome, tier: Tier| {
+        o.metrics
+            .average_cpu_util_by_tier()
+            .get(&tier)
+            .copied()
+            .unwrap_or(0.0)
+    };
+    let avg_share = |tier: Tier| {
+        y2019.iter().map(|o| share(o, tier)).sum::<f64>() / y2019.len().max(1) as f64
+    };
+
+    Longitudinal {
+        job_rate_growth: if m11 > 0.0 { m19 / m11 } else { 0.0 },
+        task_rate_growth: if t11 > 0.0 { t19 / t11 } else { 0.0 },
+        churn_2011: submission::churn_ratio(y2011),
+        churn_2019,
+        beb_share_2011: share(y2011, Tier::BestEffortBatch),
+        beb_share_2019: avg_share(Tier::BestEffortBatch),
+        free_share_2011: share(y2011, Tier::Free),
+        free_share_2019: avg_share(Tier::Free),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_2011, simulate_cell, SimScale};
+    use borg_workload::cells::CellProfile;
+
+    #[test]
+    fn headline_directions_hold() {
+        let scale = SimScale::Tiny.config(0).scale;
+        let y2011 = simulate_2011(SimScale::Tiny, 30);
+        let y2019 = vec![
+            simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 31),
+            simulate_cell(&CellProfile::cell_2019('c'), SimScale::Tiny, 32),
+        ];
+        let l = compare(&y2011, &y2019, scale, scale);
+        assert!(l.job_rate_growth > 1.5, "job rate grew: {}", l.job_rate_growth);
+        assert!(l.task_rate_growth > 1.0, "task rate grew: {}", l.task_rate_growth);
+        assert!(l.churn_2019 > l.churn_2011, "churn grew");
+        assert!(
+            l.beb_share_2019 > l.beb_share_2011,
+            "work moved into best-effort batch: 2011 {} vs 2019 {}",
+            l.beb_share_2011,
+            l.beb_share_2019
+        );
+        assert!(
+            l.free_share_2019 < l.free_share_2011,
+            "work moved out of the free tier"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Trace-generation pipeline: profiles → simulated cell-months.
+
+use borg_sim::{CellOutcome, CellSim, SimConfig};
+use borg_trace::time::Micros;
+use borg_workload::cells::CellProfile;
+
+/// Named simulation scales, wrapping [`SimConfig`] presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimScale {
+    /// ~25 machines, 2 days: unit/integration tests and doctests.
+    Tiny,
+    /// ~48 machines, 7 days: fast experiment previews.
+    Small,
+    /// ~60 machines, 31 days: the EXPERIMENTS.md configuration.
+    Month,
+}
+
+impl SimScale {
+    /// The test scale.
+    pub fn tiny() -> SimScale {
+        SimScale::Tiny
+    }
+
+    /// Builds the corresponding [`SimConfig`] with the given seed.
+    pub fn config(self, seed: u64) -> SimConfig {
+        match self {
+            SimScale::Tiny => SimConfig::tiny_for_tests(seed),
+            SimScale::Small => {
+                let mut cfg = SimConfig::month(seed);
+                cfg.scale = 0.004;
+                cfg.horizon = Micros::from_days(7);
+                cfg.snapshot_at = Micros::from_days(3) + Micros::from_hours(13);
+                cfg
+            }
+            SimScale::Month => SimConfig::month(seed),
+        }
+    }
+}
+
+/// Simulates one cell at the given scale.
+pub fn simulate_cell(profile: &CellProfile, scale: SimScale, seed: u64) -> CellOutcome {
+    CellSim::run_cell(profile, &scale.config(seed))
+}
+
+/// Simulates the 2011 cell.
+pub fn simulate_2011(scale: SimScale, seed: u64) -> CellOutcome {
+    simulate_cell(&CellProfile::cell_2011(), scale, seed)
+}
+
+/// Simulates all eight 2019 cells in parallel.
+pub fn simulate_2019_all(scale: SimScale, seed: u64) -> Vec<CellOutcome> {
+    let profiles = CellProfile::all_2019();
+    borg_sim::run_cells_parallel(&profiles, &scale.config(seed))
+}
+
+/// Simulates both eras: `(the 2011 cell, the eight 2019 cells)`.
+pub fn simulate_both_eras(scale: SimScale, seed: u64) -> (CellOutcome, Vec<CellOutcome>) {
+    let y2011 = simulate_2011(scale, seed ^ 0x2011);
+    let y2019 = simulate_2019_all(scale, seed);
+    (y2011, y2019)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_simulation_runs() {
+        let outcome = simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 1);
+        assert!(!outcome.trace.collection_events.is_empty());
+        assert!(!outcome.trace.instance_events.is_empty());
+        assert_eq!(outcome.metrics.cell_name, "a");
+    }
+
+    #[test]
+    fn scales_build_valid_configs() {
+        for scale in [SimScale::Tiny, SimScale::Small, SimScale::Month] {
+            scale.config(1).validate();
+        }
+    }
+
+    #[test]
+    fn era_2011_runs() {
+        let outcome = simulate_2011(SimScale::Tiny, 3);
+        assert_eq!(outcome.metrics.cell_name, "2011");
+    }
+}

@@ -1,0 +1,102 @@
+//! ASCII rendering of tables and series for the experiment binaries.
+
+/// Renders a table with a header row, right-aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use borg_core::report::render_table;
+///
+/// let s = render_table(
+///     &["tier", "util"],
+///     &[vec!["prod".into(), "0.30".into()], vec!["beb".into(), "0.20".into()]],
+/// );
+/// assert!(s.contains("prod"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{:>w$}  ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        out.push_str(&format!("{:>w$}  ", "-".repeat(widths[i]), w = widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an `(x, y)` series as two aligned columns with a title.
+pub fn render_series(title: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n");
+    for (x, y) in series {
+        out.push_str(&format!("{x:>14.6}  {y:>10.6}\n"));
+    }
+    out
+}
+
+/// Formats a float compactly (3 significant-ish decimals).
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["a", "long-header"],
+            &[vec!["xxxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].contains("xxxx"));
+    }
+
+    #[test]
+    fn series_renders_rows() {
+        let s = render_series("t", &[(1.0, 0.5), (2.0, 0.25)]);
+        assert!(s.starts_with("# t\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(12345.0).contains('e'));
+        assert!(fmt(0.00001).contains('e'));
+        assert_eq!(fmt(0.5), "0.5000");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.992), "99.2%");
+    }
+}

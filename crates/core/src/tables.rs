@@ -1,0 +1,219 @@
+//! Trace tables as query-engine tables.
+//!
+//! The paper ran its analyses as SQL over BigQuery tables (§3, §9); this
+//! module exposes the in-memory trace in the same relational form so
+//! analyses can be written as [`borg_query`] pipelines. Each function
+//! mirrors one of the published tables.
+
+use borg_query::{DataType, QueryError, Table, Value};
+use borg_trace::trace::Trace;
+
+/// The collection-events table:
+/// `time, collection_id, event, type, priority, tier, scheduler,
+/// vertical_scaling, parent_id, alloc_collection_id, user_id`.
+pub fn collection_events_table(trace: &Trace) -> Result<Table, QueryError> {
+    let mut t = Table::new(vec![
+        ("time", DataType::Int),
+        ("collection_id", DataType::Int),
+        ("event", DataType::Str),
+        ("type", DataType::Str),
+        ("priority", DataType::Int),
+        ("tier", DataType::Str),
+        ("scheduler", DataType::Str),
+        ("vertical_scaling", DataType::Str),
+        ("parent_id", DataType::Int),
+        ("alloc_collection_id", DataType::Int),
+        ("user_id", DataType::Int),
+    ]);
+    for ev in &trace.collection_events {
+        t.push_row(vec![
+            Value::Int(ev.time.as_micros() as i64),
+            Value::Int(ev.collection_id.0 as i64),
+            Value::str(ev.event_type.name()),
+            Value::str(ev.collection_type.name()),
+            Value::Int(i64::from(ev.priority.raw())),
+            Value::str(ev.priority.reporting_tier().short_name()),
+            Value::str(match ev.scheduler {
+                borg_trace::collection::SchedulerKind::Default => "default",
+                borg_trace::collection::SchedulerKind::Batch => "batch",
+            }),
+            Value::str(ev.vertical_scaling.name()),
+            ev.parent_id.map_or(Value::Null, |p| Value::Int(p.0 as i64)),
+            ev.alloc_collection_id
+                .map_or(Value::Null, |p| Value::Int(p.0 as i64)),
+            Value::Int(i64::from(ev.user_id.0)),
+        ])?;
+    }
+    Ok(t)
+}
+
+/// The instance-events table:
+/// `time, collection_id, instance_index, event, machine_id, cpu_request,
+/// mem_request, priority, tier`.
+pub fn instance_events_table(trace: &Trace) -> Result<Table, QueryError> {
+    let mut t = Table::new(vec![
+        ("time", DataType::Int),
+        ("collection_id", DataType::Int),
+        ("instance_index", DataType::Int),
+        ("event", DataType::Str),
+        ("machine_id", DataType::Int),
+        ("cpu_request", DataType::Float),
+        ("mem_request", DataType::Float),
+        ("priority", DataType::Int),
+        ("tier", DataType::Str),
+    ]);
+    for ev in &trace.instance_events {
+        t.push_row(vec![
+            Value::Int(ev.time.as_micros() as i64),
+            Value::Int(ev.instance_id.collection.0 as i64),
+            Value::Int(i64::from(ev.instance_id.index)),
+            Value::str(ev.event_type.name()),
+            ev.machine_id.map_or(Value::Null, |m| Value::Int(i64::from(m.0))),
+            Value::Float(ev.request.cpu),
+            Value::Float(ev.request.mem),
+            Value::Int(i64::from(ev.priority.raw())),
+            Value::str(ev.priority.reporting_tier().short_name()),
+        ])?;
+    }
+    Ok(t)
+}
+
+/// The machine-events table: `time, machine_id, event, cpu, mem, platform`.
+pub fn machine_events_table(trace: &Trace) -> Result<Table, QueryError> {
+    let mut t = Table::new(vec![
+        ("time", DataType::Int),
+        ("machine_id", DataType::Int),
+        ("event", DataType::Str),
+        ("cpu", DataType::Float),
+        ("mem", DataType::Float),
+        ("platform", DataType::Int),
+    ]);
+    for ev in &trace.machine_events {
+        t.push_row(vec![
+            Value::Int(ev.time.as_micros() as i64),
+            Value::Int(i64::from(ev.machine_id.0)),
+            Value::str(match ev.event_type {
+                borg_trace::machine::MachineEventType::Add => "add",
+                borg_trace::machine::MachineEventType::Remove => "remove",
+                borg_trace::machine::MachineEventType::Update => "update",
+            }),
+            Value::Float(ev.capacity.cpu),
+            Value::Float(ev.capacity.mem),
+            Value::Int(i64::from(ev.platform.0)),
+        ])?;
+    }
+    Ok(t)
+}
+
+/// The instance-usage table: `start, end, collection_id, instance_index,
+/// machine_id, avg_cpu, avg_mem, max_cpu, limit_cpu, limit_mem`.
+pub fn usage_table(trace: &Trace) -> Result<Table, QueryError> {
+    let mut t = Table::new(vec![
+        ("start", DataType::Int),
+        ("end", DataType::Int),
+        ("collection_id", DataType::Int),
+        ("instance_index", DataType::Int),
+        ("machine_id", DataType::Int),
+        ("avg_cpu", DataType::Float),
+        ("avg_mem", DataType::Float),
+        ("max_cpu", DataType::Float),
+        ("limit_cpu", DataType::Float),
+        ("limit_mem", DataType::Float),
+    ]);
+    for u in &trace.usage {
+        t.push_row(vec![
+            Value::Int(u.start.as_micros() as i64),
+            Value::Int(u.end.as_micros() as i64),
+            Value::Int(u.instance_id.collection.0 as i64),
+            Value::Int(i64::from(u.instance_id.index)),
+            Value::Int(i64::from(u.machine_id.0)),
+            Value::Float(u.avg_usage.cpu),
+            Value::Float(u.avg_usage.mem),
+            Value::Float(u.max_usage.cpu),
+            Value::Float(u.limit.cpu),
+            Value::Float(u.limit.mem),
+        ])?;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{simulate_cell, SimScale};
+    use borg_query::prelude::*;
+    use borg_query::Agg;
+    use borg_workload::cells::CellProfile;
+    use std::sync::OnceLock;
+
+    fn outcome() -> &'static borg_sim::CellOutcome {
+        static O: OnceLock<borg_sim::CellOutcome> = OnceLock::new();
+        O.get_or_init(|| simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 23))
+    }
+
+    #[test]
+    fn collection_table_roundtrips_counts() {
+        let t = collection_events_table(&outcome().trace).unwrap();
+        assert_eq!(t.num_rows(), outcome().trace.collection_events.len());
+    }
+
+    #[test]
+    fn sql_style_kill_rate_by_parent() {
+        // The §5.2 analysis as a query pipeline: kill rate of jobs with
+        // vs without parents.
+        let t = collection_events_table(&outcome().trace).unwrap();
+        let result = Query::from(t)
+            .filter(col("type").eq(lit("job")).and(col("event").eq(lit("kill"))))
+            .derive(
+                "has_parent",
+                col("parent_id").is_null().not(),
+            )
+            .group_by(&["has_parent"], vec![Agg::count_all("kills")])
+            .run()
+            .unwrap();
+        assert!(result.num_rows() >= 1);
+        let total: i64 = (0..result.num_rows())
+            .map(|r| result.value(r, "kills").unwrap().as_i64().unwrap())
+            .sum();
+        assert!(total > 0, "some jobs are killed");
+    }
+
+    #[test]
+    fn sql_style_machine_capacity() {
+        let t = machine_events_table(&outcome().trace).unwrap();
+        let result = Query::from(t)
+            .filter(col("event").eq(lit("add")))
+            .group_by(&[], vec![Agg::sum("cpu", "total_cpu"), Agg::count_all("machines")])
+            .run()
+            .unwrap();
+        let total = result.value(0, "total_cpu").unwrap().as_f64().unwrap();
+        let cap = outcome().trace.nominal_capacity().cpu;
+        assert!((total - cap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sql_style_usage_by_tier_joins() {
+        // Join usage samples to their collections' tiers and aggregate —
+        // the Figure 2 query in relational form.
+        let usage = usage_table(&outcome().trace).unwrap();
+        let coll = collection_events_table(&outcome().trace).unwrap();
+        let submits = Query::from(coll)
+            .filter(col("event").eq(lit("submit")))
+            .select(&["collection_id", "tier"])
+            .run()
+            .unwrap();
+        let result = Query::from(usage)
+            .join(submits, &["collection_id"], &["collection_id"])
+            .group_by(&["tier"], vec![Agg::sum("avg_cpu", "cpu")])
+            .sort_by("cpu", SortOrder::Descending)
+            .run()
+            .unwrap();
+        assert!(result.num_rows() >= 2);
+        // Cell b: best-effort batch leads CPU usage among sampled records
+        // or at least appears.
+        let tiers: Vec<String> = (0..result.num_rows())
+            .map(|r| result.value(r, "tier").unwrap().to_string())
+            .collect();
+        assert!(tiers.iter().any(|t| t == "beb"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Runs the complete evaluation battery — every table and figure — off a
+//! single pair of era simulations. The month-scale output of this binary
+//! is what EXPERIMENTS.md records.
+
+use borg_core::analyses::{
+    allocs, autoscaling, consumption, correlation, delay, machine_util, queueing, shapes,
+    submission, summary, tasks_per_job, terminations, transitions,
+};
+use borg_core::analyses::utilization::{render_per_cell_bars, Dimension, Quantity};
+use borg_core::pipeline::simulate_both_eras;
+use borg_core::report::pct;
+use borg_experiments::{banner, labelled, parse_opts, print_ccdf_summary};
+use borg_workload::integral::IntegralModel;
+
+fn main() {
+    let opts = parse_opts();
+    banner("ALL", "complete evaluation battery", &opts);
+    let scale = opts.scale.config(opts.seed).scale;
+    let t0 = std::time::Instant::now();
+    let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
+    println!("simulated 1 + 8 cells in {:.1}s\n", t0.elapsed().as_secs_f64());
+    let refs: Vec<&_> = y2019.iter().collect();
+
+    // ---- Table 1 -------------------------------------------------------
+    println!("\n================ Table 1 ================");
+    let s11 = summary::summarize_era("May 2011", &[&y2011]);
+    let s19 = summary::summarize_era("May 2019", &refs);
+    println!("{}", summary::render_table1(&s11, &s19));
+
+    // ---- Figure 1 ------------------------------------------------------
+    println!("\n================ Figure 1 ================");
+    let bubbles = shapes::shape_bubbles(&refs);
+    println!("{} distinct 2019 machine shapes; top 5:", bubbles.len());
+    println!("{}", shapes::render_shapes(&bubbles[..bubbles.len().min(5)]));
+
+    // ---- Figures 2–5 ---------------------------------------------------
+    println!("\n================ Figures 3 and 5 (averages; Figures 2/4 are their hourly series) ================");
+    let mut rows = vec![("2011", &y2011)];
+    rows.extend(labelled(&y2019));
+    println!("--- usage, CPU ---");
+    println!("{}", render_per_cell_bars(&rows, Quantity::Usage, Dimension::Cpu));
+    println!("--- usage, memory ---");
+    println!("{}", render_per_cell_bars(&rows, Quantity::Usage, Dimension::Memory));
+    println!("--- allocation, CPU ---");
+    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Cpu));
+    println!("--- allocation, memory ---");
+    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Memory));
+
+    // ---- Figure 6 ------------------------------------------------------
+    println!("\n================ Figure 6 ================");
+    print_ccdf_summary("2011 machine CPU util", &machine_util::cpu_ccdf(&y2011));
+    for o in &y2019 {
+        print_ccdf_summary(
+            &format!("2019 cell {} CPU util", o.metrics.cell_name),
+            &machine_util::cpu_ccdf(o),
+        );
+    }
+
+    // ---- Figure 7 ------------------------------------------------------
+    println!("\n================ Figure 7 (cell g) ================");
+    let g = y2019
+        .iter()
+        .find(|o| o.metrics.cell_name == "g")
+        .expect("cell g simulated");
+    let t = transitions::combined_transitions(g);
+    println!("{}", transitions::render_transitions(&t));
+
+    // ---- Figures 8 and 9 ------------------------------------------------
+    println!("\n================ Figures 8 and 9 ================");
+    let c2011 = submission::job_rate_ccdf(&y2011, scale);
+    let agg = submission::aggregate_job_rate_ccdf(&y2019, scale);
+    print_ccdf_summary("job rate 2011 (jobs/hour)", &c2011);
+    print_ccdf_summary("job rate 2019 aggregate", &agg);
+    println!(
+        "median job-rate growth: {:.2}x (paper: 3.7x)",
+        agg.median().unwrap_or(0.0) / c2011.median().unwrap_or(1.0)
+    );
+    let (new11, all11) = submission::task_rate_ccdfs(&y2011, scale);
+    print_ccdf_summary("task rate 2011 new", &new11);
+    print_ccdf_summary("task rate 2011 all", &all11);
+    let churn19: f64 =
+        y2019.iter().map(submission::churn_ratio).sum::<f64>() / y2019.len() as f64;
+    println!(
+        "reschedule:new — 2011 {:.2} (paper 0.66), 2019 {:.2} (paper 2.26)",
+        submission::churn_ratio(&y2011),
+        churn19
+    );
+
+    // ---- Figure 10 -----------------------------------------------------
+    println!("\n================ Figure 10 ================");
+    print_ccdf_summary("delay 2011 (s)", &delay::delay_ccdf(&y2011));
+    print_ccdf_summary("delay 2019 pooled (s)", &delay::pooled_delay_ccdf(&refs));
+    for (tier, ccdf) in delay::delay_ccdfs_by_tier(&refs) {
+        print_ccdf_summary(&format!("delay 2019 {tier} (s)"), &ccdf);
+    }
+
+    // ---- Figure 11 -----------------------------------------------------
+    println!("\n================ Figure 11 ================");
+    for (tier, ccdf) in tasks_per_job::model_ccdfs(400_000, opts.seed) {
+        let p80 = ccdf.quantile_exceeding(0.20).unwrap_or(f64::NAN);
+        let p95 = ccdf.quantile_exceeding(0.05).unwrap_or(f64::NAN);
+        println!("{tier:>5}: 80%ile {p80:.0} tasks, 95%ile {p95:.0} tasks");
+    }
+    println!("paper 95%iles: beb 498, mid 67, free 21, prod 3");
+
+    // ---- Table 2 / Figures 12–13 ----------------------------------------
+    println!("\n================ Table 2 ================");
+    let cols = consumption::table2(2_000_000, opts.seed).expect("table 2 computes");
+    println!("{}", consumption::render_table2(&cols));
+    println!("\n================ Figure 13 ================");
+    let f13 = correlation::figure13(1_000_000, opts.seed).expect("figure 13 computes");
+    println!(
+        "Pearson correlation of bucketed medians: {:.3} (paper: 0.97)",
+        f13.pearson
+    );
+
+    // ---- Figure 14 -----------------------------------------------------
+    println!("\n================ Figure 14 ================");
+    for (mode, ccdf) in autoscaling::slack_ccdfs(&refs) {
+        print_ccdf_summary(&format!("slack {} (%)", mode.name()), &ccdf);
+    }
+    if let Some(r) = autoscaling::full_vs_manual_median_reduction(&refs) {
+        println!("median slack reduction full vs manual: {r:.1} points (paper: >25)");
+    }
+
+    // ---- Section 5 -----------------------------------------------------
+    println!("\n================ Section 5 ================");
+    let a = allocs::alloc_stats(&refs);
+    println!("alloc sets among collections: {} (2%)", pct(a.alloc_set_collection_fraction));
+    println!("alloc CPU allocation share: {} (20%)", pct(a.alloc_cpu_allocation_share));
+    println!("alloc RAM allocation share: {} (18%)", pct(a.alloc_mem_allocation_share));
+    println!("jobs in allocs: {} (15%)", pct(a.jobs_in_alloc_fraction));
+    println!("in-alloc jobs at production: {} (95%)", pct(a.in_alloc_prod_fraction));
+    println!(
+        "memory fill in/out of allocs: {} / {} (73% / 41%)",
+        pct(a.mem_fill_in_alloc),
+        pct(a.mem_fill_outside)
+    );
+    let term = terminations::termination_stats(&refs);
+    println!("collections with evictions: {} (3.2%)", pct(term.collections_with_evictions));
+    println!("evicted below production: {} (96.6%)", pct(term.evicted_nonprod_fraction));
+    println!("production collections evicted: {} (<0.2%)", pct(term.prod_collections_evicted));
+    println!("single-eviction share: {} (52%)", pct(term.single_eviction_fraction));
+    println!(
+        "kill rate with/without parent: {} / {} (87% / 41%)",
+        pct(term.kill_rate_with_parent),
+        pct(term.kill_rate_without_parent)
+    );
+
+    // ---- Section 7.3 ---------------------------------------------------
+    println!("\n================ Section 7.3 ================");
+    let (cpu19, _) = consumption::era_samples(&IntegralModel::model_2019(), 1_000_000, opts.seed);
+    for r in queueing::queueing_rows(&cpu19, &[0.3, 0.5, 0.7]).expect("valid loads") {
+        println!(
+            "rho {:.1}: full-mix delay {:.0} service times, mice-only {:.4}, benefit {:.0}x",
+            r.rho, r.delay_full, r.delay_mice, r.benefit
+        );
+    }
+
+    println!("\ntotal wall time {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,15 @@
+//! Figure 1: frequency of machine shapes (CPU × memory bubbles).
+
+use borg_core::analyses::shapes;
+use borg_core::pipeline::simulate_2019_all;
+use borg_experiments::{banner, parse_opts};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 1", "machine-shape frequency by CPU and memory", &opts);
+    let y2019 = simulate_2019_all(opts.scale, opts.seed);
+    let refs: Vec<&_> = y2019.iter().collect();
+    let bubbles = shapes::shape_bubbles(&refs);
+    println!("{}", shapes::render_shapes(&bubbles));
+    println!("distinct shapes: {}", bubbles.len());
+}

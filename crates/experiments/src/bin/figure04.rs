@@ -1,0 +1,25 @@
+//! Figure 4: hourly CPU/memory allocation by tier (over-commitment).
+
+use borg_core::analyses::utilization::{averaged_hourly_fractions, hourly_fractions, Dimension, Quantity};
+use borg_core::pipeline::simulate_both_eras;
+use borg_experiments::{banner, parse_opts};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 4", "fraction of cell capacity allocated per hour", &opts);
+    let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
+    for (d, dn) in [(Dimension::Cpu, "CPU"), (Dimension::Memory, "memory")] {
+        let a2011 = hourly_fractions(&y2011, Quantity::Allocation, d);
+        let a2019 = averaged_hourly_fractions(&y2019, Quantity::Allocation, d);
+        let total = |m: &std::collections::BTreeMap<_, Vec<f64>>| -> f64 {
+            m.values()
+                .map(|xs| xs.iter().sum::<f64>() / xs.len().max(1) as f64)
+                .sum()
+        };
+        println!(
+            "{dn}: total allocation 2011 = {:.2} of capacity, 2019 = {:.2} (paper: both above 1.0 in 2019)",
+            total(&a2011),
+            total(&a2019)
+        );
+    }
+}

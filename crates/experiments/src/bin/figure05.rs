@@ -1,0 +1,17 @@
+//! Figure 5: average allocation by tier, 2011 and each 2019 cell.
+
+use borg_core::analyses::utilization::{render_per_cell_bars, Dimension, Quantity};
+use borg_core::pipeline::simulate_both_eras;
+use borg_experiments::{banner, labelled, parse_opts};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 5", "average allocation by tier per cell", &opts);
+    let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
+    let mut rows = vec![("2011", &y2011)];
+    rows.extend(labelled(&y2019));
+    println!("--- CPU (fraction of cell capacity) ---");
+    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Cpu));
+    println!("--- memory ---");
+    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Memory));
+}

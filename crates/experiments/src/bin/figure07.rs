@@ -1,0 +1,16 @@
+//! Figure 7: state transitions with occurrence counts (cell g).
+
+use borg_core::analyses::transitions;
+use borg_core::pipeline::simulate_cell;
+use borg_experiments::{banner, parse_opts};
+use borg_workload::cells::CellProfile;
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 7", "state-transition counts in cell g", &opts);
+    let o = simulate_cell(&CellProfile::cell_2019('g'), opts.scale, opts.seed);
+    let t = transitions::combined_transitions(&o);
+    println!("{}", transitions::render_transitions(&t));
+    let (max, min) = transitions::spread(&t);
+    println!("most common : least common = {max} : {min}");
+}

@@ -1,0 +1,28 @@
+//! Figure 9: CCDF of task submissions per hour, new vs all.
+
+use borg_core::analyses::submission;
+use borg_core::pipeline::simulate_both_eras;
+use borg_experiments::{banner, parse_opts, print_ccdf_summary};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 9", "task submissions per hour, new tasks vs all tasks", &opts);
+    let scale = opts.scale.config(opts.seed).scale;
+    let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
+    let (new11, all11) = submission::task_rate_ccdfs(&y2011, scale);
+    print_ccdf_summary("2011 new tasks", &new11);
+    print_ccdf_summary("2011 all tasks", &all11);
+    // Pool 2019 cells by averaging their hourly series.
+    let mut churn19 = 0.0;
+    for o in &y2019 {
+        let (new, all) = submission::task_rate_ccdfs(o, scale);
+        print_ccdf_summary(&format!("2019 cell {} new", o.metrics.cell_name), &new);
+        print_ccdf_summary(&format!("2019 cell {} all", o.metrics.cell_name), &all);
+        churn19 += submission::churn_ratio(o) / y2019.len() as f64;
+    }
+    println!(
+        "\nreschedule:new ratio — 2011: {:.2} (paper 0.66), 2019: {:.2} (paper 2.26)",
+        submission::churn_ratio(&y2011),
+        churn19
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 11: CCDF of tasks per job by tier.
+
+use borg_core::analyses::tasks_per_job;
+use borg_experiments::{banner, parse_opts, print_ccdf_summary};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 11", "tasks per job by tier (calibrated model, uncapped)", &opts);
+    for (tier, ccdf) in tasks_per_job::model_ccdfs(400_000, opts.seed) {
+        print_ccdf_summary(&format!("{tier}"), &ccdf);
+        let p80 = ccdf.quantile_exceeding(0.20).unwrap_or(f64::NAN);
+        let p95 = ccdf.quantile_exceeding(0.05).unwrap_or(f64::NAN);
+        println!("    80%ile = {p80:.0} tasks, 95%ile = {p95:.0} tasks");
+    }
+    println!("\npaper 95%iles: beb 498, mid 67, free 21, prod 3; beb 80%ile 25, others 1");
+}

@@ -1,0 +1,24 @@
+//! Figure 12: log-log CCDF of per-job resource-hours.
+
+use borg_core::analyses::consumption;
+use borg_core::report::render_series;
+use borg_experiments::{banner, dump_series, parse_opts};
+use borg_workload::integral::IntegralModel;
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 12", "CCDF of usage-integral per job (log-log)", &opts);
+    let n = 1_000_000;
+    let (cpu19, mem19) = consumption::era_samples(&IntegralModel::model_2019(), n, opts.seed);
+    let (cpu11, mem11) = consumption::era_samples(&IntegralModel::model_2011(), n, opts.seed ^ 1);
+    for (name, file, xs) in [
+        ("2019 CPU (NCU-hours)", "figure12_2019_cpu", &cpu19),
+        ("2019 memory (NMU-hours)", "figure12_2019_mem", &mem19),
+        ("2011 CPU (NCU-hours)", "figure12_2011_cpu", &cpu11),
+        ("2011 memory (NMU-hours)", "figure12_2011_mem", &mem11),
+    ] {
+        let series = consumption::figure12_series(xs, 23);
+        println!("{}", render_series(name, &series));
+        dump_series(&opts, file, &consumption::figure12_series(xs, 120));
+    }
+}

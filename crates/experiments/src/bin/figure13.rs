@@ -1,0 +1,18 @@
+//! Figure 13: correlation between compute and memory consumption.
+
+use borg_core::analyses::correlation;
+use borg_experiments::{banner, parse_opts};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 13", "median NMU-hours per 1-NCU-hour bucket", &opts);
+    let f = correlation::figure13(1_000_000, opts.seed).expect("figure 13 computes");
+    println!("bucket(NCU-h)  median NMU-h  jobs");
+    for b in f.buckets.iter().take(30) {
+        println!("{:>8.0}-{:<6.0} {:>12.4} {:>6}", b.x_lo, b.x_hi, b.median_y, b.count);
+    }
+    if f.buckets.len() > 30 {
+        println!("... ({} buckets total)", f.buckets.len());
+    }
+    println!("\nPearson correlation of bucketed medians: {:.3} (paper: 0.97)", f.pearson);
+}

@@ -1,0 +1,23 @@
+//! Figure 14: CCDF of peak NCU slack by vertical-scaling mode.
+
+use borg_core::analyses::autoscaling;
+use borg_core::pipeline::simulate_2019_all;
+use borg_experiments::{banner, dump_series, parse_opts, print_ccdf_summary};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Figure 14", "peak NCU slack (%) by autopilot mode", &opts);
+    let y2019 = simulate_2019_all(opts.scale, opts.seed);
+    let refs: Vec<&_> = y2019.iter().collect();
+    for (mode, ccdf) in autoscaling::slack_ccdfs(&refs) {
+        print_ccdf_summary(mode.name(), &ccdf);
+        dump_series(
+            &opts,
+            &format!("figure14_{}", mode.name()),
+            &ccdf.linear_series(0.0, 100.0, 101),
+        );
+    }
+    if let Some(r) = autoscaling::full_vs_manual_median_reduction(&refs) {
+        println!("\nmedian slack reduction, fully autoscaled vs manual: {r:.1} points (paper: >25)");
+    }
+}

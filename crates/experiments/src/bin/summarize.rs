@@ -1,0 +1,134 @@
+//! Summarize a trace directory: the "canonical toolkit" workflow.
+//!
+//! Reads a trace previously exported with
+//! `borg_trace::csv::write_trace_dir` (or produced externally in the same
+//! layout), validates it against the §9 invariants, and prints a
+//! Table-1-style summary plus headline workload statistics — no
+//! simulation involved.
+//!
+//! ```sh
+//! cargo run --release -p borg-experiments --bin summarize -- <trace-dir>
+//! # or, without arguments, generate a demo trace first:
+//! cargo run --release -p borg-experiments --bin summarize
+//! ```
+
+use borg_analysis::ccdf::Ccdf;
+use borg_trace::collection::CollectionType;
+use borg_trace::csv::{read_trace_dir, write_trace_dir};
+use borg_trace::machine::count_shapes;
+use borg_trace::state::EventType;
+use borg_trace::trace::Trace;
+use borg_trace::validate::validate;
+
+fn main() {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            // Demo mode: export a simulated trace, then summarize it.
+            let dir = std::env::temp_dir().join("borg2019_demo_trace");
+            println!("no trace directory given; generating a demo trace at {}\n", dir.display());
+            let outcome = borg_core::pipeline::simulate_cell(
+                &borg_workload::cells::CellProfile::cell_2019('d'),
+                borg_core::pipeline::SimScale::Tiny,
+                1,
+            );
+            write_trace_dir(&outcome.trace, &dir).expect("demo trace written");
+            dir
+        }
+    };
+
+    let trace = match read_trace_dir(&dir) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace at {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    summarize(&trace);
+}
+
+fn summarize(trace: &Trace) {
+    println!("=== trace summary: cell {} ===", trace.cell_name);
+    println!(
+        "schema: {}   window: {:.1} days",
+        trace.schema.map_or("unknown", |s| s.name()),
+        trace.horizon.as_days_f64()
+    );
+
+    // Fleet.
+    let shapes = count_shapes(&trace.machine_events);
+    let cap = trace.nominal_capacity();
+    println!(
+        "\nfleet: {} machines, {} shapes, capacity {:.1} NCU / {:.1} NMU",
+        trace.machine_count(),
+        shapes.len(),
+        cap.cpu,
+        cap.mem
+    );
+
+    // Collections.
+    let infos = trace.collections();
+    let jobs = infos
+        .values()
+        .filter(|c| c.collection_type == CollectionType::Job)
+        .count();
+    let allocs = infos.len() - jobs;
+    println!("collections: {} ({jobs} jobs, {allocs} alloc sets)", infos.len());
+    let mut by_final: std::collections::BTreeMap<&str, usize> = Default::default();
+    for info in infos.values() {
+        let key = info.final_event.map_or("(alive at end)", |e| e.name());
+        *by_final.entry(key).or_default() += 1;
+    }
+    println!("final states:");
+    for (k, n) in by_final {
+        println!("  {k:>15}: {n}");
+    }
+
+    // Events and churn.
+    let submits = trace
+        .instance_events
+        .iter()
+        .filter(|e| e.event_type == EventType::Submit)
+        .count();
+    let instances = trace.instance_count();
+    println!(
+        "\ninstances: {instances}, task submissions: {submits} (churn {:.2} resubmits/instance)",
+        (submits as f64 - instances as f64) / instances.max(1) as f64
+    );
+
+    // Job sizes.
+    let mut tasks_per_job: std::collections::BTreeMap<_, u32> = Default::default();
+    for ev in &trace.instance_events {
+        if ev.event_type == EventType::Submit {
+            let e = tasks_per_job.entry(ev.instance_id.collection).or_insert(0);
+            *e = (*e).max(ev.instance_id.index + 1);
+        }
+    }
+    let sizes = Ccdf::from_samples(tasks_per_job.values().map(|&n| f64::from(n)));
+    if let Some(m) = sizes.median() {
+        println!(
+            "tasks per job: median {m:.0}, p95 {:.0}, max {:.0}",
+            sizes.quantile_exceeding(0.05).unwrap_or(f64::NAN),
+            sizes.samples().last().copied().unwrap_or(f64::NAN)
+        );
+    }
+
+    // Usage table.
+    println!(
+        "usage samples: {} (avg cpu {:.4} NCU per sampled task-window)",
+        trace.usage.len(),
+        trace.usage.iter().map(|u| u.avg_usage.cpu).sum::<f64>()
+            / trace.usage.len().max(1) as f64
+    );
+
+    // §9 validation.
+    let violations = validate(trace);
+    if violations.is_empty() {
+        println!("\nvalidation: all §9 invariants hold");
+    } else {
+        println!("\nvalidation: {} violations, first 5:", violations.len());
+        for v in violations.iter().take(5) {
+            println!("  {v}");
+        }
+    }
+}

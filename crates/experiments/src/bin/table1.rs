@@ -1,0 +1,16 @@
+//! Table 1: comparison between the 2011 and 2019 traces.
+
+use borg_core::analyses::summary;
+use borg_core::pipeline::simulate_both_eras;
+use borg_experiments::{banner, parse_opts};
+
+fn main() {
+    let opts = parse_opts();
+    banner("Table 1", "trace summary comparison", &opts);
+    let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
+    let s11 = summary::summarize_era("May 2011", &[&y2011]);
+    let refs: Vec<&_> = y2019.iter().collect();
+    let s19 = summary::summarize_era("May 2019", &refs);
+    println!("{}", summary::render_table1(&s11, &s19));
+    println!("note: machine counts are scaled; the real traces cover 12.6k / 96.4k machines.");
+}

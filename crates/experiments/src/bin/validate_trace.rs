@@ -1,0 +1,83 @@
+//! §9 in practice: generate traces and run the full invariant validator.
+//!
+//! The paper's trace-generation lessons (§9) center on automated
+//! validation of logical invariants. This binary simulates both eras,
+//! validates every table, prints the violation summary, and then
+//! deliberately corrupts the trace to show the validator catching each
+//! §9 invariant class.
+
+use borg_core::pipeline::{simulate_2011, simulate_cell};
+use borg_experiments::{banner, parse_opts};
+use borg_trace::state::EventType;
+use borg_trace::validate::{validate, validate_with, ValidateConfig};
+use borg_workload::cells::CellProfile;
+
+fn main() {
+    let opts = parse_opts();
+    banner("Section 9", "automated trace validation", &opts);
+
+    let y2019 = simulate_cell(&CellProfile::cell_2019('c'), opts.scale, opts.seed);
+    let y2011 = simulate_2011(opts.scale, opts.seed);
+    for o in [&y2011, &y2019] {
+        let v = validate(&o.trace);
+        println!(
+            "cell {:>4}: {} events across 4 tables → {} violations",
+            o.trace.cell_name,
+            o.trace.event_count(),
+            v.len()
+        );
+    }
+
+    // Failure injection: each §9 invariant class, caught.
+    println!("\nfailure injection (deliberate corruptions):");
+    let base = y2019.trace;
+
+    let mut t1 = base.clone();
+    if let Some(ev) = t1.collection_events.first().cloned() {
+        let mut kill = ev;
+        kill.event_type = EventType::Kill;
+        kill.time = borg_trace::time::Micros::ZERO;
+        t1.collection_events.insert(0, kill);
+    }
+    report("termination recorded before submit", &t1);
+
+    let mut t2 = base.clone();
+    if let Some(u) = t2.usage.first_mut() {
+        u.avg_usage.cpu = 50.0; // single task "using" 50 machines
+    }
+    report("machine over physical capacity", &t2);
+
+    let mut t3 = base.clone();
+    if let Some(u) = t3.usage.first_mut() {
+        u.machine_id = borg_trace::machine::MachineId(9_999_999);
+    }
+    report("usage on a machine never added", &t3);
+
+    let mut t4 = base.clone();
+    if let Some(u) = t4.usage.first_mut() {
+        std::mem::swap(&mut u.start, &mut u.end);
+    }
+    report("inverted usage window", &t4);
+
+    let mut t5 = base.clone();
+    if let Some(u) = t5.usage.first_mut() {
+        u.cpu_histogram.0[20] = 0.0;
+        u.cpu_histogram.0[0] = 1.0;
+    }
+    report("non-monotone CPU percentile histogram", &t5);
+}
+
+fn report(what: &str, trace: &borg_trace::trace::Trace) {
+    let v = validate_with(
+        trace,
+        &ValidateConfig {
+            capacity_tolerance: 1.05,
+            max_violations: 5,
+        },
+    );
+    let caught = if v.is_empty() { "MISSED" } else { "caught" };
+    println!(
+        "  {caught}: {what} → {}",
+        v.first().map_or("-".to_string(), |x| x.to_string())
+    );
+}

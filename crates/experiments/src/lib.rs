@@ -1,0 +1,148 @@
+#![warn(missing_docs)]
+
+//! Shared scaffolding for the experiment binaries.
+//!
+//! Every binary accepts `--scale tiny|small|month` (default `small`) and
+//! `--seed N` (default 2019), prints which experiment it reproduces, and
+//! emits the same rows/series the paper reports. `all` runs the complete
+//! battery — its month-scale output is what EXPERIMENTS.md records.
+
+use borg_core::pipeline::SimScale;
+use borg_sim::CellOutcome;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Simulation scale.
+    pub scale: SimScale,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Directory for machine-readable series dumps (`--dump DIR`).
+    pub dump: Option<std::path::PathBuf>,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            scale: SimScale::Small,
+            seed: 2019,
+            dump: None,
+        }
+    }
+}
+
+/// Parses `--scale` and `--seed` from `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on unknown arguments.
+pub fn parse_opts() -> ExpOpts {
+    let mut opts = ExpOpts::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => SimScale::Tiny,
+                    Some("small") => SimScale::Small,
+                    Some("month") => SimScale::Month,
+                    other => panic!("unknown scale {other:?}; use tiny|small|month"),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+            }
+            "--dump" => {
+                i += 1;
+                let dir = args.get(i).unwrap_or_else(|| panic!("--dump needs a directory"));
+                opts.dump = Some(std::path::PathBuf::from(dir));
+            }
+            other => {
+                panic!(
+                    "unknown argument {other:?}; usage: [--scale tiny|small|month] [--seed N] [--dump DIR]"
+                )
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, what: &str, opts: &ExpOpts) {
+    let cfg = opts.scale.config(opts.seed);
+    println!("=== {id}: {what} ===");
+    println!(
+        "scale: {:?} ({}% of a cell, {:.0} days, seed {})",
+        opts.scale,
+        cfg.scale * 100.0,
+        cfg.horizon.as_days_f64(),
+        opts.seed
+    );
+    println!();
+}
+
+/// Prints a CCDF compactly: sample count, median, and tail quantiles.
+pub fn print_ccdf_summary(name: &str, ccdf: &borg_analysis::ccdf::Ccdf) {
+    if ccdf.is_empty() {
+        println!("{name}: (no samples)");
+        return;
+    }
+    let q = |p: f64| ccdf.quantile_exceeding(p).unwrap_or(f64::NAN);
+    println!(
+        "{name}: n={}  median={:.4}  p90={:.4}  p99={:.4}  max={:.4}",
+        ccdf.len(),
+        ccdf.median().unwrap_or(f64::NAN),
+        q(0.10),
+        q(0.01),
+        ccdf.samples().last().copied().unwrap_or(f64::NAN),
+    );
+}
+
+/// Writes an `(x, y)` series as a two-column CSV into the dump directory,
+/// when one was requested. Errors are reported, not fatal.
+pub fn dump_series(opts: &ExpOpts, name: &str, series: &[(f64, f64)]) {
+    let Some(dir) = &opts.dump else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("dump: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::from("x,y\n");
+    for (x, y) in series {
+        out.push_str(&format!("{x},{y}\n"));
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("dump: cannot write {}: {e}", path.display());
+    } else {
+        println!("(wrote {})", path.display());
+    }
+}
+
+/// Labels for the 2019 outcomes ("a" … "h").
+pub fn labelled(outcomes: &[CellOutcome]) -> Vec<(&str, &CellOutcome)> {
+    outcomes
+        .iter()
+        .map(|o| (o.metrics.cell_name.as_str(), o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = ExpOpts::default();
+        assert_eq!(o.seed, 2019);
+        assert_eq!(o.scale, SimScale::Small);
+    }
+}

@@ -1,0 +1,224 @@
+//! Typed columnar storage.
+
+use crate::error::QueryError;
+use crate::value::Value;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl DataType {
+    /// Lowercase type name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+        }
+    }
+}
+
+/// A nullable, typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dt: DataType) -> Column {
+        match dt {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// The column's declared type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row` (out-of-range returns `Null`).
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Int),
+            Column::Float(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Float),
+            Column::Str(v) => v
+                .get(row)
+                .and_then(|o| o.clone())
+                .map_or(Value::Null, Value::Str),
+            Column::Bool(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Appends a value, checking its type against the column.
+    ///
+    /// Integers are accepted into float columns (widening); everything
+    /// else must match exactly or be `Null`.
+    pub fn push(&mut self, value: Value, column_name: &str) -> Result<(), QueryError> {
+        let expected = self.data_type().name();
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Float(x)) => v.push(Some(x)),
+            (Column::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Str(v), Value::Str(x)) => v.push(Some(x)),
+            (Column::Str(v), Value::Null) => v.push(None),
+            (Column::Bool(v), Value::Bool(x)) => v.push(Some(x)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (_, other) => {
+                return Err(QueryError::TypeMismatch {
+                    column: column_name.to_string(),
+                    expected,
+                    actual: format!("{other:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A new column containing only the rows selected by `mask` (same
+    /// length as the column; `true` keeps).
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        fn keep<T: Clone>(v: &[Option<T>], mask: &[bool]) -> Vec<Option<T>> {
+            v.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
+        }
+        match self {
+            Column::Int(v) => Column::Int(keep(v, mask)),
+            Column::Float(v) => Column::Float(keep(v, mask)),
+            Column::Str(v) => Column::Str(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+        }
+    }
+
+    /// A new column with rows rearranged to `indices` order.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(v: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
+            idx.iter().map(|&i| v.get(i).cloned().flatten()).collect()
+        }
+        match self {
+            Column::Int(v) => Column::Int(gather(v, indices)),
+            Column::Float(v) => Column::Float(gather(v, indices)),
+            Column::Str(v) => Column::Str(gather(v, indices)),
+            Column::Bool(v) => Column::Bool(gather(v, indices)),
+        }
+    }
+
+    /// Iterates the column as [`Value`]s.
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// All non-null values as `f64` (ints widened); `None` for non-numeric
+    /// columns.
+    pub fn numeric_values(&self) -> Option<Vec<f64>> {
+        match self {
+            Column::Int(v) => Some(v.iter().flatten().map(|&x| x as f64).collect()),
+            Column::Float(v) => Some(v.iter().flatten().copied().collect()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(Value::Float(1.5), "x").unwrap();
+        c.push(Value::Int(2), "x").unwrap(); // widening
+        c.push(Value::Null, "x").unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Float(1.5));
+        assert_eq!(c.get(1), Value::Float(2.0));
+        assert_eq!(c.get(2), Value::Null);
+        assert_eq!(c.get(99), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::empty(DataType::Int);
+        assert!(c.push(Value::str("nope"), "x").is_err());
+        assert!(c.push(Value::Float(1.0), "x").is_err()); // no narrowing
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let mut c = Column::empty(DataType::Int);
+        for i in 0..5 {
+            c.push(Value::Int(i), "x").unwrap();
+        }
+        let f = c.filter(&[true, false, true, false, true]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get(2), Value::Int(4));
+        let t = c.take(&[4, 0]);
+        assert_eq!(t.get(0), Value::Int(4));
+        assert_eq!(t.get(1), Value::Int(0));
+    }
+
+    #[test]
+    fn numeric_values_skip_nulls() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(Value::Float(1.0), "x").unwrap();
+        c.push(Value::Null, "x").unwrap();
+        c.push(Value::Float(3.0), "x").unwrap();
+        assert_eq!(c.numeric_values(), Some(vec![1.0, 3.0]));
+        let s = Column::empty(DataType::Str);
+        assert_eq!(s.numeric_values(), None);
+    }
+
+    #[test]
+    fn iter_values() {
+        let mut c = Column::empty(DataType::Bool);
+        c.push(Value::Bool(true), "x").unwrap();
+        c.push(Value::Bool(false), "x").unwrap();
+        let vs: Vec<Value> = c.iter_values().collect();
+        assert_eq!(vs, vec![Value::Bool(true), Value::Bool(false)]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Query-engine errors.
+
+use std::fmt;
+
+/// Errors produced by query construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// Two columns with the same name in one table.
+    DuplicateColumn(String),
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Column involved.
+        column: String,
+        /// Expected type name.
+        expected: &'static str,
+        /// Actual value description.
+        actual: String,
+    },
+    /// An expression combined incompatible operand types.
+    IncompatibleOperands {
+        /// The operation.
+        op: &'static str,
+        /// Description of the operands.
+        detail: String,
+    },
+    /// A row had the wrong number of fields.
+    ArityMismatch {
+        /// Expected field count.
+        expected: usize,
+        /// Provided field count.
+        actual: usize,
+    },
+    /// An aggregate was asked of a non-numeric column.
+    NonNumericAggregate(String),
+    /// An invalid parameter (e.g. a percentile outside 0–100).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            QueryError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
+            QueryError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(f, "column {column:?}: expected {expected}, got {actual}"),
+            QueryError::IncompatibleOperands { op, detail } => {
+                write!(f, "operator {op}: incompatible operands ({detail})")
+            }
+            QueryError::ArityMismatch { expected, actual } => {
+                write!(f, "row has {actual} fields, table has {expected} columns")
+            }
+            QueryError::NonNumericAggregate(c) => {
+                write!(f, "aggregate over non-numeric column {c:?}")
+            }
+            QueryError::InvalidParameter(d) => write!(f, "invalid parameter: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,463 @@
+//! Expression AST and evaluation.
+//!
+//! Expressions reference columns, combine them with arithmetic, compare
+//! them, and connect predicates with boolean logic — the `WHERE`-clause
+//! subset the paper's queries need. Nulls propagate SQL-style: any
+//! operation on a null yields null, and a null predicate does not select
+//! the row.
+
+use crate::column::Column;
+use crate::error::QueryError;
+use crate::table::Table;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// True when the operand is null.
+    IsNull(Box<Expr>),
+    /// Floors a numeric operand to a multiple of a positive width —
+    /// SQL-style bucketing (`bucket(time, 3600)` groups into hours).
+    Bucket {
+        /// The numeric operand.
+        inner: Box<Expr>,
+        /// Bucket width (must be positive).
+        width: f64,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float; division by zero yields null).
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// A column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// A literal.
+pub fn lit(value: impl Into<Value>) -> Expr {
+    Expr::Literal(value.into())
+}
+
+macro_rules! binop_method {
+    ($(#[$doc:meta])* $name:ident, $op:ident) => {
+        $(#[$doc])*
+        pub fn $name(self, rhs: Expr) -> Expr {
+            Expr::Binary {
+                op: BinOp::$op,
+                left: Box::new(self),
+                right: Box::new(rhs),
+            }
+        }
+    };
+}
+
+// The arithmetic method names intentionally mirror the `std::ops` traits:
+// they build AST nodes rather than compute, like most query DSLs.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    binop_method!(/// `self + rhs`.
+        add, Add);
+    binop_method!(/// `self - rhs`.
+        sub, Sub);
+    binop_method!(/// `self * rhs`.
+        mul, Mul);
+    binop_method!(/// `self / rhs` (null on division by zero).
+        div, Div);
+    binop_method!(/// `self == rhs`.
+        eq, Eq);
+    binop_method!(/// `self != rhs`.
+        ne, Ne);
+    binop_method!(/// `self < rhs`.
+        lt, Lt);
+    binop_method!(/// `self <= rhs`.
+        le, Le);
+    binop_method!(/// `self > rhs`.
+        gt, Gt);
+    binop_method!(/// `self >= rhs`.
+        ge, Ge);
+    binop_method!(/// `self AND rhs`.
+        and, And);
+    binop_method!(/// `self OR rhs`.
+        or, Or);
+
+    /// Boolean negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// True when the expression evaluates to null.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// Floors the (numeric) expression to a multiple of `width` — the
+    /// bucketing idiom behind the paper's hourly aggregations (Figures
+    /// 2/4/8/9) and Figure 13's 1-NCU-hour bins.
+    pub fn bucket(self, width: f64) -> Expr {
+        Expr::Bucket {
+            inner: Box::new(self),
+            width,
+        }
+    }
+
+    /// Evaluates the expression for one row of a table.
+    pub fn eval_row(&self, table: &Table, row: usize) -> Result<Value, QueryError> {
+        match self {
+            Expr::Column(name) => table.value(row, name),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Not(inner) => match inner.eval_row(table, row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(QueryError::IncompatibleOperands {
+                    op: "not",
+                    detail: format!("{other:?}"),
+                }),
+            },
+            Expr::IsNull(inner) => Ok(Value::Bool(inner.eval_row(table, row)?.is_null())),
+            Expr::Bucket { inner, width } => {
+                if width.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(QueryError::IncompatibleOperands {
+                        op: "bucket",
+                        detail: format!("non-positive width {width}"),
+                    });
+                }
+                match inner.eval_row(table, row)? {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => {
+                        let w = *width as i64;
+                        if w >= 1 && (*width - w as f64).abs() < 1e-9 {
+                            Ok(Value::Int(i.div_euclid(w) * w))
+                        } else {
+                            Ok(Value::Float((i as f64 / width).floor() * width))
+                        }
+                    }
+                    Value::Float(x) => Ok(Value::Float((x / width).floor() * width)),
+                    other => Err(QueryError::IncompatibleOperands {
+                        op: "bucket",
+                        detail: format!("{other:?}"),
+                    }),
+                }
+            }
+            Expr::Binary { op, left, right } => {
+                let l = left.eval_row(table, row)?;
+                let r = right.eval_row(table, row)?;
+                eval_binop(*op, l, r)
+            }
+        }
+    }
+
+    /// Evaluates the expression for every row, producing a column.
+    pub fn eval(&self, table: &Table) -> Result<Vec<Value>, QueryError> {
+        (0..table.num_rows())
+            .map(|r| self.eval_row(table, r))
+            .collect()
+    }
+
+    /// Evaluates the expression as a predicate mask: null ⇒ `false`.
+    pub fn eval_mask(&self, table: &Table) -> Result<Vec<bool>, QueryError> {
+        self.eval(table)?
+            .into_iter()
+            .map(|v| match v {
+                Value::Bool(b) => Ok(b),
+                Value::Null => Ok(false),
+                other => Err(QueryError::IncompatibleOperands {
+                    op: "filter",
+                    detail: format!("predicate produced {other:?}"),
+                }),
+            })
+            .collect()
+    }
+
+    /// Evaluates into a typed [`Column`] (type inferred from the first
+    /// non-null value; all-null becomes a float column).
+    pub fn eval_column(&self, table: &Table) -> Result<Column, QueryError> {
+        let values = self.eval(table)?;
+        let dt = values
+            .iter()
+            .find_map(|v| match v {
+                Value::Int(_) => Some(crate::column::DataType::Int),
+                Value::Float(_) => Some(crate::column::DataType::Float),
+                Value::Str(_) => Some(crate::column::DataType::Str),
+                Value::Bool(_) => Some(crate::column::DataType::Bool),
+                Value::Null => None,
+            })
+            .unwrap_or(crate::column::DataType::Float);
+        let mut col = Column::empty(dt);
+        for v in values {
+            // Ints widen into float columns when the first value was a
+            // float; a genuine mixed-type expression is a user error.
+            col.push(v, "<expr>")?;
+        }
+        Ok(col)
+    }
+}
+
+fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, QueryError> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            // SQL three-valued logic.
+            let lb = match &l {
+                Value::Bool(b) => Some(*b),
+                Value::Null => None,
+                other => {
+                    return Err(QueryError::IncompatibleOperands {
+                        op: "and/or",
+                        detail: format!("{other:?}"),
+                    })
+                }
+            };
+            let rb = match &r {
+                Value::Bool(b) => Some(*b),
+                Value::Null => None,
+                other => {
+                    return Err(QueryError::IncompatibleOperands {
+                        op: "and/or",
+                        detail: format!("{other:?}"),
+                    })
+                }
+            };
+            Ok(match (op, lb, rb) {
+                (And, Some(false), _) | (And, _, Some(false)) => Value::Bool(false),
+                (And, Some(true), Some(true)) => Value::Bool(true),
+                (Or, Some(true), _) | (Or, _, Some(true)) => Value::Bool(true),
+                (Or, Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic stays integral except for division.
+            if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                return Ok(match op {
+                    Add => Value::Int(a.wrapping_add(*b)),
+                    Sub => Value::Int(a.wrapping_sub(*b)),
+                    Mul => Value::Int(a.wrapping_mul(*b)),
+                    Div => {
+                        if *b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(*a as f64 / *b as f64)
+                        }
+                    }
+                    _ => unreachable!("arithmetic op"),
+                });
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(QueryError::IncompatibleOperands {
+                        op: "arithmetic",
+                        detail: format!("{l:?} vs {r:?}"),
+                    })
+                }
+            };
+            Ok(match op {
+                Add => Value::Float(a + b),
+                Sub => Value::Float(a - b),
+                Mul => Value::Float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                _ => unreachable!("arithmetic op"),
+            })
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            match l.compare(&r) {
+                None if l.is_null() || r.is_null() => Ok(Value::Null),
+                None => Err(QueryError::IncompatibleOperands {
+                    op: "comparison",
+                    detail: format!("{l:?} vs {r:?}"),
+                }),
+                Some(ord) => Ok(Value::Bool(match op {
+                    Eq => ord == Ordering::Equal,
+                    Ne => ord != Ordering::Equal,
+                    Lt => ord == Ordering::Less,
+                    Le => ord != Ordering::Greater,
+                    Gt => ord == Ordering::Greater,
+                    Ge => ord != Ordering::Less,
+                    _ => unreachable!("comparison op"),
+                })),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec![
+            ("x", DataType::Int),
+            ("y", DataType::Float),
+            ("s", DataType::Str),
+        ]);
+        t.push_row(vec![Value::Int(1), Value::Float(0.5), Value::str("a")])
+            .unwrap();
+        t.push_row(vec![Value::Int(2), Value::Null, Value::str("b")])
+            .unwrap();
+        t.push_row(vec![Value::Int(3), Value::Float(3.5), Value::Null])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let t = table();
+        let e = col("x").mul(lit(2i64)).add(lit(1i64));
+        assert_eq!(e.eval_row(&t, 0).unwrap(), Value::Int(3));
+        let cmp = col("x").ge(lit(2i64));
+        assert_eq!(cmp.eval_mask(&t).unwrap(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn nulls_propagate() {
+        let t = table();
+        let e = col("y").add(lit(1.0));
+        assert_eq!(e.eval_row(&t, 1).unwrap(), Value::Null);
+        // Null comparison does not select.
+        let m = col("y").gt(lit(0.0)).eval_mask(&t).unwrap();
+        assert_eq!(m, vec![true, false, true]);
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let t = table();
+        let e = col("x").div(lit(0i64));
+        assert_eq!(e.eval_row(&t, 0).unwrap(), Value::Null);
+        let f = col("y").div(lit(0.0));
+        assert_eq!(f.eval_row(&t, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = table();
+        // null AND false = false; null OR true = true; null AND true = null.
+        let null_pred = col("y").gt(lit(100.0)); // null on row 1
+        let and_false = null_pred.clone().and(lit(false));
+        assert_eq!(and_false.eval_row(&t, 1).unwrap(), Value::Bool(false));
+        let or_true = null_pred.clone().or(lit(true));
+        assert_eq!(or_true.eval_row(&t, 1).unwrap(), Value::Bool(true));
+        let and_true = null_pred.and(lit(true));
+        assert_eq!(and_true.eval_row(&t, 1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn not_and_is_null() {
+        let t = table();
+        let e = col("s").is_null();
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![false, false, true]);
+        let n = col("x").eq(lit(1i64)).not();
+        assert_eq!(n.eval_mask(&t).unwrap(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn string_comparison() {
+        let t = table();
+        let e = col("s").eq(lit("a"));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let t = table();
+        assert!(col("s").add(lit(1i64)).eval_row(&t, 0).is_err());
+        assert!(col("x").and(lit(true)).eval_row(&t, 0).is_err());
+        assert!(col("s").gt(lit(1i64)).eval_row(&t, 0).is_err());
+        assert!(lit(5i64).not().eval_row(&t, 0).is_err());
+    }
+
+    #[test]
+    fn eval_column_types() {
+        let t = table();
+        let c = col("x").mul(lit(2i64)).eval_column(&t).unwrap();
+        assert_eq!(c.data_type(), DataType::Int);
+        let f = col("y").eval_column(&t).unwrap();
+        assert_eq!(f.data_type(), DataType::Float);
+    }
+
+    #[test]
+    fn bucket_floors_to_width() {
+        let t = table();
+        assert_eq!(
+            col("x").bucket(2.0).eval_row(&t, 2).unwrap(),
+            Value::Int(2),
+            "3 buckets to 2"
+        );
+        assert_eq!(
+            col("y").bucket(1.0).eval_row(&t, 2).unwrap(),
+            Value::Float(3.0),
+            "3.5 buckets to 3.0"
+        );
+        assert_eq!(col("y").bucket(1.0).eval_row(&t, 1).unwrap(), Value::Null);
+        assert!(col("s").bucket(1.0).eval_row(&t, 0).is_err());
+        assert!(col("x").bucket(0.0).eval_row(&t, 0).is_err());
+        // Negative values floor toward -infinity, like SQL's
+        // date_trunc-style bucketing.
+        let mut neg = Table::new(vec![("v", DataType::Int)]);
+        neg.push_row(vec![Value::Int(-3)]).unwrap();
+        assert_eq!(
+            col("v").bucket(2.0).eval_row(&neg, 0).unwrap(),
+            Value::Int(-4)
+        );
+    }
+
+    #[test]
+    fn int_float_mixed_arithmetic() {
+        let t = table();
+        let e = col("x").add(col("y"));
+        assert_eq!(e.eval_row(&t, 0).unwrap(), Value::Float(1.5));
+    }
+}

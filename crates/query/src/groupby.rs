@@ -1,0 +1,501 @@
+//! Hash group-by with aggregates.
+
+use crate::column::{Column, DataType};
+use crate::error::QueryError;
+use crate::table::Table;
+use crate::value::{GroupKey, Value};
+use std::collections::HashMap;
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggKind {
+    /// Row count (input column ignored for counting, but nulls in the
+    /// named column are excluded, SQL-style; use `count_all` for `COUNT(*)`).
+    Count,
+    /// Count of all rows, including nulls.
+    CountAll,
+    /// Sum of a numeric column.
+    Sum,
+    /// Mean of a numeric column.
+    Mean,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+    /// Percentile (0–100) of a numeric column.
+    Percentile(f64),
+    /// Count of distinct non-null values of a column.
+    CountDistinct,
+    /// Sample variance of a numeric column.
+    Variance,
+}
+
+/// One aggregate: a kind, an input column, and an output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agg {
+    /// What to compute.
+    pub kind: AggKind,
+    /// Input column (ignored by `CountAll`).
+    pub input: String,
+    /// Name of the output column.
+    pub output: String,
+}
+
+impl Agg {
+    /// `COUNT(input)` excluding nulls.
+    pub fn count(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Count,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_all(output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::CountAll,
+            input: String::new(),
+            output: output.into(),
+        }
+    }
+
+    /// `SUM(input)`.
+    pub fn sum(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Sum,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `AVG(input)`.
+    pub fn mean(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Mean,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `MIN(input)`.
+    pub fn min(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Min,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `MAX(input)`.
+    pub fn max(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Max,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `PERCENTILE(input, p)` with `p` in 0–100.
+    pub fn percentile(input: impl Into<String>, p: f64, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Percentile(p),
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `COUNT(DISTINCT input)` excluding nulls.
+    pub fn count_distinct(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::CountDistinct,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `VARIANCE(input)` (sample variance; null with fewer than two
+    /// values).
+    pub fn variance(input: impl Into<String>, output: impl Into<String>) -> Agg {
+        Agg {
+            kind: AggKind::Variance,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+}
+
+/// State accumulated per group per aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum(f64, bool),
+    Mean(f64, u64),
+    Min(Option<f64>),
+    Max(Option<f64>),
+    Percentile(Vec<f64>, f64),
+    Distinct(std::collections::HashSet<crate::value::GroupKey>),
+    Variance(f64, f64, u64),
+}
+
+impl AggState {
+    fn new(kind: AggKind) -> AggState {
+        match kind {
+            AggKind::Count | AggKind::CountAll => AggState::Count(0),
+            AggKind::Sum => AggState::Sum(0.0, false),
+            AggKind::Mean => AggState::Mean(0.0, 0),
+            AggKind::Min => AggState::Min(None),
+            AggKind::Max => AggState::Max(None),
+            AggKind::Percentile(p) => AggState::Percentile(Vec::new(), p),
+            AggKind::CountDistinct => AggState::Distinct(Default::default()),
+            AggKind::Variance => AggState::Variance(0.0, 0.0, 0),
+        }
+    }
+
+    fn update_value(&mut self, value: &Value) {
+        if let AggState::Distinct(set) = self {
+            if !value.is_null() {
+                set.insert(value.group_key());
+            }
+        }
+    }
+
+    fn update(&mut self, value: Option<f64>, count_row: bool) {
+        match self {
+            AggState::Count(c) => {
+                if count_row {
+                    *c += 1;
+                }
+            }
+            AggState::Sum(s, seen) => {
+                if let Some(v) = value {
+                    *s += v;
+                    *seen = true;
+                }
+            }
+            AggState::Mean(s, n) => {
+                if let Some(v) = value {
+                    *s += v;
+                    *n += 1;
+                }
+            }
+            AggState::Min(m) => {
+                if let Some(v) = value {
+                    *m = Some(m.map_or(v, |x: f64| x.min(v)));
+                }
+            }
+            AggState::Max(m) => {
+                if let Some(v) = value {
+                    *m = Some(m.map_or(v, |x: f64| x.max(v)));
+                }
+            }
+            AggState::Percentile(xs, _) => {
+                if let Some(v) = value {
+                    xs.push(v);
+                }
+            }
+            AggState::Distinct(_) => {}
+            AggState::Variance(sum, sum_sq, n) => {
+                if let Some(v) = value {
+                    *sum += v;
+                    *sum_sq += v * v;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c as i64),
+            AggState::Sum(s, seen) => {
+                if seen {
+                    Value::Float(s)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Mean(s, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(s / n as f64)
+                }
+            }
+            AggState::Min(m) => m.map_or(Value::Null, Value::Float),
+            AggState::Max(m) => m.map_or(Value::Null, Value::Float),
+            AggState::Percentile(mut xs, p) => {
+                if xs.is_empty() {
+                    Value::Null
+                } else {
+                    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+                    let rank = p / 100.0 * (xs.len() - 1) as f64;
+                    let lo = rank.floor() as usize;
+                    let hi = rank.ceil() as usize;
+                    let frac = rank - lo as f64;
+                    Value::Float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+                }
+            }
+            AggState::Distinct(set) => Value::Int(set.len() as i64),
+            AggState::Variance(sum, sum_sq, n) => {
+                if n < 2 {
+                    Value::Null
+                } else {
+                    let nf = n as f64;
+                    let mean = sum / nf;
+                    Value::Float((sum_sq - nf * mean * mean) / (nf - 1.0))
+                }
+            }
+        }
+    }
+}
+
+/// Groups `table` by the named key columns and computes the aggregates.
+///
+/// The output has one row per distinct key combination, with the key
+/// columns first (original types preserved) followed by one column per
+/// aggregate. Group order follows first appearance in the input.
+pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, QueryError> {
+    // Resolve columns up front.
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| table.column(k))
+        .collect::<Result<_, _>>()?;
+    for agg in aggs {
+        if agg.kind != AggKind::CountAll {
+            let c = table.column(&agg.input)?;
+            let numeric_needed = !matches!(
+                agg.kind,
+                AggKind::Count | AggKind::CountAll | AggKind::CountDistinct
+            );
+            if numeric_needed && !matches!(c.data_type(), DataType::Int | DataType::Float) {
+                return Err(QueryError::NonNumericAggregate(agg.input.clone()));
+            }
+            if let AggKind::Percentile(p) = agg.kind {
+                if !(0.0..=100.0).contains(&p) {
+                    return Err(QueryError::InvalidParameter(format!(
+                        "percentile {p} outside 0..=100"
+                    )));
+                }
+            }
+        }
+    }
+    let agg_inputs: Vec<Option<&Column>> = aggs
+        .iter()
+        .map(|a| {
+            if a.kind == AggKind::CountAll {
+                None
+            } else {
+                Some(table.column(&a.input).expect("validated above"))
+            }
+        })
+        .collect();
+
+    let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut group_states: Vec<Vec<AggState>> = Vec::new();
+
+    for row in 0..table.num_rows() {
+        let key: Vec<GroupKey> = key_cols.iter().map(|c| c.get(row).group_key()).collect();
+        let idx = *group_index.entry(key).or_insert_with(|| {
+            group_keys.push(key_cols.iter().map(|c| c.get(row)).collect());
+            group_states.push(aggs.iter().map(|a| AggState::new(a.kind)).collect());
+            group_keys.len() - 1
+        });
+        for (ai, agg) in aggs.iter().enumerate() {
+            let (value, count_row) = match agg.kind {
+                AggKind::CountAll => (None, true),
+                AggKind::Count => {
+                    let v = agg_inputs[ai].expect("count has input").get(row);
+                    (None, !v.is_null())
+                }
+                AggKind::CountDistinct => {
+                    let v = agg_inputs[ai].expect("agg has input").get(row);
+                    group_states[idx][ai].update_value(&v);
+                    (None, false)
+                }
+                _ => {
+                    let v = agg_inputs[ai].expect("agg has input").get(row);
+                    (v.as_f64(), false)
+                }
+            };
+            group_states[idx][ai].update(value, count_row);
+        }
+    }
+
+    // Assemble output.
+    let mut schema: Vec<(String, DataType)> = keys
+        .iter()
+        .zip(&key_cols)
+        .map(|(k, c)| (k.to_string(), c.data_type()))
+        .collect();
+    for agg in aggs {
+        let dt = match agg.kind {
+            AggKind::Count | AggKind::CountAll | AggKind::CountDistinct => DataType::Int,
+            _ => DataType::Float,
+        };
+        schema.push((agg.output.clone(), dt));
+    }
+    let mut out = Table::new(schema);
+    for (key, states) in group_keys.into_iter().zip(group_states) {
+        let mut row = key;
+        row.extend(states.into_iter().map(AggState::finish));
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec![
+            ("tier", DataType::Str),
+            ("cpu", DataType::Float),
+        ]);
+        for (tier, cpu) in [
+            ("prod", 1.0),
+            ("beb", 2.0),
+            ("prod", 3.0),
+            ("free", 4.0),
+            ("beb", 6.0),
+        ] {
+            t.push_row(vec![Value::str(tier), Value::Float(cpu)]).unwrap();
+        }
+        t.push_row(vec![Value::str("prod"), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn sum_mean_count() {
+        let out = group_by(
+            &table(),
+            &["tier"],
+            &[
+                Agg::sum("cpu", "total"),
+                Agg::mean("cpu", "avg"),
+                Agg::count("cpu", "n"),
+                Agg::count_all("rows"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        // First-appearance order: prod, beb, free.
+        assert_eq!(out.value(0, "tier").unwrap(), Value::str("prod"));
+        assert_eq!(out.value(0, "total").unwrap(), Value::Float(4.0));
+        assert_eq!(out.value(0, "avg").unwrap(), Value::Float(2.0));
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2)); // null excluded
+        assert_eq!(out.value(0, "rows").unwrap(), Value::Int(3));
+        assert_eq!(out.value(1, "total").unwrap(), Value::Float(8.0));
+    }
+
+    #[test]
+    fn min_max_percentile() {
+        let out = group_by(
+            &table(),
+            &["tier"],
+            &[
+                Agg::min("cpu", "lo"),
+                Agg::max("cpu", "hi"),
+                Agg::percentile("cpu", 50.0, "median"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(1, "lo").unwrap(), Value::Float(2.0));
+        assert_eq!(out.value(1, "hi").unwrap(), Value::Float(6.0));
+        assert_eq!(out.value(1, "median").unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn empty_group_by_keys_makes_single_group() {
+        let out = group_by(&table(), &[], &[Agg::count_all("n")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn all_null_aggregates_are_null() {
+        let mut t = Table::new(vec![("k", DataType::Str), ("v", DataType::Float)]);
+        t.push_row(vec![Value::str("a"), Value::Null]).unwrap();
+        let out = group_by(
+            &t,
+            &["k"],
+            &[Agg::sum("v", "s"), Agg::mean("v", "m"), Agg::min("v", "lo")],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "s").unwrap(), Value::Null);
+        assert_eq!(out.value(0, "m").unwrap(), Value::Null);
+        assert_eq!(out.value(0, "lo").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn errors() {
+        let t = table();
+        assert!(group_by(&t, &["missing"], &[]).is_err());
+        assert!(group_by(&t, &["tier"], &[Agg::sum("tier", "x")]).is_err());
+        assert!(group_by(&t, &["tier"], &[Agg::percentile("cpu", 150.0, "x")]).is_err());
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let mut t = Table::new(vec![
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("v", DataType::Float),
+        ]);
+        for (a, b, v) in [(1, "x", 1.0), (1, "y", 2.0), (1, "x", 3.0), (2, "x", 4.0)] {
+            t.push_row(vec![Value::Int(a), Value::str(b), Value::Float(v)])
+                .unwrap();
+        }
+        let out = group_by(&t, &["a", "b"], &[Agg::sum("v", "s")]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, "s").unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn count_distinct_and_variance() {
+        let mut t = Table::new(vec![
+            ("k", DataType::Str),
+            ("u", DataType::Str),
+            ("v", DataType::Float),
+        ]);
+        for (k, u, v) in [
+            ("a", "x", 2.0),
+            ("a", "y", 4.0),
+            ("a", "x", 6.0),
+            ("b", "z", 1.0),
+        ] {
+            t.push_row(vec![Value::str(k), Value::str(u), Value::Float(v)])
+                .unwrap();
+        }
+        t.push_row(vec![Value::str("a"), Value::Null, Value::Null])
+            .unwrap();
+        let out = group_by(
+            &t,
+            &["k"],
+            &[
+                Agg::count_distinct("u", "users"),
+                Agg::variance("v", "var"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "users").unwrap(), Value::Int(2)); // x, y (null excluded)
+        // Sample variance of [2, 4, 6] = 4.
+        assert_eq!(out.value(0, "var").unwrap(), Value::Float(4.0));
+        // Group "b": one value → variance null, one distinct user.
+        assert_eq!(out.value(1, "users").unwrap(), Value::Int(1));
+        assert!(out.value(1, "var").unwrap().is_null());
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        let mut t = Table::new(vec![("k", DataType::Str), ("v", DataType::Float)]);
+        t.push_row(vec![Value::Null, Value::Float(1.0)]).unwrap();
+        t.push_row(vec![Value::Null, Value::Float(2.0)]).unwrap();
+        let out = group_by(&t, &["k"], &[Agg::sum("v", "s")]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "s").unwrap(), Value::Float(3.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Hash joins.
+
+use crate::error::QueryError;
+use crate::table::Table;
+use crate::value::GroupKey;
+use std::collections::HashMap;
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only matching row pairs.
+    Inner,
+    /// Keep every left row; unmatched right columns become null.
+    LeftOuter,
+}
+
+/// Hash-joins `left` and `right` on equality of the given key columns
+/// (pairwise: `left_keys[i] == right_keys[i]`). Null keys never match,
+/// SQL-style. Right-side key columns are dropped from the output;
+/// remaining right columns that clash with a left name get a `right_`
+/// prefix.
+pub fn join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[&str],
+    right_keys: &[&str],
+    kind: JoinKind,
+) -> Result<Table, QueryError> {
+    if left_keys.len() != right_keys.len() {
+        return Err(QueryError::InvalidParameter(format!(
+            "join key arity {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let lcols: Vec<_> = left_keys
+        .iter()
+        .map(|k| left.column(k))
+        .collect::<Result<_, _>>()?;
+    let rcols: Vec<_> = right_keys
+        .iter()
+        .map(|k| right.column(k))
+        .collect::<Result<_, _>>()?;
+
+    // Build the hash table over the right side.
+    let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    'rows: for row in 0..right.num_rows() {
+        let mut key = Vec::with_capacity(rcols.len());
+        for c in &rcols {
+            let v = c.get(row);
+            if v.is_null() {
+                continue 'rows; // null keys never match
+            }
+            key.push(v.group_key());
+        }
+        index.entry(key).or_default().push(row);
+    }
+
+    // Probe with the left side.
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    'probe: for row in 0..left.num_rows() {
+        let mut key = Vec::with_capacity(lcols.len());
+        for c in &lcols {
+            let v = c.get(row);
+            if v.is_null() {
+                if kind == JoinKind::LeftOuter {
+                    left_rows.push(row);
+                    right_rows.push(None);
+                }
+                continue 'probe;
+            }
+            key.push(v.group_key());
+        }
+        match index.get(&key) {
+            Some(matches) => {
+                for &r in matches {
+                    left_rows.push(row);
+                    right_rows.push(Some(r));
+                }
+            }
+            None => {
+                if kind == JoinKind::LeftOuter {
+                    left_rows.push(row);
+                    right_rows.push(None);
+                }
+            }
+        }
+    }
+
+    // Materialize output columns.
+    let mut out_cols: Vec<(String, crate::column::Column)> = Vec::new();
+    for name in left.column_names() {
+        let col = left.column(name).expect("own column");
+        out_cols.push((name.clone(), col.take(&left_rows)));
+    }
+    let left_names: std::collections::HashSet<&String> = left.column_names().iter().collect();
+    // For right columns, a take with "missing" markers: map None to an
+    // out-of-range index, which Column::take turns into null.
+    let sentinel = right.num_rows();
+    let right_indices: Vec<usize> = right_rows
+        .iter()
+        .map(|r| r.unwrap_or(sentinel))
+        .collect();
+    for name in right.column_names() {
+        if right_keys.contains(&name.as_str()) {
+            continue;
+        }
+        let col = right.column(name).expect("own column");
+        let out_name = if left_names.contains(name) {
+            format!("right_{name}")
+        } else {
+            name.clone()
+        };
+        out_cols.push((out_name, col.take(&right_indices)));
+    }
+    Table::from_columns(out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::value::Value;
+
+    fn jobs() -> Table {
+        let mut t = Table::new(vec![("job", DataType::Int), ("tier", DataType::Str)]);
+        for (j, tier) in [(1, "prod"), (2, "beb"), (3, "free")] {
+            t.push_row(vec![Value::Int(j), Value::str(tier)]).unwrap();
+        }
+        t
+    }
+
+    fn tasks() -> Table {
+        let mut t = Table::new(vec![("job", DataType::Int), ("cpu", DataType::Float)]);
+        for (j, cpu) in [(1, 0.5), (1, 0.7), (2, 0.1), (9, 0.9)] {
+            t.push_row(vec![Value::Int(j), Value::Float(cpu)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let out = join(&jobs(), &tasks(), &["job"], &["job"], JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 3); // job 1 × 2, job 2 × 1
+        assert_eq!(out.value(0, "tier").unwrap(), Value::str("prod"));
+        assert_eq!(out.value(0, "cpu").unwrap(), Value::Float(0.5));
+        assert_eq!(out.value(2, "tier").unwrap(), Value::str("beb"));
+    }
+
+    #[test]
+    fn left_outer_keeps_unmatched() {
+        let out = join(&jobs(), &tasks(), &["job"], &["job"], JoinKind::LeftOuter).unwrap();
+        assert_eq!(out.num_rows(), 4); // free job 3 kept with null cpu
+        let last = out.num_rows() - 1;
+        assert_eq!(out.value(last, "job").unwrap(), Value::Int(3));
+        assert!(out.value(last, "cpu").unwrap().is_null());
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut l = Table::new(vec![("k", DataType::Int)]);
+        l.push_row(vec![Value::Null]).unwrap();
+        let mut r = Table::new(vec![("k", DataType::Int), ("v", DataType::Int)]);
+        r.push_row(vec![Value::Null, Value::Int(1)]).unwrap();
+        let inner = join(&l, &r, &["k"], &["k"], JoinKind::Inner).unwrap();
+        assert_eq!(inner.num_rows(), 0);
+        let outer = join(&l, &r, &["k"], &["k"], JoinKind::LeftOuter).unwrap();
+        assert_eq!(outer.num_rows(), 1);
+        assert!(outer.value(0, "v").unwrap().is_null());
+    }
+
+    #[test]
+    fn name_clash_prefixed() {
+        let mut r = Table::new(vec![("job", DataType::Int), ("tier", DataType::Str)]);
+        r.push_row(vec![Value::Int(1), Value::str("x")]).unwrap();
+        let out = join(&jobs(), &r, &["job"], &["job"], JoinKind::Inner).unwrap();
+        assert!(out.column_names().contains(&"right_tier".to_string()));
+    }
+
+    #[test]
+    fn key_arity_checked() {
+        assert!(join(&jobs(), &tasks(), &["job"], &[], JoinKind::Inner).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Relational operators: filter, project, derive.
+
+use crate::error::QueryError;
+use crate::expr::Expr;
+use crate::table::Table;
+
+/// Rows of `table` where `predicate` evaluates to `true` (null does not
+/// select).
+pub fn filter(table: &Table, predicate: &Expr) -> Result<Table, QueryError> {
+    let mask = predicate.eval_mask(table)?;
+    Ok(table.filter_rows(&mask))
+}
+
+/// Only the named columns, in order.
+pub fn project(table: &Table, columns: &[&str]) -> Result<Table, QueryError> {
+    table.project(columns)
+}
+
+/// `table` plus a derived column computed from an expression.
+pub fn derive(table: Table, name: &str, expr: &Expr) -> Result<Table, QueryError> {
+    let col = expr.eval_column(&table)?;
+    table.with_column(name, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::expr::{col, lit};
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec![("a", DataType::Int), ("b", DataType::Int)]);
+        for i in 0..10 {
+            t.push_row(vec![Value::Int(i), Value::Int(i * i)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filter_selects_matching_rows() {
+        let t = table();
+        let f = filter(&t, &col("a").ge(lit(7i64))).unwrap();
+        assert_eq!(f.num_rows(), 3);
+        assert_eq!(f.value(0, "a").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn filter_with_compound_predicate() {
+        let t = table();
+        let p = col("a").ge(lit(2i64)).and(col("b").lt(lit(50i64)));
+        let f = filter(&t, &p).unwrap();
+        assert_eq!(f.num_rows(), 6); // a in 2..=7 (b = 49 at a = 7)
+    }
+
+    #[test]
+    fn derive_adds_computed_column() {
+        let t = derive(table(), "sum", &col("a").add(col("b"))).unwrap();
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.value(3, "sum").unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn project_picks_columns() {
+        let t = table();
+        let p = project(&t, &["b"]).unwrap();
+        assert_eq!(p.num_columns(), 1);
+        assert_eq!(p.num_rows(), 10);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let t = table();
+        assert!(filter(&t, &col("missing").gt(lit(0i64))).is_err());
+        assert!(project(&t, &["missing"]).is_err());
+    }
+}

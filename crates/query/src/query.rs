@@ -1,0 +1,241 @@
+//! Fluent query builder.
+//!
+//! [`Query`] chains the relational operators into a lazily executed plan,
+//! mirroring how the paper's BigQuery SQL composes `WHERE`, `GROUP BY`,
+//! and `ORDER BY`.
+
+use crate::error::QueryError;
+use crate::expr::Expr;
+use crate::groupby::Agg;
+use crate::join::JoinKind;
+use crate::sort::SortOrder;
+use crate::table::Table;
+
+enum Step {
+    Filter(Expr),
+    Project(Vec<String>),
+    Derive(String, Expr),
+    GroupBy(Vec<String>, Vec<Agg>),
+    Sort(Vec<(String, SortOrder)>),
+    Join {
+        right: Table,
+        left_keys: Vec<String>,
+        right_keys: Vec<String>,
+        kind: JoinKind,
+    },
+    Limit(usize),
+}
+
+/// A lazily executed query plan over one source table.
+pub struct Query {
+    source: Table,
+    steps: Vec<Step>,
+}
+
+impl Query {
+    /// Starts a query over `table`.
+    pub fn from(table: Table) -> Query {
+        Query {
+            source: table,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Keeps rows where `predicate` is true.
+    pub fn filter(mut self, predicate: Expr) -> Query {
+        self.steps.push(Step::Filter(predicate));
+        self
+    }
+
+    /// Keeps only the named columns.
+    pub fn select(mut self, columns: &[&str]) -> Query {
+        self.steps
+            .push(Step::Project(columns.iter().map(|s| s.to_string()).collect()));
+        self
+    }
+
+    /// Adds a computed column.
+    pub fn derive(mut self, name: impl Into<String>, expr: Expr) -> Query {
+        self.steps.push(Step::Derive(name.into(), expr));
+        self
+    }
+
+    /// Groups by key columns and aggregates.
+    pub fn group_by(mut self, keys: &[&str], aggs: Vec<Agg>) -> Query {
+        self.steps.push(Step::GroupBy(
+            keys.iter().map(|s| s.to_string()).collect(),
+            aggs,
+        ));
+        self
+    }
+
+    /// Sorts by one column.
+    pub fn sort_by(mut self, column: &str, order: SortOrder) -> Query {
+        self.steps.push(Step::Sort(vec![(column.to_string(), order)]));
+        self
+    }
+
+    /// Sorts by several columns, earlier keys first.
+    pub fn sort_by_many(mut self, keys: &[(&str, SortOrder)]) -> Query {
+        self.steps.push(Step::Sort(
+            keys.iter().map(|(c, o)| (c.to_string(), *o)).collect(),
+        ));
+        self
+    }
+
+    /// Inner-joins with `right` on pairwise key equality.
+    pub fn join(mut self, right: Table, left_keys: &[&str], right_keys: &[&str]) -> Query {
+        self.steps.push(Step::Join {
+            right,
+            left_keys: left_keys.iter().map(|s| s.to_string()).collect(),
+            right_keys: right_keys.iter().map(|s| s.to_string()).collect(),
+            kind: JoinKind::Inner,
+        });
+        self
+    }
+
+    /// Left-outer-joins with `right` on pairwise key equality.
+    pub fn left_join(mut self, right: Table, left_keys: &[&str], right_keys: &[&str]) -> Query {
+        self.steps.push(Step::Join {
+            right,
+            left_keys: left_keys.iter().map(|s| s.to_string()).collect(),
+            right_keys: right_keys.iter().map(|s| s.to_string()).collect(),
+            kind: JoinKind::LeftOuter,
+        });
+        self
+    }
+
+    /// Keeps only the first `n` rows.
+    pub fn limit(mut self, n: usize) -> Query {
+        self.steps.push(Step::Limit(n));
+        self
+    }
+
+    /// Executes the plan.
+    pub fn run(self) -> Result<Table, QueryError> {
+        let mut t = self.source;
+        for step in self.steps {
+            t = match step {
+                Step::Filter(p) => crate::ops::filter(&t, &p)?,
+                Step::Project(cols) => {
+                    let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    crate::ops::project(&t, &names)?
+                }
+                Step::Derive(name, expr) => crate::ops::derive(t, &name, &expr)?,
+                Step::GroupBy(keys, aggs) => {
+                    let names: Vec<&str> = keys.iter().map(String::as_str).collect();
+                    crate::groupby::group_by(&t, &names, &aggs)?
+                }
+                Step::Sort(keys) => {
+                    let pairs: Vec<(&str, SortOrder)> =
+                        keys.iter().map(|(c, o)| (c.as_str(), *o)).collect();
+                    crate::sort::sort_by(&t, &pairs)?
+                }
+                Step::Join {
+                    right,
+                    left_keys,
+                    right_keys,
+                    kind,
+                } => {
+                    let lk: Vec<&str> = left_keys.iter().map(String::as_str).collect();
+                    let rk: Vec<&str> = right_keys.iter().map(String::as_str).collect();
+                    crate::join::join(&t, &right, &lk, &rk, kind)?
+                }
+                Step::Limit(n) => {
+                    let keep: Vec<usize> = (0..t.num_rows().min(n)).collect();
+                    t.take_rows(&keep)
+                }
+            };
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::expr::{col, lit};
+    use crate::value::Value;
+
+    fn usage_table() -> Table {
+        let mut t = Table::new(vec![
+            ("cell", DataType::Str),
+            ("tier", DataType::Str),
+            ("cpu", DataType::Float),
+        ]);
+        for (cell, tier, cpu) in [
+            ("a", "prod", 0.4),
+            ("a", "beb", 0.2),
+            ("b", "prod", 0.1),
+            ("b", "beb", 0.5),
+            ("a", "prod", 0.6),
+        ] {
+            t.push_row(vec![Value::str(cell), Value::str(tier), Value::Float(cpu)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn full_pipeline() {
+        let out = Query::from(usage_table())
+            .filter(col("cpu").gt(lit(0.15)))
+            .group_by(&["cell", "tier"], vec![Agg::sum("cpu", "total")])
+            .sort_by_many(&[("cell", SortOrder::Ascending), ("total", SortOrder::Descending)])
+            .run()
+            .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, "cell").unwrap(), Value::str("a"));
+        assert_eq!(out.value(0, "total").unwrap(), Value::Float(1.0));
+        assert_eq!(out.value(2, "cell").unwrap(), Value::str("b"));
+    }
+
+    #[test]
+    fn derive_then_filter() {
+        let out = Query::from(usage_table())
+            .derive("double", col("cpu").mul(lit(2.0)))
+            .filter(col("double").ge(lit(1.0)))
+            .run()
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn select_and_limit() {
+        let out = Query::from(usage_table())
+            .select(&["cpu"])
+            .limit(2)
+            .run()
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.num_columns(), 1);
+    }
+
+    #[test]
+    fn join_in_pipeline() {
+        let mut weights = Table::new(vec![("tier", DataType::Str), ("w", DataType::Float)]);
+        weights
+            .push_row(vec![Value::str("prod"), Value::Float(1.0)])
+            .unwrap();
+        weights
+            .push_row(vec![Value::str("beb"), Value::Float(0.1)])
+            .unwrap();
+        let out = Query::from(usage_table())
+            .join(weights, &["tier"], &["tier"])
+            .derive("weighted", col("cpu").mul(col("w")))
+            .group_by(&[], vec![Agg::sum("weighted", "total")])
+            .run()
+            .unwrap();
+        let total = out.value(0, "total").unwrap().as_f64().unwrap();
+        assert!((total - (0.4 + 0.1 + 0.6 + 0.02 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(Query::from(usage_table())
+            .filter(col("nope").gt(lit(0.0)))
+            .run()
+            .is_err());
+    }
+}

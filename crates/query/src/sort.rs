@@ -1,0 +1,103 @@
+//! Sorting.
+
+use crate::error::QueryError;
+use crate::table::Table;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first (nulls first).
+    Ascending,
+    /// Largest first (nulls last).
+    Descending,
+}
+
+/// Stable sort of `table` by a sequence of `(column, order)` keys, with
+/// earlier keys taking precedence.
+pub fn sort_by(table: &Table, keys: &[(&str, SortOrder)]) -> Result<Table, QueryError> {
+    let cols: Vec<_> = keys
+        .iter()
+        .map(|(name, order)| table.column(name).map(|c| (c, *order)))
+        .collect::<Result<_, _>>()?;
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for (col, order) in &cols {
+            let va = col.get(a);
+            let vb = col.get(b);
+            let ord = va.sort_key_cmp(&vb);
+            let ord = match order {
+                SortOrder::Ascending => ord,
+                SortOrder::Descending => ord.reverse(),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(table.take_rows(&indices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec![("k", DataType::Str), ("v", DataType::Int)]);
+        for (k, v) in [("b", 2), ("a", 3), ("b", 1), ("a", 1)] {
+            t.push_row(vec![Value::str(k), Value::Int(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let out = sort_by(&table(), &[("v", SortOrder::Ascending)]).unwrap();
+        let vs: Vec<Value> = (0..4).map(|r| out.value(r, "v").unwrap()).collect();
+        assert_eq!(
+            vs,
+            vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn multi_key() {
+        let out = sort_by(
+            &table(),
+            &[("k", SortOrder::Ascending), ("v", SortOrder::Descending)],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, "k").unwrap(), Value::str("a"));
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(3));
+        assert_eq!(out.value(2, "k").unwrap(), Value::str("b"));
+        assert_eq!(out.value(2, "v").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn stability() {
+        // Equal keys preserve input order.
+        let out = sort_by(&table(), &[("k", SortOrder::Ascending)]).unwrap();
+        // "a" rows were (a,3) then (a,1) in input order.
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(3));
+        assert_eq!(out.value(1, "v").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn nulls_order() {
+        let mut t = Table::new(vec![("v", DataType::Int)]);
+        t.push_row(vec![Value::Int(5)]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        let asc = sort_by(&t, &[("v", SortOrder::Ascending)]).unwrap();
+        assert!(asc.value(0, "v").unwrap().is_null());
+        let desc = sort_by(&t, &[("v", SortOrder::Descending)]).unwrap();
+        assert!(desc.value(2, "v").unwrap().is_null());
+    }
+
+    #[test]
+    fn unknown_column() {
+        assert!(sort_by(&table(), &[("missing", SortOrder::Ascending)]).is_err());
+    }
+}

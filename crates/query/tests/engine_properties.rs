@@ -1,0 +1,104 @@
+//! Property tests: the query engine against naive reference
+//! implementations, over randomized tables.
+
+use borg_query::prelude::*;
+use borg_query::join::{join, JoinKind};
+use borg_query::Agg;
+use proptest::prelude::*;
+
+fn int_table(name: &str, xs: &[i64]) -> Table {
+    let mut t = Table::new(vec![(name.to_string(), DataType::Int)]);
+    for &x in xs {
+        t.push_row(vec![Value::Int(x)]).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn inner_join_matches_nested_loop(
+        left in prop::collection::vec(0i64..10, 0..40),
+        right in prop::collection::vec(0i64..10, 0..40),
+    ) {
+        let lt = int_table("k", &left);
+        let mut rt = Table::new(vec![("k", DataType::Int), ("tag", DataType::Int)]);
+        for (i, &x) in right.iter().enumerate() {
+            rt.push_row(vec![Value::Int(x), Value::Int(i as i64)]).unwrap();
+        }
+        let out = join(&lt, &rt, &["k"], &["k"], JoinKind::Inner).unwrap();
+        let expected: usize = left
+            .iter()
+            .map(|&l| right.iter().filter(|&&r| r == l).count())
+            .sum();
+        prop_assert_eq!(out.num_rows(), expected);
+    }
+
+    #[test]
+    fn left_join_keeps_every_left_row(
+        left in prop::collection::vec(0i64..10, 0..40),
+        right in prop::collection::vec(0i64..10, 0..40),
+    ) {
+        let lt = int_table("k", &left);
+        let mut rt = Table::new(vec![("k", DataType::Int), ("tag", DataType::Int)]);
+        for (i, &x) in right.iter().enumerate() {
+            rt.push_row(vec![Value::Int(x), Value::Int(i as i64)]).unwrap();
+        }
+        let out = join(&lt, &rt, &["k"], &["k"], JoinKind::LeftOuter).unwrap();
+        let expected: usize = left
+            .iter()
+            .map(|&l| right.iter().filter(|&&r| r == l).count().max(1))
+            .sum();
+        prop_assert_eq!(out.num_rows(), expected);
+    }
+
+    #[test]
+    fn arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        let mut t = Table::new(vec![("a", DataType::Int), ("b", DataType::Int)]);
+        t.push_row(vec![Value::Int(a), Value::Int(b)]).unwrap();
+        let sum = col("a").add(col("b")).eval_row(&t, 0).unwrap();
+        let product = col("a").mul(col("b")).eval_row(&t, 0).unwrap();
+        prop_assert_eq!(sum, Value::Int(a.wrapping_add(b)));
+        prop_assert_eq!(product, Value::Int(a.wrapping_mul(b)));
+        let cmp = col("a").lt(col("b")).eval_row(&t, 0).unwrap();
+        prop_assert_eq!(cmp, Value::Bool(a < b));
+    }
+
+    #[test]
+    fn percentile_agg_matches_analysis_crate(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..60),
+        p in 0.0f64..100.0,
+    ) {
+        let mut t = Table::new(vec![("v", DataType::Float)]);
+        for &x in &xs {
+            t.push_row(vec![Value::Float(x)]).unwrap();
+        }
+        let out = Query::from(t)
+            .group_by(&[], vec![Agg::percentile("v", p, "q")])
+            .run()
+            .unwrap();
+        let got = out.value(0, "q").unwrap().as_f64().unwrap();
+        let expected = borg_analysis::percentile::percentile(&xs, p).unwrap();
+        prop_assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn limit_truncates(xs in prop::collection::vec(-100i64..100, 0..50), n in 0usize..60) {
+        let t = int_table("v", &xs);
+        let out = Query::from(t).limit(n).run().unwrap();
+        prop_assert_eq!(out.num_rows(), xs.len().min(n));
+    }
+
+    #[test]
+    fn derive_then_project_preserves_rows(xs in prop::collection::vec(-100i64..100, 0..50)) {
+        let t = int_table("v", &xs);
+        let out = Query::from(t)
+            .derive("double", col("v").mul(lit(2i64)))
+            .select(&["double"])
+            .run()
+            .unwrap();
+        prop_assert_eq!(out.num_rows(), xs.len());
+        for (r, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(out.value(r, "double").unwrap(), Value::Int(x * 2));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Autopilot: vertical autoscaling of task limits (§8).
+//!
+//! Autopilot "makes use of historical data … and then continually adjusts
+//! the resource limits as the job executes so as to minimize slack". The
+//! model here tracks a moving window of observed per-window peaks and sets
+//! the limit to the recent peak times a safety margin — tight for fully
+//! autoscaled tasks, looser for constrained ones, and untouched for manual
+//! tasks. Figure 14's slack ordering (full < constrained < manual)
+//! emerges from the margins.
+
+use borg_trace::collection::VerticalScalingMode;
+use borg_trace::resources::Resources;
+
+/// Number of recent windows whose peaks inform the limit.
+const WINDOW: usize = 6;
+
+/// Per-task autopilot state.
+#[derive(Debug, Clone)]
+pub struct Autopilot {
+    mode: VerticalScalingMode,
+    /// The user-specified original request (the floor for `Constrained`).
+    original: Resources,
+    /// Ring buffer of recent per-window peak usage.
+    peaks: [Resources; WINDOW],
+    filled: usize,
+    next: usize,
+}
+
+impl Autopilot {
+    /// Creates autopilot state for a task.
+    pub fn new(mode: VerticalScalingMode, original_request: Resources) -> Autopilot {
+        Autopilot {
+            mode,
+            original: original_request,
+            peaks: [Resources::ZERO; WINDOW],
+            filled: 0,
+            next: 0,
+        }
+    }
+
+    /// The scaling mode.
+    pub fn mode(&self) -> VerticalScalingMode {
+        self.mode
+    }
+
+    /// Observes one window's peak usage and returns the limit that should
+    /// now be in force.
+    pub fn observe(&mut self, window_peak: Resources, current_limit: Resources) -> Resources {
+        self.peaks[self.next] = window_peak;
+        self.next = (self.next + 1) % WINDOW;
+        self.filled = (self.filled + 1).min(WINDOW);
+        self.recommend(current_limit)
+    }
+
+    /// The recommended limit given the observation history.
+    pub fn recommend(&self, current_limit: Resources) -> Resources {
+        match self.mode {
+            VerticalScalingMode::Off => current_limit,
+            VerticalScalingMode::Full | VerticalScalingMode::Constrained => {
+                if self.filled == 0 {
+                    return current_limit;
+                }
+                let peak = self.peaks[..self.filled]
+                    .iter()
+                    .fold(Resources::ZERO, |a, b| a.max(b));
+                let margin = match self.mode {
+                    VerticalScalingMode::Full => 1.10,
+                    _ => 1.30,
+                };
+                let mut rec = peak * margin;
+                if self.mode == VerticalScalingMode::Constrained {
+                    // Constrained autoscaling may not shrink below 40% of
+                    // the user's request (the user-provided bound).
+                    rec = rec.max(&(self.original * 0.4));
+                }
+                // Never scale above the original request: Autopilot's goal
+                // here is reclaiming slack, not growing limits.
+                rec.min(&self.original)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mode: VerticalScalingMode, peaks: &[f64], original: f64) -> f64 {
+        let mut ap = Autopilot::new(mode, Resources::new(original, original));
+        let mut limit = Resources::new(original, original);
+        for &p in peaks {
+            limit = ap.observe(Resources::new(p, p), limit);
+        }
+        limit.cpu
+    }
+
+    #[test]
+    fn off_never_changes() {
+        assert_eq!(run(VerticalScalingMode::Off, &[0.1, 0.2, 0.05], 1.0), 1.0);
+    }
+
+    #[test]
+    fn full_tracks_peak_with_tight_margin() {
+        let lim = run(VerticalScalingMode::Full, &[0.1, 0.2, 0.15], 1.0);
+        assert!((lim - 0.22).abs() < 1e-9, "limit = {lim}");
+    }
+
+    #[test]
+    fn constrained_respects_floor() {
+        // Peak 0.1 × 1.3 = 0.13, but the floor is 0.4 × original.
+        let lim = run(VerticalScalingMode::Constrained, &[0.1], 1.0);
+        assert!((lim - 0.4).abs() < 1e-9, "limit = {lim}");
+    }
+
+    #[test]
+    fn never_exceeds_original() {
+        let lim = run(VerticalScalingMode::Full, &[5.0], 1.0);
+        assert_eq!(lim, 1.0);
+    }
+
+    #[test]
+    fn window_forgets_old_peaks() {
+        // One early spike followed by many quiet windows: the limit comes
+        // back down once the spike leaves the window.
+        let mut peaks = vec![0.8];
+        peaks.extend(vec![0.1; WINDOW]);
+        let lim = run(VerticalScalingMode::Full, &peaks, 1.0);
+        assert!((lim - 0.11).abs() < 1e-9, "limit = {lim}");
+    }
+
+    #[test]
+    fn slack_ordering_matches_figure_14() {
+        // Same usage trace, three modes: full reclaims the most slack.
+        let peaks = [0.2, 0.25, 0.22, 0.18];
+        let full = run(VerticalScalingMode::Full, &peaks, 1.0);
+        let constrained = run(VerticalScalingMode::Constrained, &peaks, 1.0);
+        let off = run(VerticalScalingMode::Off, &peaks, 1.0);
+        assert!(full < constrained && constrained < off);
+    }
+
+    #[test]
+    fn no_observations_keeps_limit() {
+        let ap = Autopilot::new(VerticalScalingMode::Full, Resources::new(1.0, 1.0));
+        assert_eq!(
+            ap.recommend(Resources::new(0.7, 0.7)),
+            Resources::new(0.7, 0.7)
+        );
+    }
+}

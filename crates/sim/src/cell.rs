@@ -1,0 +1,1264 @@
+//! One cell's simulation: the Borgmaster loop.
+
+use crate::autopilot::Autopilot;
+use crate::config::SimConfig;
+use crate::event::{Ev, EventQueue};
+use crate::machine::{Machine, Occupant};
+use crate::metrics::{tier_key, MachineSnapshot, SimMetrics};
+use crate::pending::PendingQueue;
+use borg_trace::collection::{
+    CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
+};
+use borg_trace::instance::{InstanceEvent, InstanceId};
+use borg_trace::machine::{MachineEvent, MachineId};
+use borg_trace::priority::Tier;
+use borg_trace::resources::Resources;
+use borg_trace::state::{EventType, StateMachine};
+use borg_trace::time::Micros;
+use borg_trace::trace::{SchemaVersion, Trace};
+use borg_trace::usage::{CpuHistogram, UsageRecord};
+use borg_workload::cells::{CellProfile, Era};
+use borg_workload::dist::{Exponential, Sample};
+use borg_workload::jobgen::{GenParams, JobGenerator, JobSpec, TerminationIntent, Workload};
+use borg_workload::usage_model::splitmix64;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+
+/// Everything a simulated cell-month produces.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// The trace tables (v3 schema).
+    pub trace: Trace,
+    /// Pre-aggregated metrics.
+    pub metrics: SimMetrics,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    NotSubmitted,
+    Pending,
+    Running { machine: usize, since: Micros },
+    Dead,
+}
+
+#[derive(Debug)]
+struct TaskRt {
+    state: TaskState,
+    attempt: u32,
+    limit: Resources,
+    autopilot: Autopilot,
+    /// Set when placed inside an alloc instance `(alloc_idx, inst_idx)`.
+    in_alloc: Option<(usize, usize)>,
+    sm: StateMachine,
+    stalled: bool,
+    /// Usage has been charged to the metrics up to this time; the
+    /// remainder is charged when the task frees or at the next tick, so
+    /// short tasks that live between ticks still contribute (Figure 2).
+    accounted_until: Micros,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum JobState {
+    NotArrived,
+    Queued,
+    Ready,
+    Ended,
+}
+
+#[derive(Debug)]
+struct JobRt {
+    spec: JobSpec,
+    state: JobState,
+    ready_at: Micros,
+    first_running: Option<Micros>,
+    end_scheduled: bool,
+    /// Terminal override (parent cascade forces a kill).
+    forced_kill: bool,
+    children: Vec<usize>,
+    sm: StateMachine,
+    flaky: bool,
+    tasks: Vec<TaskRt>,
+}
+
+#[derive(Debug)]
+struct AllocInstRt {
+    machine: Option<usize>,
+    used: Resources,
+    placed_at: Micros,
+    sm: StateMachine,
+}
+
+#[derive(Debug)]
+struct AllocRt {
+    spec: borg_workload::jobgen::AllocSetSpec,
+    instances: Vec<AllocInstRt>,
+    active: bool,
+    /// Past expiry but still hosting production members: no new
+    /// placements; torn down once the members finish.
+    draining: bool,
+    sm: StateMachine,
+}
+
+/// The cell simulator.
+pub struct CellSim<'a> {
+    profile: &'a CellProfile,
+    cfg: &'a SimConfig,
+    machines: Vec<Machine>,
+    jobs: Vec<JobRt>,
+    allocs: Vec<AllocRt>,
+    job_by_id: std::collections::BTreeMap<u64, usize>,
+    queue: EventQueue,
+    pending: PendingQueue,
+    batch_queue: VecDeque<(usize, Micros)>,
+    /// Tasks whose last placement attempt failed, awaiting the retry tick.
+    stalled: VecDeque<(usize, usize)>,
+    running: HashSet<(usize, usize)>,
+    dispatch_active: bool,
+    in_flight: Option<(usize, usize)>,
+    last_dispatched_job: Option<usize>,
+    /// Requested resources of admitted-but-unfinished best-effort batch
+    /// jobs: the batch scheduler's admission-control state.
+    beb_outstanding: Resources,
+    trace: Trace,
+    metrics: SimMetrics,
+    rng: StdRng,
+    now: Micros,
+    snapshot_done: bool,
+    usage_seq: u64,
+}
+
+impl<'a> CellSim<'a> {
+    /// Generates the workload for `profile` under `cfg` and runs the full
+    /// simulation, returning the trace and metrics.
+    pub fn run_cell(profile: &'a CellProfile, cfg: &'a SimConfig) -> CellOutcome {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Sample the machine fleet.
+        let n_machines = cfg.machine_count(profile);
+        let mut machines = Vec::with_capacity(n_machines);
+        let mut machine_events = Vec::with_capacity(n_machines);
+        let mut capacity = Resources::ZERO;
+        for i in 0..n_machines {
+            let shape = profile.catalog.sample(&mut rng);
+            capacity += shape.capacity;
+            machines.push(Machine::new(MachineId(i as u32), shape.capacity));
+            machine_events.push(MachineEvent::add(
+                Micros::ZERO,
+                MachineId(i as u32),
+                shape.capacity,
+                shape.platform,
+            ));
+        }
+
+        // Generate the workload.
+        let workload = JobGenerator::new(
+            profile,
+            GenParams {
+                capacity,
+                job_rate_per_hour: cfg.job_rate(profile),
+                horizon: cfg.horizon,
+                task_cap: cfg.task_cap,
+                seed: splitmix64(cfg.seed ^ WORKLOAD_SEED_SALT),
+            },
+        )
+        .generate();
+
+        let schema = match profile.era {
+            Era::Y2011 => SchemaVersion::V2Trace2011,
+            Era::Y2019 => SchemaVersion::V3Trace2019,
+        };
+        let mut trace = Trace::new(profile.name.clone(), schema, cfg.horizon);
+        trace.machine_events = machine_events;
+
+        let reporting_tiers: Vec<Tier> = profile.tiers.iter().map(|t| tier_key(t.tier)).collect();
+        let metrics = SimMetrics::new(&profile.name, cfg.horizon, capacity, &reporting_tiers);
+
+        let mut sim = CellSim {
+            profile,
+            cfg,
+            machines,
+            jobs: Vec::new(),
+            allocs: Vec::new(),
+            job_by_id: Default::default(),
+            queue: EventQueue::new(),
+            pending: PendingQueue::new(),
+            batch_queue: VecDeque::new(),
+            stalled: VecDeque::new(),
+            running: HashSet::new(),
+            dispatch_active: false,
+            in_flight: None,
+            last_dispatched_job: None,
+            beb_outstanding: Resources::ZERO,
+            trace,
+            metrics,
+            rng,
+            now: Micros::ZERO,
+            snapshot_done: false,
+            usage_seq: 0,
+        };
+        sim.load_workload(workload);
+        sim.prime_events();
+        sim.run_loop();
+        sim.finalize();
+        CellOutcome {
+            trace: sim.trace,
+            metrics: sim.metrics,
+        }
+    }
+
+    fn load_workload(&mut self, workload: Workload) {
+        let flaky_frac = self.profile.flaky_job_fraction;
+        self.jobs = workload
+            .jobs
+            .into_iter()
+            .map(|spec| {
+                let flaky = spec.tier != Tier::Production
+                    && (splitmix64(spec.id ^ self.cfg.seed) as f64 / u64::MAX as f64) < flaky_frac;
+                let vs_mode = if self.cfg.disable_autopilot {
+                    borg_trace::collection::VerticalScalingMode::Off
+                } else {
+                    spec.vertical_scaling
+                };
+                let tasks = spec
+                    .tasks
+                    .iter()
+                    .map(|t| TaskRt {
+                        state: TaskState::NotSubmitted,
+                        attempt: 0,
+                        limit: t.request,
+                        autopilot: Autopilot::new(vs_mode, t.request),
+                        in_alloc: None,
+                        sm: StateMachine::new(),
+                        stalled: false,
+                        accounted_until: Micros::ZERO,
+                    })
+                    .collect();
+                JobRt {
+                    state: JobState::NotArrived,
+                    ready_at: Micros::ZERO,
+                    first_running: None,
+                    end_scheduled: false,
+                    forced_kill: false,
+                    children: Vec::new(),
+                    sm: StateMachine::new(),
+                    flaky,
+                    tasks,
+                    spec,
+                }
+            })
+            .collect();
+        self.job_by_id = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (j.spec.id, i))
+            .collect();
+        // Wire parent → children links.
+        for i in 0..self.jobs.len() {
+            if let Some(pid) = self.jobs[i].spec.parent {
+                if let Some(&p) = self.job_by_id.get(&pid) {
+                    self.jobs[p].children.push(i);
+                }
+            }
+        }
+        self.allocs = workload
+            .alloc_sets
+            .into_iter()
+            .map(|spec| AllocRt {
+                draining: false,
+                instances: (0..spec.instance_count)
+                    .map(|_| AllocInstRt {
+                        machine: None,
+                        used: Resources::ZERO,
+                        placed_at: Micros::ZERO,
+                        sm: StateMachine::new(),
+                    })
+                    .collect(),
+                active: false,
+                sm: StateMachine::new(),
+                spec,
+            })
+            .collect();
+    }
+
+    fn prime_events(&mut self) {
+        for (i, j) in self.jobs.iter().enumerate() {
+            self.queue.push(j.spec.submit_time, Ev::JobSubmit { job: i });
+        }
+        for (i, a) in self.allocs.iter().enumerate() {
+            self.queue.push(a.spec.submit_time, Ev::AllocSubmit { alloc: i });
+        }
+        self.queue.push(self.cfg.usage_interval, Ev::UsageTick);
+        self.queue.push(Micros::from_minutes(5), Ev::BatchTick);
+        self.queue.push(Micros::from_secs(30), Ev::RetryTick);
+        // Stagger the first maintenance sweep of each machine uniformly
+        // over the maintenance interval.
+        let interval = self.cfg.maintenance_interval().as_micros();
+        for m in 0..self.machines.len() {
+            let at = Micros((self.rng.random::<f64>() * interval as f64) as u64);
+            self.queue.push(at, Ev::Maintenance { machine: m });
+        }
+    }
+
+    fn run_loop(&mut self) {
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.cfg.horizon {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Ev::JobSubmit { job } => self.on_job_submit(job),
+                Ev::AllocSubmit { alloc } => self.on_alloc_submit(alloc),
+                Ev::AllocExpire { alloc } => self.on_alloc_expire(alloc),
+                Ev::Dispatch => self.on_dispatch(),
+                Ev::JobEnd { job } => self.on_job_end(job, false),
+                Ev::TaskInterrupt { job, task, attempt } => {
+                    self.on_task_interrupt(job, task, attempt)
+                }
+                Ev::UsageTick => self.on_usage_tick(),
+                Ev::BatchTick => self.on_batch_tick(),
+                Ev::RetryTick => self.on_retry_tick(),
+                Ev::Maintenance { machine } => self.on_maintenance(machine),
+            }
+        }
+    }
+
+    // ----- event emission helpers -------------------------------------
+
+    fn emit_collection(&mut self, job: usize, ev: EventType) {
+        let spec = &self.jobs[job].spec;
+        let event = CollectionEvent {
+            time: self.now,
+            collection_id: CollectionId(spec.id),
+            event_type: ev,
+            collection_type: CollectionType::Job,
+            priority: spec.priority,
+            scheduler: spec.scheduler,
+            vertical_scaling: spec.vertical_scaling,
+            parent_id: spec.parent.map(CollectionId),
+            alloc_collection_id: spec.alloc_set.map(CollectionId),
+            user_id: UserId(spec.user_id),
+        };
+        let from = self.jobs[job].sm.state();
+        if self.jobs[job].sm.apply(ev).is_ok() {
+            self.metrics.collection_transitions.record(from, ev);
+            self.trace.collection_events.push(event);
+        } else {
+            debug_assert!(false, "illegal collection transition: {ev} from {from:?}");
+        }
+    }
+
+    fn emit_alloc_collection(&mut self, alloc: usize, ev: EventType) {
+        let spec = &self.allocs[alloc].spec;
+        let event = CollectionEvent {
+            time: self.now,
+            collection_id: CollectionId(spec.id),
+            event_type: ev,
+            collection_type: CollectionType::AllocSet,
+            priority: spec.priority,
+            scheduler: SchedulerKind::Default,
+            vertical_scaling: VerticalScalingMode::Off,
+            parent_id: None,
+            alloc_collection_id: None,
+            user_id: UserId(spec.user_id),
+        };
+        let from = self.allocs[alloc].sm.state();
+        if self.allocs[alloc].sm.apply(ev).is_ok() {
+            self.metrics.collection_transitions.record(from, ev);
+            self.trace.collection_events.push(event);
+        } else {
+            debug_assert!(false, "illegal alloc transition: {ev} from {from:?}");
+        }
+    }
+
+    fn emit_task(&mut self, job: usize, task: usize, ev: EventType, machine: Option<usize>) {
+        let (priority, request, alloc_ref, collection_id) = {
+            let j = &self.jobs[job];
+            let inst = j.tasks[task]
+                .in_alloc
+                .map(|(a, i)| InstanceId::new(CollectionId(self.allocs[a].spec.id), i as u32));
+            (j.spec.priority, j.tasks[task].limit, inst, j.spec.id)
+        };
+        let event = InstanceEvent {
+            time: self.now,
+            instance_id: InstanceId::new(CollectionId(collection_id), task as u32),
+            event_type: ev,
+            machine_id: machine.map(|m| self.machines[m].id),
+            request,
+            priority,
+            alloc_instance: alloc_ref,
+        };
+        let from = self.jobs[job].tasks_sm_state(task);
+        if self.jobs[job].apply_task_sm(task, ev) {
+            self.metrics.instance_transitions.record(from, ev);
+            self.trace.instance_events.push(event);
+        } else {
+            debug_assert!(false, "illegal instance transition: {ev} from {from:?}");
+        }
+    }
+
+    fn emit_alloc_instance(&mut self, alloc: usize, inst: usize, ev: EventType) {
+        let spec = &self.allocs[alloc].spec;
+        let machine = self.allocs[alloc].instances[inst]
+            .machine
+            .map(|m| self.machines[m].id);
+        let event = InstanceEvent {
+            time: self.now,
+            instance_id: InstanceId::new(CollectionId(spec.id), inst as u32),
+            event_type: ev,
+            machine_id: machine,
+            request: spec.instance_size,
+            priority: spec.priority,
+            alloc_instance: None,
+        };
+        let from = self.allocs[alloc].instances[inst].sm.state();
+        if self.allocs[alloc].instances[inst].sm.apply(ev).is_ok() {
+            self.metrics.instance_transitions.record(from, ev);
+            self.trace.instance_events.push(event);
+        }
+    }
+
+    // ----- job lifecycle ------------------------------------------------
+
+    fn on_job_submit(&mut self, job: usize) {
+        self.metrics
+            .job_submissions
+            .add_point(self.now.as_micros(), 1.0);
+        self.emit_collection(job, EventType::Submit);
+        let n_tasks = self.jobs[job].spec.tasks.len();
+        for t in 0..n_tasks {
+            self.emit_task(job, t, EventType::Submit, None);
+            self.metrics
+                .new_task_submissions
+                .add_point(self.now.as_micros(), 1.0);
+            self.metrics
+                .all_task_submissions
+                .add_point(self.now.as_micros(), 1.0);
+        }
+
+        // A child whose parent already terminated is killed immediately
+        // (§3: job dependencies).
+        let parent_dead = self.jobs[job]
+            .spec
+            .parent
+            .and_then(|pid| self.job_by_id.get(&pid).copied())
+            .is_some_and(|p| self.jobs[p].state == JobState::Ended);
+        if parent_dead {
+            self.jobs[job].forced_kill = true;
+            self.kill_job_now(job);
+            return;
+        }
+
+        if self.jobs[job].spec.scheduler == SchedulerKind::Batch && !self.cfg.disable_batch_queue {
+            self.jobs[job].state = JobState::Queued;
+            self.emit_collection(job, EventType::Queue);
+            self.batch_queue.push_back((job, self.now));
+        } else {
+            self.make_ready(job);
+        }
+    }
+
+    fn make_ready(&mut self, job: usize) {
+        self.jobs[job].state = JobState::Ready;
+        self.jobs[job].ready_at = self.now;
+        let n_tasks = self.jobs[job].spec.tasks.len();
+        let priority = self.jobs[job].spec.priority;
+        for t in 0..n_tasks {
+            self.jobs[job].tasks[t].state = TaskState::Pending;
+            self.pending.push(priority, self.now, job, t);
+        }
+        self.ensure_dispatch();
+    }
+
+    fn ensure_dispatch(&mut self) {
+        if !self.dispatch_active && !self.pending.is_empty() {
+            self.dispatch_active = true;
+            self.queue
+                .push(self.now + Micros(10_000), Ev::Dispatch);
+        }
+    }
+
+    /// Scheduler decision latency for the next placement. Borg evaluates
+    /// feasibility per *equivalence class* — a job's identical tasks share
+    /// one evaluation — so consecutive placements for the same job are an
+    /// order of magnitude cheaper than a fresh job's first task.
+    fn decision_time(&mut self, job: usize) -> Micros {
+        let mut mean = self.cfg.mean_decision_micros as f64;
+        if self.last_dispatched_job == Some(job) {
+            mean /= self.cfg.equivalence_class_speedup;
+        }
+        self.last_dispatched_job = Some(job);
+        let s = Exponential::with_mean(mean).sample(&mut self.rng);
+        Micros(s.max(1_000.0) as u64)
+    }
+
+    fn on_dispatch(&mut self) {
+        // Commit the placement whose decision just completed, then start
+        // the next decision: a serial scheduler whose per-task latency is
+        // charged *before* the task runs (Figure 10 measures exactly this
+        // queueing-plus-decision time).
+        if let Some((job, task)) = self.in_flight.take() {
+            let alive = self.jobs[job].state != JobState::Ended
+                && self.jobs[job].tasks[task].state == TaskState::Pending;
+            if alive {
+                if self.cfg.gang_scheduling {
+                    self.try_place_gang(job);
+                } else {
+                    self.try_place(job, task);
+                }
+            }
+        }
+        loop {
+            let Some(p) = self.pending.pop() else {
+                self.dispatch_active = false;
+                return;
+            };
+            // Skip stale entries (task no longer pending).
+            let alive = self.jobs[p.job].state != JobState::Ended
+                && self.jobs[p.job].tasks[p.task].state == TaskState::Pending
+                && !self.jobs[p.job].tasks[p.task].stalled;
+            if alive {
+                let s = self.decision_time(p.job);
+                self.in_flight = Some((p.job, p.task));
+                self.queue.push(self.now + s, Ev::Dispatch);
+                return;
+            }
+        }
+    }
+
+    /// Gang placement (§10 research direction #3): dry-run a greedy
+    /// best-fit of *all* the job's pending tasks against a scratch copy of
+    /// the machines' commitments; commit only when every task fits. The
+    /// popped task triggers the whole gang.
+    fn try_place_gang(&mut self, job: usize) {
+        let tier = self.jobs[job].spec.tier;
+        let pending: Vec<usize> = self.jobs[job]
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TaskState::Pending)
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        // Dry run on scratch commitments (no preemption, no alloc space).
+        let mut scratch: Vec<Resources> = self.machines.iter().map(|m| m.committed).collect();
+        let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
+        for &t in &pending {
+            let request = self.jobs[job].tasks[t].limit;
+            let d = crate::machine::discount(request, tier);
+            let mut best: Option<(usize, f64)> = None;
+            for (mi, m) in self.machines.iter().enumerate() {
+                let after = scratch[mi] + d;
+                if after.fits_in(&m.capacity) && request.fits_in(&m.capacity) {
+                    let score = 1.0 - after.dominant_fraction_of(&m.capacity);
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some((mi, score));
+                    }
+                }
+            }
+            match best {
+                Some((mi, _)) => {
+                    scratch[mi] += d;
+                    chosen.push((t, mi));
+                }
+                None => {
+                    // The gang does not fit; stall every pending task.
+                    for &t in &pending {
+                        *self
+                            .metrics
+                            .stalls_by_tier
+                            .entry(tier_key(tier))
+                            .or_insert(0) += 1;
+                        self.jobs[job].tasks[t].stalled = true;
+                        self.stalled.push_back((job, t));
+                    }
+                    return;
+                }
+            }
+        }
+        // Commit.
+        for (t, mi) in chosen {
+            self.machines[mi].add(Occupant {
+                owner: job,
+                index: t,
+                is_alloc_instance: false,
+                tier,
+                request: self.jobs[job].tasks[t].limit,
+            });
+            self.start_task(job, t, mi, None);
+        }
+    }
+
+    fn try_place(&mut self, job: usize, task: usize) {
+        let tier = self.jobs[job].spec.tier;
+        let request = self.jobs[job].tasks[task].limit;
+
+        // 1. Inside the job's alloc set when possible (§5.1).
+        if let Some(aid) = self.jobs[job].spec.alloc_set {
+            if let Some(alloc_idx) = self.allocs.iter().position(|a| a.spec.id == aid) {
+                if self.allocs[alloc_idx].active && !self.allocs[alloc_idx].draining {
+                    let size = self.allocs[alloc_idx].spec.instance_size;
+                    let found = self.allocs[alloc_idx]
+                        .instances
+                        .iter()
+                        .position(|inst| {
+                            inst.machine.is_some() && (inst.used + request).fits_in(&size)
+                        });
+                    if let Some(inst) = found {
+                        let machine = self.allocs[alloc_idx].instances[inst]
+                            .machine
+                            .expect("checked placed");
+                        self.allocs[alloc_idx].instances[inst].used += request;
+                        self.start_task(job, task, machine, Some((alloc_idx, inst)));
+                        return;
+                    }
+                }
+            }
+        }
+
+        // 2. Best fit across machines (tight packing preserves the large
+        // holes that big tasks need).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, m) in self.machines.iter().enumerate() {
+            if let Some(score) = m.fit_score(request, tier) {
+                if best.is_none_or(|(_, s)| score < s) {
+                    best = Some((i, score));
+                }
+            }
+        }
+        if let Some((machine, _)) = best {
+            self.machines[machine].add(Occupant {
+                owner: job,
+                index: task,
+                is_alloc_instance: false,
+                tier,
+                request,
+            });
+            self.start_task(job, task, machine, None);
+            return;
+        }
+
+        // 3. Production preempts lower tiers (§2, §5.2).
+        if matches!(tier, Tier::Production | Tier::Monitoring) {
+            let found = self
+                .machines
+                .iter()
+                .enumerate()
+                .find_map(|(i, m)| m.preemption_victims(request, tier).map(|v| (i, v)));
+            if let Some((machine, victims)) = found {
+                self.metrics.preemptions += 1;
+                for (vj, vt) in victims {
+                    self.evict_task_cause(vj, vt, "preemption");
+                }
+                self.machines[machine].add(Occupant {
+                    owner: job,
+                    index: task,
+                    is_alloc_instance: false,
+                    tier,
+                    request,
+                });
+                self.start_task(job, task, machine, None);
+                return;
+            }
+        }
+
+        // 4. Unplaceable for now; retried by the retry tick.
+        *self
+            .metrics
+            .stalls_by_tier
+            .entry(tier_key(tier))
+            .or_insert(0) += 1;
+        self.jobs[job].tasks[task].stalled = true;
+        self.stalled.push_back((job, task));
+    }
+
+    fn start_task(&mut self, job: usize, task: usize, machine: usize, in_alloc: Option<(usize, usize)>) {
+        {
+            let t = &mut self.jobs[job].tasks[task];
+            t.state = TaskState::Running {
+                machine,
+                since: self.now,
+            };
+            t.in_alloc = in_alloc;
+            t.stalled = false;
+            t.accounted_until = self.now;
+        }
+        self.running.insert((job, task));
+        self.emit_task(job, task, EventType::Schedule, Some(machine));
+
+        // First running task starts the job's clock (Figure 10 measures
+        // ready → first task running).
+        if self.jobs[job].first_running.is_none() {
+            self.jobs[job].first_running = Some(self.now);
+            self.emit_collection(job, EventType::Schedule);
+            let delay = (self.now - self.jobs[job].ready_at).as_secs_f64();
+            self.metrics.delays.push(crate::metrics::DelaySample {
+                tier: tier_key(self.jobs[job].spec.tier),
+                delay_secs: delay,
+            });
+            if !self.jobs[job].end_scheduled {
+                self.jobs[job].end_scheduled = true;
+                let end = self.now + self.jobs[job].spec.realized_duration();
+                self.queue.push(end, Ev::JobEnd { job });
+            }
+        }
+
+        // Flaky tasks get interrupted and resubmitted (§6.2 churn).
+        if self.jobs[job].flaky {
+            let gap_hours = Exponential::with_mean(
+                1.0 / self.profile.flaky_interrupts_per_hour.max(1e-6),
+            )
+            .sample(&mut self.rng);
+            let at = self.now + Micros::from_secs((gap_hours * 3600.0).max(30.0) as u64);
+            let attempt = self.jobs[job].tasks[task].attempt;
+            self.queue.push(at, Ev::TaskInterrupt { job, task, attempt });
+        }
+    }
+
+    /// Frees the task's machine/alloc space and closes its allocation
+    /// interval; does not emit any event.
+    fn free_task(&mut self, job: usize, task: usize) {
+        let TaskState::Running { machine, since } = self.jobs[job].tasks[task].state else {
+            return;
+        };
+        let tier = self.jobs[job].spec.tier;
+        // Charge any usage not yet covered by a tick.
+        let acc = self.jobs[job].tasks[task].accounted_until;
+        if self.now > acc {
+            let usage_proc = self.jobs[job].spec.tasks[task].usage;
+            let mut avg = usage_proc.average_over(acc, self.now);
+            avg.mem = avg.mem.min(self.jobs[job].tasks[task].limit.mem);
+            self.metrics.add_usage(tier, acc, self.now, avg);
+            self.jobs[job].tasks[task].accounted_until = self.now;
+        }
+        let limit = self.jobs[job].tasks[task].limit;
+        let in_alloc = self.jobs[job].tasks[task].in_alloc.take();
+        if let Some((alloc_idx, inst)) = in_alloc {
+            let used = &mut self.allocs[alloc_idx].instances[inst].used;
+            *used = (*used - limit).clamp_non_negative();
+        } else {
+            self.machines[machine].remove(job, task);
+            // In-alloc tasks live inside the alloc set's reservation, so
+            // only free-standing tasks add to the tier's allocation
+            // series (Figures 4/5 chart requested limits).
+            self.metrics.add_allocation(tier, since, self.now, limit);
+        }
+        self.running.remove(&(job, task));
+    }
+
+    fn evict_task_cause(&mut self, job: usize, task: usize, cause: &'static str) {
+        *self.metrics.evictions_by_cause.entry(cause).or_insert(0) += 1;
+        self.evict_task(job, task);
+    }
+
+    fn evict_task(&mut self, job: usize, task: usize) {
+        if !matches!(self.jobs[job].tasks[task].state, TaskState::Running { .. }) {
+            return;
+        }
+        self.free_task(job, task);
+        self.emit_task(job, task, EventType::Evict, None);
+        *self
+            .metrics
+            .evictions_by_collection
+            .entry(self.jobs[job].spec.id)
+            .or_insert(0) += 1;
+        // Almost all evicted instances are resubmitted and rescheduled in
+        // the same cell (§5.2).
+        self.resubmit_task(job, task);
+    }
+
+    fn resubmit_task(&mut self, job: usize, task: usize) {
+        if self.jobs[job].state == JobState::Ended {
+            self.jobs[job].tasks[task].state = TaskState::Dead;
+            return;
+        }
+        self.jobs[job].tasks[task].attempt += 1;
+        self.jobs[job].tasks[task].state = TaskState::Pending;
+        self.emit_task(job, task, EventType::Submit, None);
+        self.metrics
+            .all_task_submissions
+            .add_point(self.now.as_micros(), 1.0);
+        let priority = self.jobs[job].spec.priority;
+        self.pending.push(priority, self.now, job, task);
+        self.ensure_dispatch();
+    }
+
+    fn on_task_interrupt(&mut self, job: usize, task: usize, attempt: u32) {
+        if self.jobs[job].state == JobState::Ended {
+            return;
+        }
+        let t = &self.jobs[job].tasks[task];
+        if t.attempt != attempt || !matches!(t.state, TaskState::Running { .. }) {
+            return;
+        }
+        // The attempt dies of its own problem and is retried.
+        self.free_task(job, task);
+        self.emit_task(job, task, EventType::Fail, None);
+        self.resubmit_task(job, task);
+    }
+
+    fn job_final_event(&self, job: usize) -> EventType {
+        if self.jobs[job].forced_kill {
+            return EventType::Kill;
+        }
+        match self.jobs[job].spec.termination {
+            TerminationIntent::Finish => EventType::Finish,
+            TerminationIntent::Kill { .. } => EventType::Kill,
+            TerminationIntent::Fail { .. } => EventType::Fail,
+        }
+    }
+
+    fn kill_job_now(&mut self, job: usize) {
+        self.jobs[job].forced_kill = true;
+        self.on_job_end(job, true);
+    }
+
+    fn on_job_end(&mut self, job: usize, cascaded: bool) {
+        if self.jobs[job].state == JobState::Ended {
+            return;
+        }
+        let mut final_ev = if cascaded {
+            EventType::Kill
+        } else {
+            self.job_final_event(job)
+        };
+        // A job that never started running cannot "finish"; it is
+        // canceled instead.
+        if self.jobs[job].first_running.is_none() && final_ev == EventType::Finish {
+            final_ev = EventType::Kill;
+        }
+        let was_ready = self.jobs[job].state == JobState::Ready;
+        self.jobs[job].state = JobState::Ended;
+        if was_ready && self.jobs[job].spec.scheduler == SchedulerKind::Batch {
+            self.beb_outstanding =
+                (self.beb_outstanding - self.jobs[job].spec.total_request()).clamp_non_negative();
+        }
+        let n_tasks = self.jobs[job].spec.tasks.len();
+        for t in 0..n_tasks {
+            match self.jobs[job].tasks[t].state {
+                TaskState::Running { .. } => {
+                    self.free_task(job, t);
+                    self.emit_task(job, t, final_ev, None);
+                }
+                TaskState::Pending => {
+                    // Never-started replicas are killed with the job.
+                    self.emit_task(job, t, EventType::Kill, None);
+                }
+                TaskState::NotSubmitted | TaskState::Dead => {}
+            }
+            self.jobs[job].tasks[t].state = TaskState::Dead;
+        }
+        self.emit_collection(job, final_ev);
+
+        // Parent-child cascade (§3, §5.2): children die with the parent.
+        let children = std::mem::take(&mut self.jobs[job].children);
+        for c in children {
+            if self.jobs[c].state != JobState::Ended
+                && self.jobs[c].state != JobState::NotArrived
+            {
+                self.on_job_end(c, true);
+            } else if self.jobs[c].state == JobState::NotArrived {
+                // Will be killed at submission.
+                self.jobs[c].forced_kill = true;
+            }
+        }
+    }
+
+    // ----- alloc sets ----------------------------------------------------
+
+    fn on_alloc_submit(&mut self, alloc: usize) {
+        self.emit_alloc_collection(alloc, EventType::Submit);
+        self.allocs[alloc].active = true;
+        let n = self.allocs[alloc].instances.len();
+        let size = self.allocs[alloc].spec.instance_size;
+        for i in 0..n {
+            self.emit_alloc_instance(alloc, i, EventType::Submit);
+            // Alloc instances place like production tasks (they back
+            // production workloads).
+            let mut best: Option<(usize, f64)> = None;
+            for (mi, m) in self.machines.iter().enumerate() {
+                if let Some(score) = m.fit_score(size, Tier::Production) {
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some((mi, score));
+                    }
+                }
+            }
+            if let Some((mi, _)) = best {
+                self.machines[mi].add(Occupant {
+                    owner: usize::MAX - alloc, // distinct owner space
+                    index: i,
+                    is_alloc_instance: true,
+                    tier: Tier::Production,
+                    request: size,
+                });
+                self.allocs[alloc].instances[i].machine = Some(mi);
+                self.allocs[alloc].instances[i].placed_at = self.now;
+                self.emit_alloc_instance(alloc, i, EventType::Schedule);
+            } else {
+                self.emit_alloc_instance(alloc, i, EventType::Fail);
+            }
+        }
+        if self.allocs[alloc].instances.iter().any(|i| i.machine.is_some()) {
+            self.emit_alloc_collection(alloc, EventType::Schedule);
+        }
+        let expire = self.allocs[alloc].spec.submit_time + self.allocs[alloc].spec.duration;
+        self.queue.push(expire, Ev::AllocExpire { alloc });
+    }
+
+    fn on_alloc_expire(&mut self, alloc: usize) {
+        if !self.allocs[alloc].active {
+            return;
+        }
+        // Reservations are torn down gracefully: while production members
+        // are still running inside, the teardown is deferred (Borg's
+        // eviction SLOs protect production work, §5.2).
+        let members: Vec<(usize, usize)> = self
+            .running
+            .iter()
+            .copied()
+            .filter(|&(j, t)| {
+                self.jobs[j].tasks[t]
+                    .in_alloc
+                    .is_some_and(|(a, _)| a == alloc)
+            })
+            .collect();
+        let prod_members = members
+            .iter()
+            .any(|&(j, _)| matches!(self.jobs[j].spec.tier, Tier::Production | Tier::Monitoring));
+        if prod_members {
+            self.allocs[alloc].draining = true;
+            self.queue
+                .push(self.now + Micros::from_hours(6), Ev::AllocExpire { alloc });
+            return;
+        }
+        self.allocs[alloc].active = false;
+        // Any remaining (non-production) members are evicted and placed
+        // as free-standing tasks.
+        for (j, t) in members {
+            self.evict_task_cause(j, t, "alloc_teardown");
+        }
+        let n = self.allocs[alloc].instances.len();
+        for i in 0..n {
+            if let Some(mi) = self.allocs[alloc].instances[i].machine.take() {
+                self.machines[mi].remove(usize::MAX - alloc, i);
+                let placed = self.allocs[alloc].instances[i].placed_at;
+                let hours = (self.now - placed).as_hours_f64();
+                let size = self.allocs[alloc].spec.instance_size;
+                self.metrics.alloc_set_cpu_hours += size.cpu * hours;
+                self.metrics.alloc_set_mem_hours += size.mem * hours;
+                // Alloc reservations count as production-tier allocation.
+                self.metrics
+                    .add_allocation(Tier::Production, placed, self.now, size);
+                self.emit_alloc_instance(alloc, i, EventType::Finish);
+            }
+        }
+        // A reservation that never placed any instance is torn down as a
+        // kill rather than a normal completion.
+        if self.allocs[alloc].sm.state() == Some(borg_trace::state::InstanceState::Running) {
+            self.emit_alloc_collection(alloc, EventType::Finish);
+        } else {
+            self.emit_alloc_collection(alloc, EventType::Kill);
+        }
+    }
+
+    // ----- periodic machinery ---------------------------------------------
+
+    fn on_batch_tick(&mut self) {
+        self.queue
+            .push(self.now + Micros::from_minutes(5), Ev::BatchTick);
+        // The batch scheduler "manages the aggregate batch workload for
+        // throughput by queueing jobs until the cell can handle them"
+        // (§3): admission is bounded by the tier's outstanding requested
+        // resources in both dimensions.
+        let (cpu_cap, mem_cap) = self
+            .profile
+            .tier(Tier::BestEffortBatch)
+            .map(|t| {
+                (
+                    t.target_cpu_util / t.cpu_fill * self.metrics.capacity.cpu * 1.15,
+                    t.target_mem_util / t.mem_fill * self.metrics.capacity.mem * 1.15,
+                )
+            })
+            .unwrap_or((f64::INFINITY, f64::INFINITY));
+        while let Some(&(job, queued_at)) = self.batch_queue.front() {
+            let waited_long = (self.now - queued_at) > Micros::from_hours(6);
+            let under = self.beb_outstanding.cpu < cpu_cap && self.beb_outstanding.mem < mem_cap;
+            if under || waited_long {
+                self.batch_queue.pop_front();
+                if self.jobs[job].state == JobState::Queued {
+                    self.beb_outstanding += self.jobs[job].spec.total_request();
+                    self.emit_collection(job, EventType::Enable);
+                    self.make_ready(job);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn on_retry_tick(&mut self) {
+        self.queue
+            .push(self.now + Micros::from_secs(30), Ev::RetryTick);
+        // Re-enqueue a bounded batch of stalled tasks; the list is the
+        // authoritative set, so this is O(batch), not O(all tasks).
+        let batch = self.stalled.len().min(4096);
+        for _ in 0..batch {
+            let Some((j, t)) = self.stalled.pop_front() else {
+                break;
+            };
+            if self.jobs[j].state == JobState::Ended
+                || self.jobs[j].tasks[t].state != TaskState::Pending
+                || !self.jobs[j].tasks[t].stalled
+            {
+                continue;
+            }
+            self.jobs[j].tasks[t].stalled = false;
+            let priority = self.jobs[j].spec.priority;
+            self.pending.push(priority, self.jobs[j].ready_at, j, t);
+        }
+        self.ensure_dispatch();
+    }
+
+    fn on_maintenance(&mut self, machine: usize) {
+        // Reschedule the next sweep.
+        let interval = self.cfg.maintenance_interval().as_micros() as f64;
+        let gap = Exponential::with_mean(interval).sample(&mut self.rng);
+        self.queue
+            .push(self.now + Micros(gap as u64), Ev::Maintenance { machine });
+        // A small share of sweeps are (rare) hardware failures that take
+        // everything down, production included — the paper's residual
+        // production evictions (<0.2% of prod collections, §5.2). Regular
+        // OS upgrades only evict non-production work, and most of that
+        // migrates or finishes before the upgrade lands.
+        let hardware_failure = self.rng.random::<f64>() < 0.015;
+        let victims: Vec<(usize, usize)> = self.machines[machine]
+            .occupants
+            .iter()
+            .filter(|o| {
+                !o.is_alloc_instance && (hardware_failure || o.tier < Tier::Production)
+            })
+            .map(|o| (o.owner, o.index))
+            .collect();
+        for (j, t) in victims {
+            if hardware_failure || self.rng.random::<f64>() < 0.2 {
+                self.evict_task_cause(j, t, "maintenance");
+            }
+        }
+    }
+
+    fn on_usage_tick(&mut self) {
+        let window_end = self.now;
+        let window_start = window_end.saturating_sub(self.cfg.usage_interval);
+        self.queue
+            .push(self.now + self.cfg.usage_interval, Ev::UsageTick);
+        self.usage_seq += 1;
+
+        // Pass 1: raw demand per task and per machine. Memory limits are
+        // hard (§2); CPU is work-conserving, but a machine's total CPU
+        // consumption is physically capped at its capacity, so over-
+        // subscribed machines throttle every occupant proportionally.
+        let mut running: Vec<(usize, usize)> = self.running.iter().copied().collect();
+        running.sort_unstable();
+        let mut demand: Vec<Resources> = Vec::with_capacity(running.len());
+        let mut machine_demand: Vec<Resources> = vec![Resources::ZERO; self.machines.len()];
+        for &(j, t) in &running {
+            let TaskState::Running { machine, .. } = self.jobs[j].tasks[t].state else {
+                demand.push(Resources::ZERO);
+                continue;
+            };
+            let usage_proc = self.jobs[j].spec.tasks[t].usage;
+            let limit = self.jobs[j].tasks[t].limit;
+            let mut avg = usage_proc.average_over(window_start, window_end);
+            avg.mem = avg.mem.min(limit.mem);
+            demand.push(avg);
+            machine_demand[machine] += avg;
+        }
+        let throttle: Vec<f64> = self
+            .machines
+            .iter()
+            .zip(&machine_demand)
+            .map(|(m, d)| {
+                if d.cpu > m.capacity.cpu {
+                    m.capacity.cpu / d.cpu
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        // Pass 2: record throttled usage, slack, autopilot, and samples.
+        let mut machine_usage: Vec<Resources> = vec![Resources::ZERO; self.machines.len()];
+        for (k, &(j, t)) in running.clone().iter().enumerate() {
+            let TaskState::Running { machine, .. } = self.jobs[j].tasks[t].state else {
+                continue;
+            };
+            let tier = self.jobs[j].spec.tier;
+            let usage_proc = self.jobs[j].spec.tasks[t].usage;
+            let limit = self.jobs[j].tasks[t].limit;
+            let mut avg = demand[k];
+            avg.cpu *= throttle[machine];
+            let peak_cpu = usage_proc.peak_cpu_over(window_start, window_end) * throttle[machine];
+
+            // Charge usage from where the last tick (or the task's start)
+            // left off, so partial windows are counted exactly once.
+            let acc = self.jobs[j].tasks[t].accounted_until.max(window_start);
+            if window_end > acc {
+                let mut charge = usage_proc.average_over(acc, window_end);
+                charge.cpu *= throttle[machine];
+                charge.mem = charge.mem.min(limit.mem);
+                self.metrics.add_usage(tier, acc, window_end, charge);
+            }
+            self.jobs[j].tasks[t].accounted_until = window_end;
+            machine_usage[machine] += avg;
+
+            // Peak NCU slack (§8) under the limit currently in force.
+            if limit.cpu > 0.0 {
+                let slack = ((limit.cpu - peak_cpu).max(0.0)) / limit.cpu;
+                let mode = self.jobs[j].tasks[t].autopilot.mode();
+                self.metrics.add_slack(mode, slack, self.usage_seq * 131 + t as u64);
+            }
+
+            // §5.1: memory fill by alloc membership.
+            if limit.mem > 0.0 {
+                let ratio = (avg.mem / limit.mem).min(1.0);
+                if self.jobs[j].tasks[t].in_alloc.is_some() {
+                    self.metrics.fill_in_alloc.push(ratio);
+                } else {
+                    self.metrics.fill_outside_alloc.push(ratio);
+                }
+            }
+
+            // Autopilot adjusts the limit from the observed window peak.
+            let new_limit = self.jobs[j].tasks[t].autopilot.observe(
+                Resources::new(peak_cpu, avg.mem),
+                limit,
+            );
+            if (new_limit.cpu - limit.cpu).abs() > 0.10 * limit.cpu.max(1e-9) {
+                self.jobs[j].tasks[t].limit = new_limit;
+                self.emit_task(j, t, EventType::UpdateRunning, Some(machine));
+            } else {
+                self.jobs[j].tasks[t].limit = new_limit;
+            }
+
+            // Downsampled raw usage records.
+            let key = splitmix64((j as u64) << 32 | t as u64) ^ self.usage_seq;
+            if key.is_multiple_of(self.cfg.keep_usage_every) {
+                let samples = usage_proc.window_cpu_samples(window_start, window_end, 24);
+                self.trace.usage.push(UsageRecord {
+                    start: window_start,
+                    end: window_end,
+                    instance_id: InstanceId::new(CollectionId(self.jobs[j].spec.id), t as u32),
+                    machine_id: self.machines[machine].id,
+                    avg_usage: avg,
+                    max_usage: Resources::new(peak_cpu, avg.mem),
+                    limit: self.jobs[j].tasks[t].limit,
+                    cpu_histogram: CpuHistogram::from_samples(&samples),
+                });
+            }
+        }
+
+        // Figure 6 snapshot.
+        if !self.snapshot_done && window_start >= self.cfg.snapshot_window() {
+            self.snapshot_done = true;
+            self.metrics.machine_snapshots = self
+                .machines
+                .iter()
+                .enumerate()
+                .map(|(i, m)| MachineSnapshot {
+                    cpu_utilization: (machine_usage[i].cpu / m.capacity.cpu).min(1.0),
+                    mem_utilization: (machine_usage[i].mem / m.capacity.mem).min(1.0),
+                })
+                .collect();
+        }
+
+        // Over-commit reclamation: a machine whose memory demand exceeds
+        // its capacity must kill instances to free resources (§5.2's
+        // fourth eviction cause). Lowest tiers go first.
+        for (mi, usage) in machine_usage.iter().enumerate() {
+            // Small excursions ride out (kernel reclaim); sustained
+            // overload forces evictions.
+            if usage.mem <= self.machines[mi].capacity.mem * 1.04 {
+                continue;
+            }
+            let mut excess = usage.mem - self.machines[mi].capacity.mem;
+            // Production memory is protected: the reclamation falls on
+            // lower tiers (Borg's eviction SLOs; in practice production
+            // memory is reserved, not over-committed away).
+            let mut victims: Vec<(Tier, usize, usize, f64)> = self.machines[mi]
+                .occupants
+                .iter()
+                .filter(|o| {
+                    !o.is_alloc_instance
+                        && !matches!(o.tier, Tier::Production | Tier::Monitoring)
+                })
+                .map(|o| (o.tier, o.owner, o.index, o.request.mem))
+                .collect();
+            victims.sort_by_key(|a| a.0);
+            for (_, j, t, mem) in victims {
+                if excess <= 0.0 {
+                    break;
+                }
+                if matches!(self.jobs[j].tasks[t].state, TaskState::Running { .. }) {
+                    self.evict_task_cause(j, t, "overcommit");
+                    excess -= mem;
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self) {
+        self.now = self.cfg.horizon;
+        // Close allocation intervals for still-running tasks (alive at
+        // trace end, like real long-running services).
+        let mut running: Vec<(usize, usize)> = self.running.iter().copied().collect();
+        running.sort_unstable();
+        for (j, t) in running {
+            if let TaskState::Running { since, .. } = self.jobs[j].tasks[t].state {
+                let tier = self.jobs[j].spec.tier;
+                let limit = self.jobs[j].tasks[t].limit;
+                self.metrics.add_allocation(tier, since, self.now, limit);
+                let acc = self.jobs[j].tasks[t].accounted_until;
+                if self.now > acc {
+                    let usage_proc = self.jobs[j].spec.tasks[t].usage;
+                    let mut avg = usage_proc.average_over(acc, self.now);
+                    avg.mem = avg.mem.min(limit.mem);
+                    self.metrics.add_usage(tier, acc, self.now, avg);
+                }
+            }
+        }
+        for a in 0..self.allocs.len() {
+            if self.allocs[a].active {
+                let size = self.allocs[a].spec.instance_size;
+                for i in 0..self.allocs[a].instances.len() {
+                    if let Some(_mi) = self.allocs[a].instances[i].machine {
+                        let placed = self.allocs[a].instances[i].placed_at;
+                        let hours = (self.now - placed).as_hours_f64();
+                        self.metrics.alloc_set_cpu_hours += size.cpu * hours;
+                        self.metrics.alloc_set_mem_hours += size.mem * hours;
+                        self.metrics
+                            .add_allocation(Tier::Production, placed, self.now, size);
+                    }
+                }
+            }
+        }
+        self.trace.sort();
+    }
+}
+
+impl JobRt {
+    fn tasks_sm_state(&self, task: usize) -> Option<borg_trace::state::InstanceState> {
+        self.tasks[task].sm.state()
+    }
+
+    fn apply_task_sm(&mut self, task: usize, ev: EventType) -> bool {
+        self.tasks[task].sm.apply(ev).is_ok()
+    }
+}
+
+/// Salt mixed into the config seed to derive the workload seed, so the
+/// fleet sampling and the workload use independent streams.
+const WORKLOAD_SEED_SALT: u64 = 0xB0B6_2019;

@@ -1,0 +1,163 @@
+//! The discrete-event queue.
+
+use borg_trace::time::Micros;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events driving the simulation. Indices refer into the cell's job,
+/// task, alloc-set, and machine tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// A job arrives at the Borgmaster.
+    JobSubmit {
+        /// Index into the workload's job list.
+        job: usize,
+    },
+    /// An alloc set arrives.
+    AllocSubmit {
+        /// Index into the workload's alloc-set list.
+        alloc: usize,
+    },
+    /// An alloc set's reservation expires.
+    AllocExpire {
+        /// Index into the workload's alloc-set list.
+        alloc: usize,
+    },
+    /// The scheduler finishes one placement decision.
+    Dispatch,
+    /// A job reaches its realized end (finish, kill, or fail).
+    JobEnd {
+        /// Index into the workload's job list.
+        job: usize,
+    },
+    /// A flaky task's current attempt is interrupted.
+    TaskInterrupt {
+        /// Owning job index.
+        job: usize,
+        /// Task index within the job.
+        task: usize,
+        /// Attempt this interrupt was scheduled for (stale ones are
+        /// ignored).
+        attempt: u32,
+    },
+    /// Periodic usage sampling, autopilot, and over-commit checks.
+    UsageTick,
+    /// Periodic batch-queue admission check.
+    BatchTick,
+    /// Periodic retry of stalled (unplaceable) tasks.
+    RetryTick,
+    /// Maintenance sweep on one machine (evicts its non-production
+    /// occupants).
+    Maintenance {
+        /// Machine index.
+        machine: usize,
+    },
+}
+
+/// A timestamped event with a deterministic tiebreak sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time: Micros,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `ev` at `time`. Events at equal times fire in insertion
+    /// order, which keeps runs reproducible.
+    pub fn push(&mut self, time: Micros, ev: Ev) {
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            ev,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Micros, Ev)> {
+        self.heap.pop().map(|s| (s.time, s.ev))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(Micros::from_secs(5), Ev::UsageTick);
+        q.push(Micros::from_secs(1), Ev::Dispatch);
+        q.push(Micros::from_secs(3), Ev::BatchTick);
+        assert_eq!(q.pop().unwrap().0, Micros::from_secs(1));
+        assert_eq!(q.pop().unwrap().0, Micros::from_secs(3));
+        assert_eq!(q.pop().unwrap().0, Micros::from_secs(5));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(Micros::from_secs(1), Ev::JobSubmit { job: 1 });
+        q.push(Micros::from_secs(1), Ev::JobSubmit { job: 2 });
+        q.push(Micros::from_secs(1), Ev::JobSubmit { job: 3 });
+        let order: Vec<Ev> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Ev::JobSubmit { job: 1 },
+                Ev::JobSubmit { job: 2 },
+                Ev::JobSubmit { job: 3 }
+            ]
+        );
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Micros::ZERO, Ev::RetryTick);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Pre-aggregated simulation metrics.
+//!
+//! A month of a real cell produces billions of usage samples; the paper's
+//! analyses reduce them to hourly tier aggregates (Figures 2–5), one
+//! machine-utilization snapshot (Figure 6), slack samples (Figure 14),
+//! submission-rate series (Figures 8–9), scheduling delays (Figure 10),
+//! and transition counts (Figure 7). [`SimMetrics`] accumulates exactly
+//! those reductions online, so the simulator never has to materialize the
+//! full usage table.
+
+use borg_analysis::timeseries::HourBuckets;
+use borg_trace::collection::VerticalScalingMode;
+use borg_trace::priority::Tier;
+use borg_trace::resources::Resources;
+use borg_trace::state::TransitionCounts;
+use borg_trace::time::{Micros, MICROS_PER_HOUR};
+use std::collections::BTreeMap;
+
+/// One scheduling-delay observation (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySample {
+    /// The job's reporting tier.
+    pub tier: Tier,
+    /// Seconds from ready (post-batch-queue) to first task running.
+    pub delay_secs: f64,
+}
+
+/// One peak-slack observation (Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackSample {
+    /// Autopilot mode of the owning job.
+    pub mode: VerticalScalingMode,
+    /// Peak NCU slack in `[0, 1]`.
+    pub slack: f64,
+}
+
+/// A machine's utilization in the Figure 6 snapshot window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSnapshot {
+    /// CPU usage ÷ capacity.
+    pub cpu_utilization: f64,
+    /// Memory usage ÷ capacity.
+    pub mem_utilization: f64,
+}
+
+/// Per-tier hourly usage and allocation series.
+#[derive(Debug, Clone)]
+pub struct TierSeries {
+    /// CPU usage (NCU·time per bucket).
+    pub usage_cpu: HourBuckets,
+    /// Memory usage.
+    pub usage_mem: HourBuckets,
+    /// CPU allocation (requested limits of running instances).
+    pub alloc_cpu: HourBuckets,
+    /// Memory allocation.
+    pub alloc_mem: HourBuckets,
+}
+
+impl TierSeries {
+    fn new(horizon: Micros) -> TierSeries {
+        let w = MICROS_PER_HOUR;
+        TierSeries {
+            usage_cpu: HourBuckets::new(w, horizon.as_micros()),
+            usage_mem: HourBuckets::new(w, horizon.as_micros()),
+            alloc_cpu: HourBuckets::new(w, horizon.as_micros()),
+            alloc_mem: HourBuckets::new(w, horizon.as_micros()),
+        }
+    }
+}
+
+/// Aggregate statistics of average usage ÷ limit, split by alloc-set
+/// membership (§5.1: 73% vs 41% memory utilization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FillStats {
+    /// Sum of memory usage/limit ratios.
+    pub mem_ratio_sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl FillStats {
+    /// Adds one observation.
+    pub fn push(&mut self, ratio: f64) {
+        if ratio.is_finite() {
+            self.mem_ratio_sum += ratio;
+            self.count += 1;
+        }
+    }
+
+    /// Mean ratio.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mem_ratio_sum / self.count as f64
+        }
+    }
+}
+
+/// All metric accumulators for one simulated cell.
+#[derive(Debug, Clone)]
+pub struct SimMetrics {
+    /// Cell name.
+    pub cell_name: String,
+    /// Observation window.
+    pub horizon: Micros,
+    /// Total cell capacity.
+    pub capacity: Resources,
+    /// Per-tier hourly usage/allocation (Figures 2–5).
+    pub tiers: BTreeMap<Tier, TierSeries>,
+    /// Job submissions per hour (Figure 8).
+    pub job_submissions: HourBuckets,
+    /// First-time task submissions per hour (Figure 9, "new tasks").
+    pub new_task_submissions: HourBuckets,
+    /// All task submissions per hour including resubmissions (Figure 9,
+    /// "all tasks").
+    pub all_task_submissions: HourBuckets,
+    /// Scheduling delays (Figure 10).
+    pub delays: Vec<DelaySample>,
+    /// Peak-slack samples (Figure 14), bounded reservoir.
+    pub slack: Vec<SlackSample>,
+    /// Collection state transitions (Figure 7).
+    pub collection_transitions: TransitionCounts,
+    /// Instance state transitions (Figure 7).
+    pub instance_transitions: TransitionCounts,
+    /// Per-machine utilization at the snapshot window (Figure 6).
+    pub machine_snapshots: Vec<MachineSnapshot>,
+    /// Memory fill of tasks inside alloc sets (§5.1).
+    pub fill_in_alloc: FillStats,
+    /// Memory fill of tasks outside alloc sets (§5.1).
+    pub fill_outside_alloc: FillStats,
+    /// Count of evictions per collection index (for §5.2 statistics).
+    pub evictions_by_collection: BTreeMap<u64, u64>,
+    /// Total task-placement attempts that required preemption.
+    pub preemptions: u64,
+    /// Placement attempts that found no machine (stalled), by tier.
+    pub stalls_by_tier: BTreeMap<Tier, u64>,
+    /// Evictions by cause ("maintenance", "overcommit", "preemption",
+    /// "alloc_teardown").
+    pub evictions_by_cause: BTreeMap<&'static str, u64>,
+    /// Alloc-set reserved CPU·hours (for the §5.1 20%-of-allocation stat).
+    pub alloc_set_cpu_hours: f64,
+    /// Alloc-set reserved memory·hours.
+    pub alloc_set_mem_hours: f64,
+}
+
+/// Cap on stored slack samples (reservoir; deterministic thinning).
+const MAX_SLACK_SAMPLES: usize = 400_000;
+
+impl SimMetrics {
+    /// Fresh accumulators for a cell.
+    pub fn new(cell_name: &str, horizon: Micros, capacity: Resources, tiers: &[Tier]) -> SimMetrics {
+        SimMetrics {
+            cell_name: cell_name.to_string(),
+            horizon,
+            capacity,
+            tiers: tiers.iter().map(|&t| (t, TierSeries::new(horizon))).collect(),
+            job_submissions: HourBuckets::new(MICROS_PER_HOUR, horizon.as_micros()),
+            new_task_submissions: HourBuckets::new(MICROS_PER_HOUR, horizon.as_micros()),
+            all_task_submissions: HourBuckets::new(MICROS_PER_HOUR, horizon.as_micros()),
+            delays: Vec::new(),
+            slack: Vec::new(),
+            collection_transitions: TransitionCounts::new(),
+            instance_transitions: TransitionCounts::new(),
+            machine_snapshots: Vec::new(),
+            fill_in_alloc: FillStats::default(),
+            fill_outside_alloc: FillStats::default(),
+            evictions_by_collection: BTreeMap::new(),
+            preemptions: 0,
+            stalls_by_tier: BTreeMap::new(),
+            evictions_by_cause: BTreeMap::new(),
+            alloc_set_cpu_hours: 0.0,
+            alloc_set_mem_hours: 0.0,
+        }
+    }
+
+    /// Records a usage contribution for a tier over a window.
+    pub fn add_usage(&mut self, tier: Tier, start: Micros, end: Micros, usage: Resources) {
+        let t = tier_key(tier);
+        if let Some(series) = self.tiers.get_mut(&t) {
+            series
+                .usage_cpu
+                .add_interval(start.as_micros(), end.as_micros(), usage.cpu);
+            series
+                .usage_mem
+                .add_interval(start.as_micros(), end.as_micros(), usage.mem);
+        }
+    }
+
+    /// Records an allocation (limit) contribution for a tier over an
+    /// occupancy interval.
+    pub fn add_allocation(&mut self, tier: Tier, start: Micros, end: Micros, request: Resources) {
+        let t = tier_key(tier);
+        if let Some(series) = self.tiers.get_mut(&t) {
+            series
+                .alloc_cpu
+                .add_interval(start.as_micros(), end.as_micros(), request.cpu);
+            series
+                .alloc_mem
+                .add_interval(start.as_micros(), end.as_micros(), request.mem);
+        }
+    }
+
+    /// Records a slack sample, thinning deterministically once full.
+    pub fn add_slack(&mut self, mode: VerticalScalingMode, slack: f64, tick: u64) {
+        if self.slack.len() >= MAX_SLACK_SAMPLES {
+            // Deterministic 1-in-16 thinning keyed on the tick.
+            if !tick.is_multiple_of(16) {
+                return;
+            }
+            let idx = (tick as usize * 2654435761) % MAX_SLACK_SAMPLES;
+            self.slack[idx] = SlackSample { mode, slack };
+        } else {
+            self.slack.push(SlackSample { mode, slack });
+        }
+    }
+
+    /// The average utilization (fraction of capacity) per tier for CPU —
+    /// the Figure 3 bars.
+    pub fn average_cpu_util_by_tier(&self) -> BTreeMap<Tier, f64> {
+        self.tiers
+            .iter()
+            .map(|(&t, s)| (t, s.usage_cpu.overall_average_rate() / self.capacity.cpu))
+            .collect()
+    }
+
+    /// The average allocation (fraction of capacity) per tier for CPU —
+    /// the Figure 5 bars.
+    pub fn average_cpu_alloc_by_tier(&self) -> BTreeMap<Tier, f64> {
+        self.tiers
+            .iter()
+            .map(|(&t, s)| (t, s.alloc_cpu.overall_average_rate() / self.capacity.cpu))
+            .collect()
+    }
+}
+
+impl SimMetrics {
+    /// An "explainable scheduling" report (research direction #1 of §10):
+    /// a human-readable account of what the scheduler did and why work
+    /// waited — placements, stalls per tier, evictions per cause, and
+    /// preemptions.
+    pub fn explain_scheduling(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let placements = self
+            .instance_transitions
+            .get(Some(crate::metrics::schedule_from()), borg_trace::state::EventType::Schedule);
+        writeln!(out, "scheduling report for cell {}", self.cell_name).ok();
+        writeln!(out, "  placements: {placements}").ok();
+        writeln!(out, "  preemptions by production work: {}", self.preemptions).ok();
+        if self.stalls_by_tier.is_empty() {
+            writeln!(out, "  no placement attempt ever failed").ok();
+        } else {
+            writeln!(out, "  failed placement attempts (cell full for that request):").ok();
+            for (tier, n) in &self.stalls_by_tier {
+                writeln!(out, "    {tier:>5}: {n}").ok();
+            }
+        }
+        if self.evictions_by_cause.is_empty() {
+            writeln!(out, "  no evictions").ok();
+        } else {
+            writeln!(out, "  evictions by cause:").ok();
+            for (cause, n) in &self.evictions_by_cause {
+                writeln!(out, "    {cause:>14}: {n}").ok();
+            }
+        }
+        let affected = self.evictions_by_collection.len();
+        writeln!(out, "  collections touched by eviction: {affected}").ok();
+        out
+    }
+}
+
+/// The pending state (placements originate from it).
+fn schedule_from() -> borg_trace::state::InstanceState {
+    borg_trace::state::InstanceState::Pending
+}
+
+/// Monitoring folds into production for reporting (§2).
+pub fn tier_key(tier: Tier) -> Tier {
+    if tier == Tier::Monitoring {
+        Tier::Production
+    } else {
+        tier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> SimMetrics {
+        SimMetrics::new(
+            "t",
+            Micros::from_hours(2),
+            Resources::new(10.0, 10.0),
+            &Tier::REPORTING,
+        )
+    }
+
+    #[test]
+    fn usage_accumulates_per_tier() {
+        let mut m = metrics();
+        m.add_usage(
+            Tier::Production,
+            Micros::ZERO,
+            Micros::from_hours(2),
+            Resources::new(5.0, 2.0),
+        );
+        let util = m.average_cpu_util_by_tier();
+        assert!((util[&Tier::Production] - 0.5).abs() < 1e-12);
+        assert_eq!(util[&Tier::Free], 0.0);
+    }
+
+    #[test]
+    fn monitoring_folds_into_production() {
+        let mut m = metrics();
+        m.add_usage(
+            Tier::Monitoring,
+            Micros::ZERO,
+            Micros::from_hours(2),
+            Resources::new(1.0, 1.0),
+        );
+        assert!(m.average_cpu_util_by_tier()[&Tier::Production] > 0.0);
+    }
+
+    #[test]
+    fn allocation_separate_from_usage() {
+        let mut m = metrics();
+        m.add_allocation(
+            Tier::BestEffortBatch,
+            Micros::ZERO,
+            Micros::from_hours(1),
+            Resources::new(4.0, 4.0),
+        );
+        let alloc = m.average_cpu_alloc_by_tier();
+        // 4 NCU for 1 of 2 hours = 2 NCU average = 0.2 of capacity.
+        assert!((alloc[&Tier::BestEffortBatch] - 0.2).abs() < 1e-12);
+        assert_eq!(m.average_cpu_util_by_tier()[&Tier::BestEffortBatch], 0.0);
+    }
+
+    #[test]
+    fn slack_reservoir_bounded() {
+        let mut m = metrics();
+        for i in 0..(MAX_SLACK_SAMPLES as u64 + 1000) {
+            m.add_slack(VerticalScalingMode::Full, 0.5, i);
+        }
+        assert!(m.slack.len() <= MAX_SLACK_SAMPLES);
+    }
+
+    #[test]
+    fn fill_stats_mean() {
+        let mut f = FillStats::default();
+        f.push(0.4);
+        f.push(0.8);
+        f.push(f64::NAN);
+        assert!((f.mean() - 0.6).abs() < 1e-12);
+        assert_eq!(FillStats::default().mean(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The scheduler's pending queue.
+//!
+//! Tasks awaiting placement are served highest-priority-first, FIFO within
+//! a priority — Borg's greedy scheduling order (§2: the scheduler places
+//! each task onto a suitable machine; production work goes first).
+
+use borg_trace::priority::Priority;
+use borg_trace::time::Micros;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A task waiting for placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingTask {
+    /// Priority (higher first).
+    pub priority: Priority,
+    /// When the task became ready (earlier first within a priority).
+    pub ready_at: Micros,
+    /// Insertion sequence (deterministic tiebreak).
+    pub seq: u64,
+    /// Owning job index.
+    pub job: usize,
+    /// Task index within the job.
+    pub task: usize,
+}
+
+impl Ord for PendingTask {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority first, then earlier ready time, then
+        // insertion order.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.ready_at.cmp(&self.ready_at))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for PendingTask {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority-ordered pending queue.
+#[derive(Debug, Default)]
+pub struct PendingQueue {
+    heap: BinaryHeap<PendingTask>,
+    seq: u64,
+}
+
+impl PendingQueue {
+    /// An empty queue.
+    pub fn new() -> PendingQueue {
+        PendingQueue::default()
+    }
+
+    /// Enqueues a task.
+    pub fn push(&mut self, priority: Priority, ready_at: Micros, job: usize, task: usize) {
+        self.heap.push(PendingTask {
+            priority,
+            ready_at,
+            seq: self.seq,
+            job,
+            task,
+        });
+        self.seq += 1;
+    }
+
+    /// Dequeues the highest-priority task.
+    pub fn pop(&mut self) -> Option<PendingTask> {
+        self.heap.pop()
+    }
+
+    /// Number of waiting tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no tasks wait.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order() {
+        let mut q = PendingQueue::new();
+        q.push(Priority::new(25), Micros::from_secs(1), 1, 0);
+        q.push(Priority::new(200), Micros::from_secs(2), 2, 0);
+        q.push(Priority::new(112), Micros::from_secs(0), 3, 0);
+        assert_eq!(q.pop().unwrap().job, 2);
+        assert_eq!(q.pop().unwrap().job, 3);
+        assert_eq!(q.pop().unwrap().job, 1);
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = PendingQueue::new();
+        q.push(Priority::new(200), Micros::from_secs(5), 1, 0);
+        q.push(Priority::new(200), Micros::from_secs(5), 2, 0);
+        q.push(Priority::new(200), Micros::from_secs(3), 3, 0);
+        assert_eq!(q.pop().unwrap().job, 3, "earlier ready time first");
+        assert_eq!(q.pop().unwrap().job, 1, "insertion order within ties");
+        assert_eq!(q.pop().unwrap().job, 2);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = PendingQueue::new();
+        assert!(q.is_empty());
+        q.push(Priority::new(0), Micros::ZERO, 0, 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,531 @@
+//! Plain-text (CSV) round-trip of trace tables.
+//!
+//! The 2011 trace shipped as CSV files; this module writes and reads the
+//! same style for every table in the model so traces can be persisted,
+//! inspected with standard tools, and diffed. Fields never contain commas,
+//! so no quoting is needed.
+
+use crate::collection::{
+    CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
+};
+use crate::instance::{InstanceEvent, InstanceId};
+use crate::machine::{MachineEvent, MachineEventType, MachineId, Platform};
+use crate::priority::Priority;
+use crate::resources::Resources;
+use crate::state::EventType;
+use crate::time::Micros;
+use crate::trace::{SchemaVersion, Trace};
+use crate::usage::{CpuHistogram, UsageRecord};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors arising while parsing a CSV trace table.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn field<'a>(parts: &'a [&'a str], idx: usize, line: usize) -> Result<&'a str, CsvError> {
+    parts
+        .get(idx)
+        .copied()
+        .ok_or_else(|| parse_err(line, format!("missing field {idx}")))
+}
+
+fn parse_u64(s: &str, line: usize) -> Result<u64, CsvError> {
+    s.parse()
+        .map_err(|_| parse_err(line, format!("bad integer {s:?}")))
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, CsvError> {
+    s.parse()
+        .map_err(|_| parse_err(line, format!("bad float {s:?}")))
+}
+
+fn parse_event(s: &str, line: usize) -> Result<EventType, CsvError> {
+    EventType::parse(s).ok_or_else(|| parse_err(line, format!("bad event {s:?}")))
+}
+
+fn opt_u64(s: &str, line: usize) -> Result<Option<u64>, CsvError> {
+    if s.is_empty() {
+        Ok(None)
+    } else {
+        parse_u64(s, line).map(Some)
+    }
+}
+
+/// Writes the machine-events table.
+pub fn write_machine_events(w: &mut impl Write, events: &[MachineEvent]) -> io::Result<()> {
+    writeln!(w, "time,machine_id,event_type,cpu,mem,platform")?;
+    for e in events {
+        let ty = match e.event_type {
+            MachineEventType::Add => "add",
+            MachineEventType::Remove => "remove",
+            MachineEventType::Update => "update",
+        };
+        writeln!(
+            w,
+            "{},{},{},{},{},{}",
+            e.time.as_micros(),
+            e.machine_id.0,
+            ty,
+            e.capacity.cpu,
+            e.capacity.mem,
+            e.platform.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads the machine-events table.
+pub fn read_machine_events(r: impl BufRead) -> Result<Vec<MachineEvent>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let parts: Vec<&str> = line.split(',').collect();
+        let ty = match field(&parts, 2, n)? {
+            "add" => MachineEventType::Add,
+            "remove" => MachineEventType::Remove,
+            "update" => MachineEventType::Update,
+            other => return Err(parse_err(n, format!("bad machine event {other:?}"))),
+        };
+        out.push(MachineEvent {
+            time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+            machine_id: MachineId(parse_u64(field(&parts, 1, n)?, n)? as u32),
+            event_type: ty,
+            capacity: Resources::new(
+                parse_f64(field(&parts, 3, n)?, n)?,
+                parse_f64(field(&parts, 4, n)?, n)?,
+            ),
+            platform: Platform(parse_u64(field(&parts, 5, n)?, n)? as u8),
+        });
+    }
+    Ok(out)
+}
+
+fn scheduler_name(s: SchedulerKind) -> &'static str {
+    match s {
+        SchedulerKind::Default => "default",
+        SchedulerKind::Batch => "batch",
+    }
+}
+
+/// Writes the collection-events table.
+pub fn write_collection_events(w: &mut impl Write, events: &[CollectionEvent]) -> io::Result<()> {
+    writeln!(
+        w,
+        "time,collection_id,event_type,collection_type,priority,scheduler,vertical_scaling,parent_id,alloc_collection_id,user_id"
+    )?;
+    for e in events {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{}",
+            e.time.as_micros(),
+            e.collection_id.0,
+            e.event_type.name(),
+            e.collection_type.name(),
+            e.priority.raw(),
+            scheduler_name(e.scheduler),
+            e.vertical_scaling.name(),
+            e.parent_id.map_or(String::new(), |p| p.0.to_string()),
+            e.alloc_collection_id
+                .map_or(String::new(), |p| p.0.to_string()),
+            e.user_id.0,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads the collection-events table.
+pub fn read_collection_events(r: impl BufRead) -> Result<Vec<CollectionEvent>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let parts: Vec<&str> = line.split(',').collect();
+        let ctype = match field(&parts, 3, n)? {
+            "job" => CollectionType::Job,
+            "alloc_set" => CollectionType::AllocSet,
+            other => return Err(parse_err(n, format!("bad collection type {other:?}"))),
+        };
+        let sched = match field(&parts, 5, n)? {
+            "default" => SchedulerKind::Default,
+            "batch" => SchedulerKind::Batch,
+            other => return Err(parse_err(n, format!("bad scheduler {other:?}"))),
+        };
+        let vs = match field(&parts, 6, n)? {
+            "off" => VerticalScalingMode::Off,
+            "constrained" => VerticalScalingMode::Constrained,
+            "full" => VerticalScalingMode::Full,
+            other => return Err(parse_err(n, format!("bad scaling mode {other:?}"))),
+        };
+        out.push(CollectionEvent {
+            time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+            collection_id: CollectionId(parse_u64(field(&parts, 1, n)?, n)?),
+            event_type: parse_event(field(&parts, 2, n)?, n)?,
+            collection_type: ctype,
+            priority: Priority::new(parse_u64(field(&parts, 4, n)?, n)? as u16),
+            scheduler: sched,
+            vertical_scaling: vs,
+            parent_id: opt_u64(field(&parts, 7, n)?, n)?.map(CollectionId),
+            alloc_collection_id: opt_u64(field(&parts, 8, n)?, n)?.map(CollectionId),
+            user_id: UserId(parse_u64(field(&parts, 9, n)?, n)? as u32),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes the instance-events table.
+pub fn write_instance_events(w: &mut impl Write, events: &[InstanceEvent]) -> io::Result<()> {
+    writeln!(
+        w,
+        "time,collection_id,instance_index,event_type,machine_id,cpu_request,mem_request,priority,alloc_collection_id,alloc_instance_index"
+    )?;
+    for e in events {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{}",
+            e.time.as_micros(),
+            e.instance_id.collection.0,
+            e.instance_id.index,
+            e.event_type.name(),
+            e.machine_id.map_or(String::new(), |m| m.0.to_string()),
+            e.request.cpu,
+            e.request.mem,
+            e.priority.raw(),
+            e.alloc_instance
+                .map_or(String::new(), |a| a.collection.0.to_string()),
+            e.alloc_instance.map_or(String::new(), |a| a.index.to_string()),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads the instance-events table.
+pub fn read_instance_events(r: impl BufRead) -> Result<Vec<InstanceEvent>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let parts: Vec<&str> = line.split(',').collect();
+        let alloc_col = opt_u64(field(&parts, 8, n)?, n)?;
+        let alloc_idx = opt_u64(field(&parts, 9, n)?, n)?;
+        let alloc_instance = match (alloc_col, alloc_idx) {
+            (Some(c), Some(x)) => Some(InstanceId::new(CollectionId(c), x as u32)),
+            (None, None) => None,
+            _ => return Err(parse_err(n, "half-specified alloc instance")),
+        };
+        out.push(InstanceEvent {
+            time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+            instance_id: InstanceId::new(
+                CollectionId(parse_u64(field(&parts, 1, n)?, n)?),
+                parse_u64(field(&parts, 2, n)?, n)? as u32,
+            ),
+            event_type: parse_event(field(&parts, 3, n)?, n)?,
+            machine_id: opt_u64(field(&parts, 4, n)?, n)?.map(|m| MachineId(m as u32)),
+            request: Resources::new(
+                parse_f64(field(&parts, 5, n)?, n)?,
+                parse_f64(field(&parts, 6, n)?, n)?,
+            ),
+            priority: Priority::new(parse_u64(field(&parts, 7, n)?, n)? as u16),
+            alloc_instance,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes the usage table (histogram inlined as 21 extra columns).
+pub fn write_usage(w: &mut impl Write, records: &[UsageRecord]) -> io::Result<()> {
+    write!(
+        w,
+        "start,end,collection_id,instance_index,machine_id,avg_cpu,avg_mem,max_cpu,max_mem,limit_cpu,limit_mem"
+    )?;
+    for p in crate::usage::CPU_HISTOGRAM_PERCENTILES {
+        write!(w, ",p{p}")?;
+    }
+    writeln!(w)?;
+    for u in records {
+        write!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            u.start.as_micros(),
+            u.end.as_micros(),
+            u.instance_id.collection.0,
+            u.instance_id.index,
+            u.machine_id.0,
+            u.avg_usage.cpu,
+            u.avg_usage.mem,
+            u.max_usage.cpu,
+            u.max_usage.mem,
+            u.limit.cpu,
+            u.limit.mem,
+        )?;
+        for v in u.cpu_histogram.0 {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads the usage table.
+pub fn read_usage(r: impl BufRead) -> Result<Vec<UsageRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let parts: Vec<&str> = line.split(',').collect();
+        let mut hist = [0.0f32; 21];
+        for (k, h) in hist.iter_mut().enumerate() {
+            *h = parse_f64(field(&parts, 11 + k, n)?, n)? as f32;
+        }
+        out.push(UsageRecord {
+            start: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+            end: Micros(parse_u64(field(&parts, 1, n)?, n)?),
+            instance_id: InstanceId::new(
+                CollectionId(parse_u64(field(&parts, 2, n)?, n)?),
+                parse_u64(field(&parts, 3, n)?, n)? as u32,
+            ),
+            machine_id: MachineId(parse_u64(field(&parts, 4, n)?, n)? as u32),
+            avg_usage: Resources::new(
+                parse_f64(field(&parts, 5, n)?, n)?,
+                parse_f64(field(&parts, 6, n)?, n)?,
+            ),
+            max_usage: Resources::new(
+                parse_f64(field(&parts, 7, n)?, n)?,
+                parse_f64(field(&parts, 8, n)?, n)?,
+            ),
+            limit: Resources::new(
+                parse_f64(field(&parts, 9, n)?, n)?,
+                parse_f64(field(&parts, 10, n)?, n)?,
+            ),
+            cpu_histogram: CpuHistogram(hist),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes every table of a trace into a directory, one file per table.
+pub fn write_trace_dir(trace: &Trace, dir: &std::path::Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("machine_events.csv"))?);
+    write_machine_events(&mut f, &trace.machine_events)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("collection_events.csv"))?);
+    write_collection_events(&mut f, &trace.collection_events)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("instance_events.csv"))?);
+    write_instance_events(&mut f, &trace.instance_events)?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join("instance_usage.csv"))?);
+    write_usage(&mut f, &trace.usage)?;
+    std::fs::write(
+        dir.join("metadata.csv"),
+        format!(
+            "cell_name,schema,horizon\n{},{},{}\n",
+            trace.cell_name,
+            trace.schema.map_or("unknown", |s| s.name()),
+            trace.horizon.as_micros()
+        ),
+    )?;
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace_dir`].
+pub fn read_trace_dir(dir: &std::path::Path) -> Result<Trace, CsvError> {
+    let open = |name: &str| -> Result<std::io::BufReader<std::fs::File>, CsvError> {
+        Ok(std::io::BufReader::new(std::fs::File::open(dir.join(name))?))
+    };
+    let meta = std::fs::read_to_string(dir.join("metadata.csv"))?;
+    let line = meta.lines().nth(1).ok_or_else(|| parse_err(2, "missing metadata row"))?;
+    let parts: Vec<&str> = line.split(',').collect();
+    let cell_name = field(&parts, 0, 2)?.to_string();
+    let schema = match field(&parts, 1, 2)? {
+        "v2-2011" => Some(SchemaVersion::V2Trace2011),
+        "v3-2019" => Some(SchemaVersion::V3Trace2019),
+        _ => None,
+    };
+    let horizon = Micros(parse_u64(field(&parts, 2, 2)?, 2)?);
+    Ok(Trace {
+        cell_name,
+        schema,
+        horizon,
+        machine_events: read_machine_events(open("machine_events.csv")?)?,
+        collection_events: read_collection_events(open("collection_events.csv")?)?,
+        instance_events: read_instance_events(open("instance_events.csv")?)?,
+        usage: read_usage(open("instance_usage.csv")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("x", SchemaVersion::V3Trace2019, Micros::from_days(2));
+        t.machine_events.push(MachineEvent::add(
+            Micros::ZERO,
+            MachineId(3),
+            Resources::new(0.75, 0.5),
+            Platform(2),
+        ));
+        t.collection_events.push(CollectionEvent {
+            time: Micros::from_secs(5),
+            collection_id: CollectionId(11),
+            event_type: EventType::Submit,
+            collection_type: CollectionType::Job,
+            priority: Priority::new(117),
+            scheduler: SchedulerKind::Batch,
+            vertical_scaling: VerticalScalingMode::Constrained,
+            parent_id: Some(CollectionId(4)),
+            alloc_collection_id: None,
+            user_id: UserId(9),
+        });
+        t.instance_events.push(InstanceEvent {
+            time: Micros::from_secs(6),
+            instance_id: InstanceId::new(CollectionId(11), 2),
+            event_type: EventType::Schedule,
+            machine_id: Some(MachineId(3)),
+            request: Resources::new(0.25, 0.125),
+            priority: Priority::new(117),
+            alloc_instance: Some(InstanceId::new(CollectionId(4), 0)),
+        });
+        t.usage.push(UsageRecord {
+            start: Micros::from_minutes(5),
+            end: Micros::from_minutes(10),
+            instance_id: InstanceId::new(CollectionId(11), 2),
+            machine_id: MachineId(3),
+            avg_usage: Resources::new(0.1, 0.05),
+            max_usage: Resources::new(0.2, 0.06),
+            limit: Resources::new(0.25, 0.125),
+            cpu_histogram: CpuHistogram::from_samples(&[0.05, 0.1, 0.15, 0.2]),
+        });
+        t
+    }
+
+    fn round_trip<T, W, R>(items: &[T], write: W, read: R) -> Vec<T>
+    where
+        W: Fn(&mut Vec<u8>, &[T]) -> io::Result<()>,
+        R: Fn(&[u8]) -> Result<Vec<T>, CsvError>,
+    {
+        let mut buf = Vec::new();
+        write(&mut buf, items).unwrap();
+        read(&buf).unwrap()
+    }
+
+    #[test]
+    fn machine_events_round_trip() {
+        let t = sample_trace();
+        let back = round_trip(
+            &t.machine_events,
+            write_machine_events,
+            |b| read_machine_events(b),
+        );
+        assert_eq!(back, t.machine_events);
+    }
+
+    #[test]
+    fn collection_events_round_trip() {
+        let t = sample_trace();
+        let back = round_trip(
+            &t.collection_events,
+            write_collection_events,
+            |b| read_collection_events(b),
+        );
+        assert_eq!(back, t.collection_events);
+    }
+
+    #[test]
+    fn instance_events_round_trip() {
+        let t = sample_trace();
+        let back = round_trip(
+            &t.instance_events,
+            write_instance_events,
+            |b| read_instance_events(b),
+        );
+        assert_eq!(back, t.instance_events);
+    }
+
+    #[test]
+    fn usage_round_trip() {
+        let t = sample_trace();
+        let back = round_trip(&t.usage, write_usage, |b| read_usage(b));
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].instance_id, t.usage[0].instance_id);
+        assert_eq!(back[0].limit, t.usage[0].limit);
+        assert!((back[0].cpu_histogram.max() - t.usage[0].cpu_histogram.max()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join(format!("borg_csv_test_{}", std::process::id()));
+        write_trace_dir(&t, &dir).unwrap();
+        let back = read_trace_dir(&dir).unwrap();
+        assert_eq!(back.cell_name, t.cell_name);
+        assert_eq!(back.schema, t.schema);
+        assert_eq!(back.horizon, t.horizon);
+        assert_eq!(back.machine_events, t.machine_events);
+        assert_eq!(back.collection_events, t.collection_events);
+        assert_eq!(back.instance_events, t.instance_events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_errors_reported_with_line() {
+        let bad = b"header\n1,2,notanevent,job,0,default,off,,,0\n";
+        let err = read_collection_events(&bad[..]).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn half_specified_alloc_rejected() {
+        let bad = b"header\n1,2,submit,,0.1,0.1,200,5,\n";
+        assert!(read_instance_events(&bad[..]).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Machine events and hardware platforms.
+//!
+//! The machine-events table records every machine joining, leaving, or
+//! being updated (capacity change) in the cell. Capacities are normalized
+//! so the largest machine in the trace is 1.0 in each dimension; the 2019
+//! trace has 21 distinct (platform, capacity) "shapes" across 7 hardware
+//! platforms, the 2011 trace 10 shapes across 3 platforms (Table 1).
+
+use crate::resources::Resources;
+use crate::time::Micros;
+use std::fmt;
+
+/// Identifier of a machine within one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A hardware platform (micro-architecture family), anonymized as in the
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Platform(pub u8);
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "platform-{}", self.0)
+    }
+}
+
+/// What happened to the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineEventType {
+    /// The machine became available to the scheduler.
+    Add,
+    /// The machine was removed (failure or maintenance such as the
+    /// roughly-monthly OS upgrade mentioned in §5.2).
+    Remove,
+    /// The machine's available capacity changed.
+    Update,
+}
+
+/// One row of the machine-events table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineEvent {
+    /// Event timestamp.
+    pub time: Micros,
+    /// Which machine.
+    pub machine_id: MachineId,
+    /// What happened.
+    pub event_type: MachineEventType,
+    /// Normalized capacity after the event (meaningful for add/update).
+    pub capacity: Resources,
+    /// Hardware platform.
+    pub platform: Platform,
+}
+
+impl MachineEvent {
+    /// Convenience constructor for the initial `Add` of a machine.
+    pub fn add(time: Micros, machine_id: MachineId, capacity: Resources, platform: Platform) -> Self {
+        MachineEvent {
+            time,
+            machine_id,
+            event_type: MachineEventType::Add,
+            capacity,
+            platform,
+        }
+    }
+}
+
+/// A distinct machine shape: platform plus normalized capacity. Figure 1
+/// plots the frequency of these.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineShape {
+    /// Hardware platform.
+    pub platform: Platform,
+    /// Normalized capacity.
+    pub capacity: Resources,
+}
+
+impl MachineShape {
+    /// Shape equality with a small tolerance on the float capacities, used
+    /// when counting distinct shapes in a trace.
+    pub fn matches(&self, other: &MachineShape) -> bool {
+        self.platform == other.platform
+            && (self.capacity.cpu - other.capacity.cpu).abs() < 1e-9
+            && (self.capacity.mem - other.capacity.mem).abs() < 1e-9
+    }
+}
+
+/// Counts distinct machine shapes among `Add` events — the Figure 1 /
+/// Table 1 "machine shapes" statistic.
+pub fn count_shapes(events: &[MachineEvent]) -> Vec<(MachineShape, usize)> {
+    let mut shapes: Vec<(MachineShape, usize)> = Vec::new();
+    for ev in events {
+        if ev.event_type != MachineEventType::Add {
+            continue;
+        }
+        let shape = MachineShape {
+            platform: ev.platform,
+            capacity: ev.capacity,
+        };
+        if let Some(entry) = shapes.iter_mut().find(|(s, _)| s.matches(&shape)) {
+            entry.1 += 1;
+        } else {
+            shapes.push((shape, 1));
+        }
+    }
+    shapes.sort_by_key(|s| std::cmp::Reverse(s.1));
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u32, ty: MachineEventType, cpu: f64, plat: u8) -> MachineEvent {
+        MachineEvent {
+            time: Micros::ZERO,
+            machine_id: MachineId(id),
+            event_type: ty,
+            capacity: Resources::new(cpu, 0.5),
+            platform: Platform(plat),
+        }
+    }
+
+    #[test]
+    fn shapes_counted_by_platform_and_capacity() {
+        let events = vec![
+            ev(0, MachineEventType::Add, 1.0, 0),
+            ev(1, MachineEventType::Add, 1.0, 0),
+            ev(2, MachineEventType::Add, 1.0, 1), // same capacity, new platform
+            ev(3, MachineEventType::Add, 0.5, 0),
+            ev(4, MachineEventType::Remove, 1.0, 0), // ignored
+        ];
+        let shapes = count_shapes(&events);
+        assert_eq!(shapes.len(), 3);
+        assert_eq!(shapes[0].1, 2); // most common first
+    }
+
+    #[test]
+    fn add_constructor() {
+        let e = MachineEvent::add(
+            Micros::from_secs(1),
+            MachineId(7),
+            Resources::new(0.5, 0.5),
+            Platform(2),
+        );
+        assert_eq!(e.event_type, MachineEventType::Add);
+        assert_eq!(e.machine_id, MachineId(7));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(Platform(1).to_string(), "platform-1");
+    }
+}

@@ -1,0 +1,195 @@
+//! Normalized resource vectors.
+//!
+//! Both traces express CPU in Normalized Compute Units (NCUs) and memory in
+//! Normalized Memory Units (NMUs): Google Compute Units re-scaled so the
+//! largest machine in the trace has capacity 1.0 in each dimension (§3).
+//! [`Resources`] is the 2-dimensional vector used for machine capacities,
+//! task requests/limits, and usage.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A (CPU, memory) vector in normalized units.
+///
+/// # Examples
+///
+/// ```
+/// use borg_trace::resources::Resources;
+///
+/// let machine = Resources::new(1.0, 0.5);
+/// let task = Resources::new(0.2, 0.1);
+/// assert!(task.fits_in(&machine));
+/// assert_eq!(machine - task, Resources::new(0.8, 0.4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resources {
+    /// Normalized Compute Units (NCUs).
+    pub cpu: f64,
+    /// Normalized Memory Units (NMUs).
+    pub mem: f64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources { cpu: 0.0, mem: 0.0 };
+
+    /// Creates a resource vector.
+    pub const fn new(cpu: f64, mem: f64) -> Resources {
+        Resources { cpu, mem }
+    }
+
+    /// True when both dimensions fit within `other` (<=).
+    pub fn fits_in(&self, other: &Resources) -> bool {
+        self.cpu <= other.cpu && self.mem <= other.mem
+    }
+
+    /// True when both dimensions are non-negative.
+    pub fn is_non_negative(&self) -> bool {
+        self.cpu >= 0.0 && self.mem >= 0.0
+    }
+
+    /// True when both dimensions are finite.
+    pub fn is_finite(&self) -> bool {
+        self.cpu.is_finite() && self.mem.is_finite()
+    }
+
+    /// Element-wise minimum.
+    pub fn min(&self, other: &Resources) -> Resources {
+        Resources::new(self.cpu.min(other.cpu), self.mem.min(other.mem))
+    }
+
+    /// Element-wise maximum.
+    pub fn max(&self, other: &Resources) -> Resources {
+        Resources::new(self.cpu.max(other.cpu), self.mem.max(other.mem))
+    }
+
+    /// Element-wise clamp to non-negative values.
+    pub fn clamp_non_negative(&self) -> Resources {
+        Resources::new(self.cpu.max(0.0), self.mem.max(0.0))
+    }
+
+    /// Scales both dimensions by a scalar.
+    pub fn scale(&self, k: f64) -> Resources {
+        Resources::new(self.cpu * k, self.mem * k)
+    }
+
+    /// The larger of the two *utilization fractions* relative to a
+    /// capacity — the dominant-share used by fit checks under
+    /// heterogeneous shapes. Returns `+inf` when a capacity dimension is
+    /// zero but the demand is not.
+    pub fn dominant_fraction_of(&self, capacity: &Resources) -> f64 {
+        let f = |d: f64, c: f64| {
+            if d <= 0.0 {
+                0.0
+            } else if c <= 0.0 {
+                f64::INFINITY
+            } else {
+                d / c
+            }
+        };
+        f(self.cpu, capacity.cpu).max(f(self.mem, capacity.mem))
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources::new(self.cpu + rhs.cpu, self.mem + rhs.mem)
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        self.cpu += rhs.cpu;
+        self.mem += rhs.mem;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources::new(self.cpu - rhs.cpu, self.mem - rhs.mem)
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        self.cpu -= rhs.cpu;
+        self.mem -= rhs.mem;
+    }
+}
+
+impl Mul<f64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: f64) -> Resources {
+        self.scale(k)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4} NCU, {:.4} NMU)", self.cpu, self.mem)
+    }
+}
+
+impl std::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(0.5, 0.25);
+        let b = Resources::new(0.25, 0.25);
+        assert_eq!(a + b, Resources::new(0.75, 0.5));
+        assert_eq!(a - b, Resources::new(0.25, 0.0));
+        assert_eq!(a * 2.0, Resources::new(1.0, 0.5));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn fits_requires_both_dimensions() {
+        let cap = Resources::new(1.0, 0.5);
+        assert!(Resources::new(1.0, 0.5).fits_in(&cap));
+        assert!(!Resources::new(1.1, 0.1).fits_in(&cap));
+        assert!(!Resources::new(0.1, 0.6).fits_in(&cap));
+    }
+
+    #[test]
+    fn dominant_fraction() {
+        let cap = Resources::new(1.0, 0.5);
+        let d = Resources::new(0.2, 0.2);
+        assert_eq!(d.dominant_fraction_of(&cap), 0.4);
+        assert_eq!(Resources::ZERO.dominant_fraction_of(&cap), 0.0);
+        assert_eq!(
+            Resources::new(0.1, 0.1).dominant_fraction_of(&Resources::new(0.0, 1.0)),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Resources::new(0.5, -0.1);
+        let b = Resources::new(0.2, 0.3);
+        assert_eq!(a.min(&b), Resources::new(0.2, -0.1));
+        assert_eq!(a.max(&b), Resources::new(0.5, 0.3));
+        assert_eq!(a.clamp_non_negative(), Resources::new(0.5, 0.0));
+        assert!(!a.is_non_negative());
+        assert!(b.is_non_negative());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Resources = (0..4).map(|_| Resources::new(0.25, 0.1)).sum();
+        assert!((total.cpu - 1.0).abs() < 1e-12);
+        assert!((total.mem - 0.4).abs() < 1e-12);
+    }
+}

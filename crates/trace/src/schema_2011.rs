@@ -1,0 +1,248 @@
+//! Downgrading a v3 (2019) trace to the 2011 "v2" view.
+//!
+//! §3 and §5.1 of the paper describe what the 2011 trace elided relative
+//! to 2019: alloc sets were "treated as if they were jobs", raw priorities
+//! were mapped onto twelve bands, there was no batch queue, no
+//! parent-child dependency data, and no vertical-scaling annotations.
+//! [`downgrade`] applies exactly those erasures, which is how the
+//! toolkit's longitudinal analyses can run one code path over both eras.
+
+use crate::collection::{CollectionEvent, CollectionType, SchedulerKind, VerticalScalingMode};
+use crate::priority::{Priority, PriorityBand2011};
+use crate::state::EventType;
+use crate::trace::{SchemaVersion, Trace};
+
+/// Projects a v3 trace down to the 2011 schema:
+///
+/// * alloc sets become plain jobs;
+/// * every priority is quantized to its 2011 band's raw value;
+/// * batch-queue events (`Queue`, `Enable`) are dropped and every
+///   collection is marked as handled by the default scheduler;
+/// * parent links and vertical-scaling modes are erased;
+/// * usage CPU histograms are zeroed (the 2011 trace had none).
+pub fn downgrade(trace: &Trace) -> Trace {
+    let mut out = Trace::new(
+        trace.cell_name.clone(),
+        SchemaVersion::V2Trace2011,
+        trace.horizon,
+    );
+    out.machine_events = trace.machine_events.clone();
+
+    for ev in &trace.collection_events {
+        if matches!(ev.event_type, EventType::Queue | EventType::Enable) {
+            continue;
+        }
+        out.collection_events.push(CollectionEvent {
+            collection_type: CollectionType::Job,
+            priority: quantize_priority(ev.priority),
+            scheduler: SchedulerKind::Default,
+            vertical_scaling: VerticalScalingMode::Off,
+            parent_id: None,
+            alloc_collection_id: None,
+            ..*ev
+        });
+    }
+
+    for ev in &trace.instance_events {
+        if matches!(ev.event_type, EventType::Queue | EventType::Enable) {
+            continue;
+        }
+        let mut ev2 = *ev;
+        ev2.priority = quantize_priority(ev.priority);
+        ev2.alloc_instance = None;
+        out.instance_events.push(ev2);
+    }
+
+    for u in &trace.usage {
+        let mut u2 = *u;
+        u2.cpu_histogram = crate::usage::CpuHistogram([0.0; 21]);
+        out.usage.push(u2);
+    }
+
+    out
+}
+
+/// Quantizes a raw 2019 priority to the raw value of its 2011 band.
+pub fn quantize_priority(p: Priority) -> Priority {
+    PriorityBand2011::from_raw(p).raw_priority()
+}
+
+/// The numeric event codes of the published 2011 job/task-events tables
+/// (0=SUBMIT, 1=SCHEDULE, 2=EVICT, 3=FAIL, 4=FINISH, 5=KILL, 6=LOST,
+/// 7=UPDATE_PENDING, 8=UPDATE_RUNNING). Queue/enable have no v2 code and
+/// return `None` — they must be stripped (see [`downgrade`]) first.
+pub fn v2_event_code(ev: EventType) -> Option<u8> {
+    match ev {
+        EventType::Submit => Some(0),
+        EventType::Schedule => Some(1),
+        EventType::Evict => Some(2),
+        EventType::Fail => Some(3),
+        EventType::Finish => Some(4),
+        EventType::Kill => Some(5),
+        EventType::Lost => Some(6),
+        EventType::UpdatePending => Some(7),
+        EventType::UpdateRunning => Some(8),
+        EventType::Queue | EventType::Enable => None,
+    }
+}
+
+/// Writes a trace's task events in the published 2011 CSV layout:
+/// `timestamp,job_id,task_index,machine_id,event_type,priority_band,cpu_request,mem_request`.
+///
+/// The trace should already be in the v2 schema (see [`downgrade`]);
+/// events without a v2 code are skipped.
+pub fn write_v2_task_events(
+    w: &mut impl std::io::Write,
+    trace: &Trace,
+) -> std::io::Result<()> {
+    for ev in &trace.instance_events {
+        let Some(code) = v2_event_code(ev.event_type) else {
+            continue;
+        };
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            ev.time.as_micros(),
+            ev.instance_id.collection.0,
+            ev.instance_id.index,
+            ev.machine_id.map_or(String::new(), |m| m.0.to_string()),
+            code,
+            PriorityBand2011::from_raw(ev.priority).0,
+            ev.request.cpu,
+            ev.request.mem,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::{CollectionId, UserId};
+    use crate::state::EventType as E;
+    use crate::instance::{InstanceEvent, InstanceId};
+    use crate::machine::MachineId;
+    use crate::resources::Resources;
+    use crate::time::Micros;
+
+    fn v3_trace() -> Trace {
+        let mut t = Trace::new("a", SchemaVersion::V3Trace2019, Micros::from_days(1));
+        t.collection_events.push(CollectionEvent {
+            time: Micros::from_secs(1),
+            collection_id: CollectionId(1),
+            event_type: EventType::Submit,
+            collection_type: CollectionType::AllocSet,
+            priority: Priority::new(117),
+            scheduler: SchedulerKind::Batch,
+            vertical_scaling: VerticalScalingMode::Full,
+            parent_id: Some(CollectionId(9)),
+            alloc_collection_id: None,
+            user_id: UserId(1),
+        });
+        t.collection_events.push(CollectionEvent {
+            time: Micros::from_secs(2),
+            collection_id: CollectionId(1),
+            event_type: EventType::Queue,
+            collection_type: CollectionType::AllocSet,
+            priority: Priority::new(117),
+            scheduler: SchedulerKind::Batch,
+            vertical_scaling: VerticalScalingMode::Full,
+            parent_id: Some(CollectionId(9)),
+            alloc_collection_id: None,
+            user_id: UserId(1),
+        });
+        t.instance_events.push(InstanceEvent {
+            time: Micros::from_secs(3),
+            instance_id: InstanceId::new(CollectionId(1), 0),
+            event_type: EventType::Enable,
+            machine_id: None,
+            request: Resources::new(0.1, 0.1),
+            priority: Priority::new(117),
+            alloc_instance: Some(InstanceId::new(CollectionId(2), 0)),
+        });
+        t.instance_events.push(InstanceEvent {
+            time: Micros::from_secs(4),
+            instance_id: InstanceId::new(CollectionId(1), 0),
+            event_type: EventType::Schedule,
+            machine_id: Some(MachineId(0)),
+            request: Resources::new(0.1, 0.1),
+            priority: Priority::new(117),
+            alloc_instance: Some(InstanceId::new(CollectionId(2), 0)),
+        });
+        t
+    }
+
+    #[test]
+    fn alloc_sets_become_jobs() {
+        let out = downgrade(&v3_trace());
+        assert!(out
+            .collection_events
+            .iter()
+            .all(|e| e.collection_type == CollectionType::Job));
+    }
+
+    #[test]
+    fn queue_events_dropped() {
+        let out = downgrade(&v3_trace());
+        assert_eq!(out.collection_events.len(), 1);
+        assert_eq!(out.instance_events.len(), 1);
+        assert!(out
+            .instance_events
+            .iter()
+            .all(|e| !matches!(e.event_type, EventType::Queue | EventType::Enable)));
+    }
+
+    #[test]
+    fn new_features_erased() {
+        let out = downgrade(&v3_trace());
+        let ev = &out.collection_events[0];
+        assert_eq!(ev.parent_id, None);
+        assert_eq!(ev.vertical_scaling, VerticalScalingMode::Off);
+        assert_eq!(ev.scheduler, SchedulerKind::Default);
+        assert_eq!(out.instance_events[0].alloc_instance, None);
+    }
+
+    #[test]
+    fn priorities_quantized_to_band_values() {
+        // 117 is between the 2011 raw values 109 and 119, so it lands in
+        // band 7 (raw 109).
+        assert_eq!(quantize_priority(Priority::new(117)), Priority::new(109));
+        // Values that existed in 2011 are unchanged.
+        assert_eq!(quantize_priority(Priority::new(200)), Priority::new(200));
+        let out = downgrade(&v3_trace());
+        assert_eq!(out.collection_events[0].priority, Priority::new(109));
+    }
+
+    #[test]
+    fn schema_marked_v2() {
+        let out = downgrade(&v3_trace());
+        assert_eq!(out.schema, Some(SchemaVersion::V2Trace2011));
+    }
+
+    #[test]
+    fn v2_event_codes_match_published_table() {
+        assert_eq!(v2_event_code(E::Submit), Some(0));
+        assert_eq!(v2_event_code(E::Schedule), Some(1));
+        assert_eq!(v2_event_code(E::Evict), Some(2));
+        assert_eq!(v2_event_code(E::Fail), Some(3));
+        assert_eq!(v2_event_code(E::Finish), Some(4));
+        assert_eq!(v2_event_code(E::Kill), Some(5));
+        assert_eq!(v2_event_code(E::Lost), Some(6));
+        assert_eq!(v2_event_code(E::Queue), None);
+        assert_eq!(v2_event_code(E::Enable), None);
+    }
+
+    #[test]
+    fn v2_csv_export_writes_band_priorities() {
+        let v2 = downgrade(&v3_trace());
+        let mut buf = Vec::new();
+        write_v2_task_events(&mut buf, &v2).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // One schedule line: code 1, band 7 (priority 117 → raw 109 →
+        // band 7), machine 0.
+        assert_eq!(text.lines().count(), 1);
+        let fields: Vec<&str> = text.lines().next().unwrap().split(',').collect();
+        assert_eq!(fields[4], "1", "event code for schedule");
+        assert_eq!(fields[5], "7", "priority band");
+    }
+}

@@ -1,0 +1,174 @@
+//! Usage samples.
+//!
+//! The usage table records, for every instance and every 5-minute window,
+//! the average and maximum observed CPU and the average memory, plus — new
+//! in the 2019 trace (§3) — a 21-element histogram of CPU utilization
+//! within the window, biased towards high percentiles. The paper's §8
+//! "peak NCU slack" metric is computed from the per-window maximum CPU and
+//! the limit in force.
+
+use crate::instance::InstanceId;
+use crate::machine::MachineId;
+use crate::resources::Resources;
+use crate::time::Micros;
+
+/// The 21 percentile points of the v3 CPU-utilization histogram, biased
+/// towards high percentiles as described in §3.
+pub const CPU_HISTOGRAM_PERCENTILES: [f64; 21] = [
+    0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 85.0, 90.0, 91.0, 92.0, 93.0, 94.0, 95.0,
+    96.0, 97.0, 98.0, 99.0, 100.0,
+];
+
+/// A 21-element CPU-utilization histogram for one 5-minute window: the CPU
+/// usage at each of [`CPU_HISTOGRAM_PERCENTILES`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuHistogram(pub [f32; 21]);
+
+impl CpuHistogram {
+    /// Builds the histogram from fine-grained within-window samples.
+    ///
+    /// Returns an all-zero histogram for empty input.
+    pub fn from_samples(samples: &[f64]) -> CpuHistogram {
+        if samples.is_empty() {
+            return CpuHistogram([0.0; 21]);
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if sorted.is_empty() {
+            return CpuHistogram([0.0; 21]);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut out = [0.0f32; 21];
+        for (i, &p) in CPU_HISTOGRAM_PERCENTILES.iter().enumerate() {
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            out[i] = (sorted[lo] * (1.0 - frac) + sorted[hi] * frac) as f32;
+        }
+        CpuHistogram(out)
+    }
+
+    /// The p0 value (minimum within the window).
+    pub fn min(&self) -> f32 {
+        self.0[0]
+    }
+
+    /// The p100 value (maximum within the window).
+    pub fn max(&self) -> f32 {
+        self.0[20]
+    }
+
+    /// The median (p50) value.
+    pub fn median(&self) -> f32 {
+        self.0[5]
+    }
+
+    /// True when percentile values are non-decreasing — an invariant every
+    /// valid histogram satisfies.
+    pub fn is_monotone(&self) -> bool {
+        self.0.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+/// One row of the instance-usage table: one instance over one sampling
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageRecord {
+    /// Window start.
+    pub start: Micros,
+    /// Window end (usually `start + 5 minutes`).
+    pub end: Micros,
+    /// Which instance.
+    pub instance_id: InstanceId,
+    /// Machine the instance was running on.
+    pub machine_id: MachineId,
+    /// Average usage over the window.
+    pub avg_usage: Resources,
+    /// Maximum observed usage within the window.
+    pub max_usage: Resources,
+    /// The limit in force during the window (post-Autopilot if scaled).
+    pub limit: Resources,
+    /// CPU-utilization histogram within the window.
+    pub cpu_histogram: CpuHistogram,
+}
+
+impl UsageRecord {
+    /// The §8 *peak NCU slack*:
+    /// `max(0, limit − max usage) / limit`, or `None` when the CPU limit
+    /// is zero.
+    pub fn peak_ncu_slack(&self) -> Option<f64> {
+        if self.limit.cpu <= 0.0 {
+            return None;
+        }
+        Some(((self.limit.cpu - self.max_usage.cpu).max(0.0)) / self.limit.cpu)
+    }
+
+    /// Window duration.
+    pub fn duration(&self) -> Micros {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::CollectionId;
+
+    fn record(limit_cpu: f64, max_cpu: f64) -> UsageRecord {
+        UsageRecord {
+            start: Micros::ZERO,
+            end: Micros::from_minutes(5),
+            instance_id: InstanceId::new(CollectionId(1), 0),
+            machine_id: MachineId(0),
+            avg_usage: Resources::new(max_cpu * 0.8, 0.1),
+            max_usage: Resources::new(max_cpu, 0.12),
+            limit: Resources::new(limit_cpu, 0.2),
+            cpu_histogram: CpuHistogram([0.0; 21]),
+        }
+    }
+
+    #[test]
+    fn histogram_from_samples_monotone() {
+        let samples: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 997) as f64 / 997.0).collect();
+        let h = CpuHistogram::from_samples(&samples);
+        assert!(h.is_monotone());
+        assert!(h.min() < 0.02);
+        assert!(h.max() > 0.98);
+        assert!((h.median() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = CpuHistogram::from_samples(&[]);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.is_monotone());
+    }
+
+    #[test]
+    fn histogram_constant() {
+        let h = CpuHistogram::from_samples(&[0.3; 50]);
+        assert_eq!(h.min(), 0.3);
+        assert_eq!(h.max(), 0.3);
+    }
+
+    #[test]
+    fn peak_slack() {
+        assert_eq!(record(1.0, 0.25).peak_ncu_slack(), Some(0.75));
+        // Work-conserving CPU can exceed the limit; slack clamps at zero.
+        assert_eq!(record(0.5, 0.9).peak_ncu_slack(), Some(0.0));
+        assert_eq!(record(0.0, 0.1).peak_ncu_slack(), None);
+    }
+
+    #[test]
+    fn duration() {
+        assert_eq!(record(1.0, 0.1).duration(), Micros::from_minutes(5));
+    }
+
+    #[test]
+    fn percentile_points_are_21_biased_high() {
+        assert_eq!(CPU_HISTOGRAM_PERCENTILES.len(), 21);
+        // More than half the points are at or above the 80th percentile.
+        let high = CPU_HISTOGRAM_PERCENTILES.iter().filter(|&&p| p >= 80.0).count();
+        assert!(high > 10);
+    }
+}

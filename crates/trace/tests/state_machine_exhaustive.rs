@@ -1,0 +1,134 @@
+//! Exhaustive enumeration of the lifecycle state machine: every
+//! (state, event) pair is classified, and the classification is checked
+//! against the documented semantics of the v3 trace.
+
+use borg_trace::state::{EventType, InstanceState, StateMachine, TerminationKind};
+
+/// Drives a fresh machine into the given state (None = fresh).
+fn machine_in(state: Option<InstanceState>) -> StateMachine {
+    let mut sm = StateMachine::new();
+    match state {
+        None => {}
+        Some(InstanceState::Pending) => {
+            sm.apply(EventType::Submit).unwrap();
+        }
+        Some(InstanceState::Queued) => {
+            sm.apply(EventType::Submit).unwrap();
+            sm.apply(EventType::Queue).unwrap();
+        }
+        Some(InstanceState::Running) => {
+            sm.apply(EventType::Submit).unwrap();
+            sm.apply(EventType::Schedule).unwrap();
+        }
+        Some(InstanceState::Dead(kind)) => {
+            sm.apply(EventType::Submit).unwrap();
+            match kind {
+                TerminationKind::Kill => {
+                    sm.apply(EventType::Kill).unwrap();
+                }
+                TerminationKind::Fail => {
+                    sm.apply(EventType::Fail).unwrap();
+                }
+                TerminationKind::Finish => {
+                    sm.apply(EventType::Schedule).unwrap();
+                    sm.apply(EventType::Finish).unwrap();
+                }
+                TerminationKind::Evict => {
+                    sm.apply(EventType::Schedule).unwrap();
+                    sm.apply(EventType::Evict).unwrap();
+                }
+                TerminationKind::Lost => {
+                    sm.apply(EventType::Schedule).unwrap();
+                    sm.apply(EventType::Lost).unwrap();
+                }
+            }
+        }
+    }
+    assert_eq!(sm.state(), state, "fixture reached the intended state");
+    sm
+}
+
+fn all_states() -> Vec<Option<InstanceState>> {
+    let mut v = vec![
+        None,
+        Some(InstanceState::Pending),
+        Some(InstanceState::Queued),
+        Some(InstanceState::Running),
+    ];
+    for kind in [
+        TerminationKind::Finish,
+        TerminationKind::Evict,
+        TerminationKind::Kill,
+        TerminationKind::Fail,
+        TerminationKind::Lost,
+    ] {
+        v.push(Some(InstanceState::Dead(kind)));
+    }
+    v
+}
+
+#[test]
+fn every_pair_classified_correctly() {
+    use EventType as E;
+    use InstanceState as S;
+    for state in all_states() {
+        for event in EventType::ALL {
+            let mut sm = machine_in(state);
+            let result = sm.apply(event);
+            let legal = matches!(
+                (state, event),
+                (None, E::Submit)
+                    | (Some(S::Pending), E::Queue)
+                    | (Some(S::Pending), E::Schedule)
+                    | (Some(S::Pending), E::Kill)
+                    | (Some(S::Pending), E::Fail)
+                    | (Some(S::Pending), E::UpdatePending)
+                    | (Some(S::Queued), E::Enable)
+                    | (Some(S::Queued), E::Kill)
+                    | (Some(S::Queued), E::UpdatePending)
+                    | (Some(S::Running), E::Evict)
+                    | (Some(S::Running), E::Fail)
+                    | (Some(S::Running), E::Finish)
+                    | (Some(S::Running), E::Kill)
+                    | (Some(S::Running), E::Lost)
+                    | (Some(S::Running), E::UpdateRunning)
+                    | (Some(S::Dead(TerminationKind::Evict)), E::Submit)
+                    | (Some(S::Dead(TerminationKind::Fail)), E::Submit)
+            );
+            assert_eq!(
+                result.is_ok(),
+                legal,
+                "state {state:?}, event {event}: got {result:?}"
+            );
+            if result.is_err() {
+                assert_eq!(sm.state(), state, "illegal events leave state unchanged");
+            }
+        }
+    }
+}
+
+#[test]
+fn terminal_events_always_produce_matching_dead_state() {
+    use EventType as E;
+    let cases = [
+        (E::Finish, TerminationKind::Finish),
+        (E::Evict, TerminationKind::Evict),
+        (E::Kill, TerminationKind::Kill),
+        (E::Fail, TerminationKind::Fail),
+        (E::Lost, TerminationKind::Lost),
+    ];
+    for (event, kind) in cases {
+        let mut sm = machine_in(Some(InstanceState::Running));
+        let got = sm.apply(event).unwrap();
+        assert_eq!(got, InstanceState::Dead(kind));
+        assert!(got.is_dead());
+    }
+}
+
+#[test]
+fn success_is_final_but_eviction_is_not() {
+    let mut finished = machine_in(Some(InstanceState::Dead(TerminationKind::Finish)));
+    assert!(finished.apply(EventType::Submit).is_err(), "no resubmit after success");
+    let mut evicted = machine_in(Some(InstanceState::Dead(TerminationKind::Evict)));
+    assert!(evicted.apply(EventType::Submit).is_ok(), "evicted work is rescheduled (§5.2)");
+}

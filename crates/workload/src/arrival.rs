@@ -1,0 +1,183 @@
+//! Job arrival processes.
+//!
+//! §6.1 of the paper measures job submission rates (median 3309 jobs/hour
+//! per 2019 cell vs 885 in 2011) with visible diurnal cycles (§4.1 notes
+//! cell g in Singapore peaks at a different wall-clock hour). Arrivals are
+//! modeled as a Poisson process, optionally with a sinusoidal diurnal rate
+//! sampled by thinning.
+
+use crate::dist::Sample;
+use borg_trace::time::{Micros, MICROS_PER_HOUR};
+use rand::{Rng, RngExt};
+
+/// A homogeneous Poisson process with a fixed hourly rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    /// Mean events per hour.
+    pub rate_per_hour: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate.
+    pub fn new(rate_per_hour: f64) -> PoissonProcess {
+        assert!(rate_per_hour > 0.0, "rate must be positive");
+        PoissonProcess { rate_per_hour }
+    }
+
+    /// Draws the next event time strictly after `now`.
+    pub fn next_after<R: Rng + ?Sized>(&self, now: Micros, rng: &mut R) -> Micros {
+        let gap_hours = crate::dist::Exponential::new(self.rate_per_hour).sample(rng);
+        Micros(now.as_micros() + (gap_hours * MICROS_PER_HOUR as f64).ceil() as u64 + 1)
+    }
+
+    /// All event times in `[0, horizon)`.
+    pub fn sample_times<R: Rng + ?Sized>(&self, horizon: Micros, rng: &mut R) -> Vec<Micros> {
+        let mut out = Vec::new();
+        let mut t = Micros::ZERO;
+        loop {
+            t = self.next_after(t, rng);
+            if t >= horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+/// A sinusoidal diurnal rate profile:
+/// `rate(t) = base × (1 + amplitude × sin(2π (t_hours + phase) / 24))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalRate {
+    /// Mean rate (events per hour).
+    pub base_per_hour: f64,
+    /// Relative swing in `[0, 1)`.
+    pub amplitude: f64,
+    /// Phase offset in hours — the timezone knob: cell g (Singapore) uses
+    /// a phase ~15 hours ahead of the US cells.
+    pub phase_hours: f64,
+}
+
+impl DiurnalRate {
+    /// Creates a diurnal profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base > 0` and `0 <= amplitude < 1`.
+    pub fn new(base_per_hour: f64, amplitude: f64, phase_hours: f64) -> DiurnalRate {
+        assert!(base_per_hour > 0.0, "base rate must be positive");
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        DiurnalRate {
+            base_per_hour,
+            amplitude,
+            phase_hours,
+        }
+    }
+
+    /// Instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: Micros) -> f64 {
+        let hours = t.as_hours_f64() + self.phase_hours;
+        self.base_per_hour
+            * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * hours / 24.0).sin())
+    }
+
+    /// The peak instantaneous rate (used as the thinning envelope).
+    pub fn max_rate(&self) -> f64 {
+        self.base_per_hour * (1.0 + self.amplitude)
+    }
+
+    /// Samples all event times in `[0, horizon)` by Lewis–Shedler
+    /// thinning against the peak-rate envelope.
+    pub fn sample_times<R: Rng + ?Sized>(&self, horizon: Micros, rng: &mut R) -> Vec<Micros> {
+        let envelope = PoissonProcess::new(self.max_rate());
+        let mut out = Vec::new();
+        let mut t = Micros::ZERO;
+        loop {
+            t = envelope.next_after(t, rng);
+            if t >= horizon {
+                return out;
+            }
+            if rng.random::<f64>() < self.rate_at(t) / self.max_rate() {
+                out.push(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_rate_recovered() {
+        let p = PoissonProcess::new(100.0);
+        let times = p.sample_times(Micros::from_hours(200), &mut rng());
+        let rate = times.len() as f64 / 200.0;
+        assert!((rate - 100.0).abs() < 5.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn poisson_times_strictly_increasing() {
+        let p = PoissonProcess::new(1000.0);
+        let times = p.sample_times(Micros::from_hours(5), &mut rng());
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times.iter().all(|&t| t < Micros::from_hours(5)));
+    }
+
+    #[test]
+    fn diurnal_mean_rate_preserved() {
+        let d = DiurnalRate::new(50.0, 0.4, 0.0);
+        let times = d.sample_times(Micros::from_days(20), &mut rng());
+        let rate = times.len() as f64 / (20.0 * 24.0);
+        assert!((rate - 50.0).abs() < 3.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn diurnal_peak_and_trough_hours_differ() {
+        let d = DiurnalRate::new(100.0, 0.5, 0.0);
+        let times = d.sample_times(Micros::from_days(30), &mut rng());
+        // Count events near the sinusoid peak (hour-of-day 6) and trough
+        // (hour 18).
+        let mut peak = 0;
+        let mut trough = 0;
+        for t in times {
+            let hod = t.as_hours_f64() % 24.0;
+            if (5.0..7.0).contains(&hod) {
+                peak += 1;
+            } else if (17.0..19.0).contains(&hod) {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak as f64 > 1.8 * trough as f64,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn phase_shifts_the_peak() {
+        let base = DiurnalRate::new(100.0, 0.5, 0.0);
+        let shifted = DiurnalRate::new(100.0, 0.5, 12.0);
+        // At the base peak hour, the shifted profile is at its trough.
+        let t = Micros::from_hours(6);
+        assert!(base.rate_at(t) > 1.4 * shifted.rate_at(t));
+    }
+
+    #[test]
+    fn rate_at_bounds() {
+        let d = DiurnalRate::new(10.0, 0.3, 2.0);
+        for h in 0..48 {
+            let r = d.rate_at(Micros::from_hours(h));
+            assert!(r >= 10.0 * 0.7 - 1e-9 && r <= d.max_rate() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Workload synthesis for Borg cells.
+//!
+//! The public 2019 trace is 2.8 TiB of proprietary BigQuery data; this
+//! crate is the reproduction's substitute. It synthesizes workloads whose
+//! statistics match everything *Borg: the Next Generation* publishes about
+//! the real traces: heavy-tailed per-job usage integrals (Table 2), the
+//! per-tier workload mixes of each cell (Figures 3/5), tasks-per-job
+//! distributions (Figure 11), job arrival rates and diurnal cycles
+//! (Figures 2/8), machine-shape catalogues (Figure 1, Table 1), alloc-set
+//! and dependency demographics (§5), and Autopilot mode mixes (§8).
+//!
+//! Everything is seeded and deterministic: the same profile and seed
+//! always produce the same workload.
+
+pub mod arrival;
+pub mod cells;
+pub mod dist;
+pub mod integral;
+pub mod jobgen;
+pub mod jobmix;
+pub mod machines;
+pub mod usage_model;
+
+pub use arrival::{DiurnalRate, PoissonProcess};
+pub use cells::{CellProfile, Era, TierProfile};
+pub use dist::{BodyTail, BoundedPareto, Discrete, Exponential, LogNormal, Pareto, Uniform};
+pub use integral::{IntegralModel, JobIntegral};
+pub use jobgen::{JobGenerator, JobSpec, TaskSpec, TerminationIntent};
+pub use machines::{catalog_2011, catalog_2019, MachineCatalog};
+pub use usage_model::UsageProcess;

@@ -1,0 +1,199 @@
+//! Machine-shape catalogues.
+//!
+//! Table 1 of the paper: the 2011 trace had 10 machine shapes across 3
+//! hardware platforms; the 2019 trace has 21 shapes across 7 platforms,
+//! with a greater variety of CPU-to-memory ratios (Figure 1). Capacities
+//! are normalized so the largest machine is 1.0 in each dimension. The
+//! exact shapes are anonymized in the traces; these catalogues reproduce
+//! the published counts and the qualitative spread of Figure 1.
+
+use crate::dist::Discrete;
+use borg_trace::machine::{MachineShape, Platform};
+use borg_trace::resources::Resources;
+use rand::Rng;
+
+/// A weighted catalogue of machine shapes for one era.
+#[derive(Debug, Clone)]
+pub struct MachineCatalog {
+    shapes: Vec<(MachineShape, f64)>,
+    sampler: Discrete<usize>,
+}
+
+impl MachineCatalog {
+    /// Builds a catalogue from `(platform, cpu, mem, weight)` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list (via the discrete-distribution invariants).
+    pub fn new(rows: Vec<(u8, f64, f64, f64)>) -> MachineCatalog {
+        let shapes: Vec<(MachineShape, f64)> = rows
+            .into_iter()
+            .map(|(p, cpu, mem, w)| {
+                (
+                    MachineShape {
+                        platform: Platform(p),
+                        capacity: Resources::new(cpu, mem),
+                    },
+                    w,
+                )
+            })
+            .collect();
+        let sampler = Discrete::new(
+            shapes
+                .iter()
+                .enumerate()
+                .map(|(i, (_, w))| (i, *w))
+                .collect(),
+        );
+        MachineCatalog { shapes, sampler }
+    }
+
+    /// Draws one machine shape.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MachineShape {
+        self.shapes[self.sampler.sample(rng)].0
+    }
+
+    /// All shapes with their weights.
+    pub fn shapes(&self) -> &[(MachineShape, f64)] {
+        &self.shapes
+    }
+
+    /// Number of distinct shapes.
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of distinct platforms.
+    pub fn platform_count(&self) -> usize {
+        let mut ps: Vec<u8> = self.shapes.iter().map(|(s, _)| s.platform.0).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps.len()
+    }
+
+    /// Weighted mean capacity of a machine drawn from the catalogue.
+    pub fn mean_capacity(&self) -> Resources {
+        let total: f64 = self.shapes.iter().map(|(_, w)| w).sum();
+        self.shapes
+            .iter()
+            .map(|(s, w)| s.capacity * (*w / total))
+            .sum()
+    }
+}
+
+/// The 2011-era catalogue: 10 shapes, 3 platforms (Table 1). The dominant
+/// shape is the mid-size (0.50, 0.50) machine, as in the published 2011
+/// trace where over half the machines shared one configuration.
+pub fn catalog_2011() -> MachineCatalog {
+    MachineCatalog::new(vec![
+        // (platform, cpu, mem, weight)
+        (0, 0.50, 0.50, 53.0),
+        (0, 0.50, 0.25, 31.0),
+        (0, 0.50, 0.75, 8.0),
+        (1, 0.25, 0.25, 1.0),
+        (1, 0.50, 0.12, 0.5),
+        (1, 0.50, 0.03, 0.5),
+        (1, 0.50, 0.97, 0.3),
+        (2, 1.00, 1.00, 5.0),
+        (2, 1.00, 0.50, 0.5),
+        (2, 0.25, 0.50, 0.2),
+    ])
+}
+
+/// The 2019-era catalogue: 21 shapes, 7 platforms (Table 1), with the
+/// broader CPU-to-memory spread of Figure 1.
+pub fn catalog_2019() -> MachineCatalog {
+    MachineCatalog::new(vec![
+        (0, 0.25, 0.12, 4.0),
+        (0, 0.25, 0.25, 6.0),
+        (0, 0.38, 0.25, 5.0),
+        (1, 0.50, 0.25, 14.0),
+        (1, 0.50, 0.50, 18.0),
+        (1, 0.50, 0.75, 4.0),
+        (2, 0.60, 0.25, 3.0),
+        (2, 0.60, 0.50, 8.0),
+        (2, 0.60, 1.00, 1.5),
+        (3, 0.70, 0.34, 6.0),
+        (3, 0.70, 0.68, 7.0),
+        (3, 0.70, 0.17, 1.0),
+        (4, 0.85, 0.50, 5.0),
+        (4, 0.85, 1.00, 3.0),
+        (4, 0.85, 0.25, 1.0),
+        (5, 1.00, 0.50, 5.0),
+        (5, 1.00, 1.00, 4.0),
+        (5, 1.00, 0.75, 2.0),
+        (6, 0.30, 0.50, 1.0),
+        (6, 0.30, 0.75, 0.6),
+        (6, 0.15, 0.25, 0.9),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_shape_and_platform_counts() {
+        assert_eq!(catalog_2011().shape_count(), 10);
+        assert_eq!(catalog_2011().platform_count(), 3);
+        assert_eq!(catalog_2019().shape_count(), 21);
+        assert_eq!(catalog_2019().platform_count(), 7);
+    }
+
+    #[test]
+    fn capacities_normalized() {
+        for cat in [catalog_2011(), catalog_2019()] {
+            let mut has_full = false;
+            for (s, _) in cat.shapes() {
+                assert!(s.capacity.cpu > 0.0 && s.capacity.cpu <= 1.0);
+                assert!(s.capacity.mem > 0.0 && s.capacity.mem <= 1.0);
+                if s.capacity.cpu == 1.0 {
+                    has_full = true;
+                }
+            }
+            // Normalization means some machine hits 1.0 NCU.
+            assert!(has_full);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let cat = catalog_2011();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let dominant = (0..n)
+            .filter(|_| {
+                let s = cat.sample(&mut rng);
+                s.capacity == Resources::new(0.50, 0.50) && s.platform == Platform(0)
+            })
+            .count();
+        let frac = dominant as f64 / n as f64;
+        assert!((frac - 0.53).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn mean_capacity_reasonable() {
+        let m = catalog_2019().mean_capacity();
+        assert!(m.cpu > 0.3 && m.cpu < 0.9, "mean cpu = {}", m.cpu);
+        assert!(m.mem > 0.2 && m.mem < 0.8, "mean mem = {}", m.mem);
+    }
+
+    #[test]
+    fn cpu_memory_ratio_spread_wider_in_2019() {
+        let spread = |cat: &MachineCatalog| {
+            let ratios: Vec<f64> = cat
+                .shapes()
+                .iter()
+                .map(|(s, _)| s.capacity.cpu / s.capacity.mem)
+                .collect();
+            let max = ratios.iter().copied().fold(f64::MIN, f64::max);
+            let min = ratios.iter().copied().fold(f64::MAX, f64::min);
+            max / min
+        };
+        // 2019 covers a wider range of CPU:memory ratios than 2011 in the
+        // bulk of its fleet (Figure 1's qualitative message).
+        assert!(spread(&catalog_2019()) > 3.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests over the workload generators.
+
+use borg_trace::resources::Resources;
+use borg_trace::time::Micros;
+use borg_workload::arrival::DiurnalRate;
+use borg_workload::cells::CellProfile;
+use borg_workload::jobgen::{GenParams, JobGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn workload_invariants_hold_for_any_seed(seed in 0u64..1_000_000) {
+        let profile = CellProfile::cell_2019('e');
+        let w = JobGenerator::new(
+            &profile,
+            GenParams {
+                capacity: Resources::new(30.0, 20.0),
+                job_rate_per_hour: 12.0,
+                horizon: Micros::from_days(2),
+                task_cap: Some(100),
+                seed,
+            },
+        )
+        .generate();
+        // Jobs sorted, in horizon, non-empty.
+        prop_assert!(!w.jobs.is_empty());
+        prop_assert!(w.jobs.windows(2).all(|p| p[0].submit_time <= p[1].submit_time));
+        for j in &w.jobs {
+            prop_assert!(j.submit_time < Micros::from_days(2));
+            prop_assert!(!j.tasks.is_empty());
+            prop_assert!(j.duration > Micros::ZERO);
+            for t in &j.tasks {
+                // Requests dominate the usage process and are placeable.
+                prop_assert!(t.request.cpu >= t.usage.base.cpu * 0.999);
+                prop_assert!(t.request.cpu <= 0.9 && t.request.mem <= 0.9);
+                prop_assert!(t.request.cpu > 0.0 && t.request.mem > 0.0);
+            }
+        }
+        // Ids unique across jobs and alloc sets.
+        let mut ids: Vec<u64> = w.jobs.iter().map(|j| j.id).collect();
+        ids.extend(w.alloc_sets.iter().map(|a| a.id));
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "collection ids are unique");
+    }
+
+    #[test]
+    fn diurnal_rate_never_negative(base in 0.1f64..1000.0, amp in 0.0f64..0.99, phase in -48.0f64..48.0) {
+        let d = DiurnalRate::new(base, amp, phase);
+        for h in 0..96 {
+            let r = d.rate_at(Micros::from_minutes(h * 15));
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= d.max_rate() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn integral_model_samples_valid(seed in 0u64..1_000_000) {
+        use borg_workload::integral::IntegralModel;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for model in [IntegralModel::model_2019(), IntegralModel::model_2011()] {
+            for j in model.sample_many(200, &mut rng) {
+                prop_assert!(j.ncu_hours > 0.0 && j.ncu_hours.is_finite());
+                prop_assert!(j.nmu_hours > 0.0 && j.nmu_hours.is_finite());
+            }
+        }
+    }
+}

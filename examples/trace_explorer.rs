@@ -1,0 +1,91 @@
+//! Trace explorer: ad-hoc relational queries over a simulated trace.
+//!
+//! The paper's authors analyzed the trace with BigQuery SQL (§3, §9);
+//! this example shows the equivalent workflow against the in-memory
+//! query engine: load the trace tables, then filter / join / aggregate.
+//!
+//! ```sh
+//! cargo run --release --example trace_explorer
+//! ```
+
+use borg2019::core::pipeline::{simulate_cell, SimScale};
+use borg2019::core::tables;
+use borg2019::query::prelude::*;
+use borg2019::query::Agg;
+use borg2019::workload::cells::CellProfile;
+
+fn main() -> Result<(), borg2019::query::QueryError> {
+    let outcome = simulate_cell(&CellProfile::cell_2019('b'), SimScale::Small, 11);
+    let trace = &outcome.trace;
+    println!(
+        "loaded cell {} as relational tables: {} collection events, {} instance events\n",
+        trace.cell_name,
+        trace.collection_events.len(),
+        trace.instance_events.len()
+    );
+
+    // Query 1: termination mix per tier (the §5.2 question).
+    let coll = tables::collection_events_table(trace)?;
+    let terminations = Query::from(coll.clone())
+        .filter(
+            col("type").eq(lit("job")).and(
+                col("event")
+                    .eq(lit("finish"))
+                    .or(col("event").eq(lit("kill")))
+                    .or(col("event").eq(lit("fail")))
+            ),
+        )
+        .group_by(&["tier", "event"], vec![Agg::count_all("n")])
+        .sort_by_many(&[("tier", SortOrder::Ascending), ("n", SortOrder::Descending)])
+        .run()?;
+    println!("-- job terminations by tier and kind --\n{terminations}");
+
+    // Query 2: kill rate for jobs with vs without parents.
+    let kills = Query::from(coll.clone())
+        .filter(col("type").eq(lit("job")).and(col("event").eq(lit("submit"))))
+        .derive("has_parent", col("parent_id").is_null().not())
+        .select(&["collection_id", "has_parent"])
+        .run()?;
+    let killed = Query::from(coll)
+        .filter(col("event").eq(lit("kill")))
+        .select(&["collection_id"])
+        .derive("killed", lit(true))
+        .run()?;
+    let by_parent = Query::from(kills)
+        .left_join(killed, &["collection_id"], &["collection_id"])
+        .derive("was_killed", col("killed").is_null().not())
+        .group_by(
+            &["has_parent", "was_killed"],
+            vec![Agg::count_all("jobs")],
+        )
+        .sort_by_many(&[
+            ("has_parent", SortOrder::Ascending),
+            ("was_killed", SortOrder::Ascending),
+        ])
+        .run()?;
+    println!("-- §5.2: kills by parent status --\n{by_parent}");
+
+    // Query 3: the biggest resource requests placed on any machine.
+    let inst = tables::instance_events_table(trace)?;
+    let biggest = Query::from(inst)
+        .filter(col("event").eq(lit("schedule")))
+        .sort_by("cpu_request", SortOrder::Descending)
+        .limit(5)
+        .select(&["collection_id", "instance_index", "tier", "cpu_request", "mem_request"])
+        .run()?;
+    println!("-- five largest placed requests --\n{biggest}");
+
+    // Query 4: per-machine sampled CPU usage, top 5 machines.
+    let usage = tables::usage_table(trace)?;
+    let hot = Query::from(usage)
+        .group_by(
+            &["machine_id"],
+            vec![Agg::mean("avg_cpu", "mean_cpu"), Agg::count_all("samples")],
+        )
+        .sort_by("mean_cpu", SortOrder::Descending)
+        .limit(5)
+        .run()?;
+    println!("-- hottest machines by sampled task CPU --\n{hot}");
+
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # borg2019
+//!
+//! A reproduction toolkit for *Borg: the Next Generation* (Tirmazi et al.,
+//! EuroSys 2020): a discrete-event Borg cell simulator, calibrated workload
+//! synthesis, a trace data model following the public cluster-trace
+//! schemas, a columnar query engine, and the complete analysis suite that
+//! regenerates every table and figure of the paper.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! * [`trace`] — trace data model (2019 v3 and 2011 v2 schemas).
+//! * [`workload`] — distributions, arrival processes, and cell profiles.
+//! * [`sim`] — the discrete-event Borg cell simulator.
+//! * [`query`] — the in-memory columnar query engine.
+//! * [`analysis`] — statistical primitives (CCDF, C², Pareto fits, ...).
+//! * [`core`] — the paper pipeline: one module per table/figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use borg2019::core::pipeline::{simulate_cell, SimScale};
+//! use borg2019::workload::cells::CellProfile;
+//!
+//! // Simulate a tiny version of cell "a" for two days and count jobs.
+//! let profile = CellProfile::cell_2019('a');
+//! let outcome = simulate_cell(&profile, SimScale::tiny(), 1);
+//! assert!(outcome.trace.collection_events.len() > 0);
+//! ```
+
+pub use borg_analysis as analysis;
+pub use borg_core as core;
+pub use borg_query as query;
+pub use borg_sim as sim;
+pub use borg_trace as trace;
+pub use borg_workload as workload;

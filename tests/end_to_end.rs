@@ -1,0 +1,133 @@
+//! End-to-end integration: profile → workload → simulation → trace →
+//! analyses, across crates.
+
+use borg2019::core::analyses::{allocs, delay, submission, summary, terminations, transitions};
+use borg2019::core::pipeline::{simulate_2011, simulate_cell, SimScale};
+use borg2019::core::tables;
+use borg2019::query::prelude::*;
+use borg2019::query::Agg;
+use borg2019::sim::CellOutcome;
+use borg2019::trace::priority::Tier;
+use borg2019::trace::schema_2011::downgrade;
+use borg2019::trace::validate::validate;
+use borg2019::workload::cells::CellProfile;
+use std::sync::OnceLock;
+
+fn cell_b() -> &'static CellOutcome {
+    static O: OnceLock<CellOutcome> = OnceLock::new();
+    O.get_or_init(|| simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 77))
+}
+
+fn cell_2011() -> &'static CellOutcome {
+    static O: OnceLock<CellOutcome> = OnceLock::new();
+    O.get_or_init(|| simulate_2011(SimScale::Tiny, 78))
+}
+
+#[test]
+fn whole_pipeline_produces_valid_traces() {
+    for outcome in [cell_b(), cell_2011()] {
+        assert!(validate(&outcome.trace).is_empty(), "cell {}", outcome.trace.cell_name);
+        assert!(outcome.trace.collections().len() > 100);
+    }
+}
+
+#[test]
+fn downgraded_2019_trace_is_valid_2011() {
+    let v2 = downgrade(&cell_b().trace);
+    assert_eq!(v2.schema, Some(borg2019::trace::trace::SchemaVersion::V2Trace2011));
+    assert!(validate(&v2).is_empty());
+    // Every collection in the v2 view is a plain job with band-quantized
+    // priority.
+    for info in v2.collections().values() {
+        assert_eq!(
+            info.collection_type,
+            borg2019::trace::collection::CollectionType::Job
+        );
+        let raw = info.priority.raw();
+        assert!(
+            borg2019::trace::priority::RAW_2011_PRIORITIES.contains(&raw),
+            "priority {raw} is not a 2011 band value"
+        );
+    }
+}
+
+#[test]
+fn csv_round_trip_of_simulated_trace() {
+    let dir = std::env::temp_dir().join(format!("borg_e2e_{}", std::process::id()));
+    borg2019::trace::csv::write_trace_dir(&cell_b().trace, &dir).expect("write");
+    let back = borg2019::trace::csv::read_trace_dir(&dir).expect("read");
+    assert_eq!(back.collection_events.len(), cell_b().trace.collection_events.len());
+    assert_eq!(back.instance_events.len(), cell_b().trace.instance_events.len());
+    assert_eq!(back.usage.len(), cell_b().trace.usage.len());
+    assert_eq!(back.machine_events, cell_b().trace.machine_events);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyses_agree_with_query_engine() {
+    // The hand-written §5.2 analysis and the SQL-style pipeline must
+    // count the same kills.
+    let stats = terminations::termination_stats(&[cell_b()]);
+    let coll = tables::collection_events_table(&cell_b().trace).expect("table");
+    let killed_jobs = Query::from(coll)
+        .filter(col("type").eq(lit("job")).and(col("event").eq(lit("kill"))))
+        .group_by(&[], vec![Agg::count_all("kills")])
+        .run()
+        .expect("query");
+    let kills = killed_jobs.value(0, "kills").unwrap().as_i64().unwrap();
+    assert!(kills > 0);
+    // Sanity: the analysis-level kill rates are consistent with a
+    // non-zero kill count.
+    assert!(stats.kill_rate_with_parent > 0.0 || stats.kill_rate_without_parent > 0.0);
+}
+
+#[test]
+fn longitudinal_rates_grow() {
+    let scale = SimScale::Tiny.config(0).scale;
+    let r2011 = submission::job_rate_ccdf(cell_2011(), scale).median().unwrap();
+    let r2019 = submission::job_rate_ccdf(cell_b(), scale).median().unwrap();
+    assert!(
+        r2019 > r2011 * 1.5,
+        "2019 median job rate {r2019} vs 2011 {r2011}"
+    );
+}
+
+#[test]
+fn table1_summary_over_real_outcomes() {
+    let s19 = summary::summarize_era("2019", &[cell_b()]);
+    let s11 = summary::summarize_era("2011", &[cell_2011()]);
+    assert!(s19.has_alloc_sets && !s11.has_alloc_sets);
+    assert!(s19.has_batch_queueing && !s11.has_batch_queueing);
+    assert!(s19.max_priority >= 360, "monitoring priorities present");
+}
+
+#[test]
+fn delay_and_transition_metrics_populated() {
+    let ccdf = delay::delay_ccdf(cell_b());
+    assert!(ccdf.len() > 100);
+    assert!(ccdf.median().unwrap() < 120.0, "median delay in seconds");
+    let t = transitions::combined_transitions(cell_b());
+    assert!(t.total() > 1000);
+}
+
+#[test]
+fn alloc_statistics_consistent_between_views() {
+    let stats = allocs::alloc_stats(&[cell_b()]);
+    // Trace-level recount of alloc sets must match the analysis.
+    let infos = cell_b().trace.collections();
+    let alloc_sets = infos
+        .values()
+        .filter(|c| c.collection_type == borg2019::trace::collection::CollectionType::AllocSet)
+        .count();
+    let expected = alloc_sets as f64 / infos.len() as f64;
+    assert!((stats.alloc_set_collection_fraction - expected).abs() < 1e-12);
+}
+
+#[test]
+fn tier_usage_sums_to_total() {
+    let per_tier = cell_b().metrics.average_cpu_util_by_tier();
+    let total: f64 = per_tier.values().sum();
+    assert!(total > 0.1 && total < 1.0, "total utilization {total}");
+    assert!(per_tier.contains_key(&Tier::BestEffortBatch));
+    assert!(!per_tier.contains_key(&Tier::Monitoring), "monitoring folded into prod");
+}
