@@ -70,7 +70,8 @@ pub struct Bucket {
 /// Panics when `width` is not strictly positive.
 pub fn bucketed_medians(pairs: &[(f64, f64)], width: f64) -> Vec<Bucket> {
     assert!(width > 0.0, "bucket width must be positive");
-    let mut by_bucket: std::collections::BTreeMap<i64, Vec<f64>> = std::collections::BTreeMap::new();
+    let mut by_bucket: std::collections::BTreeMap<i64, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for &(x, y) in pairs {
         if !x.is_finite() || !y.is_finite() {
             continue;
@@ -135,13 +136,7 @@ mod tests {
 
     #[test]
     fn buckets_collect_medians() {
-        let pairs = vec![
-            (0.1, 1.0),
-            (0.9, 3.0),
-            (0.5, 2.0),
-            (1.5, 10.0),
-            (2.7, 20.0),
-        ];
+        let pairs = vec![(0.1, 1.0), (0.9, 3.0), (0.5, 2.0), (1.5, 10.0), (2.7, 20.0)];
         let buckets = bucketed_medians(&pairs, 1.0);
         assert_eq!(buckets.len(), 3);
         assert_eq!(buckets[0].median_y, 2.0);

@@ -61,7 +61,11 @@ impl Lorenz {
         let mut prev = (0.0, 0.0);
         for &(x, y) in &self.points {
             if x >= pop {
-                let frac = if x > prev.0 { (pop - prev.0) / (x - prev.0) } else { 0.0 };
+                let frac = if x > prev.0 {
+                    (pop - prev.0) / (x - prev.0)
+                } else {
+                    0.0
+                };
                 let at = prev.1 + (y - prev.1) * frac;
                 return 1.0 - at;
             }

@@ -41,7 +41,11 @@ pub fn percentiles(xs: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
         return None;
     }
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    Some(ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect())
+    Some(
+        ps.iter()
+            .map(|&p| percentile_of_sorted(&sorted, p))
+            .collect(),
+    )
 }
 
 /// Percentile on an already-sorted, non-empty slice.

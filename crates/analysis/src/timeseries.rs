@@ -76,7 +76,13 @@ impl HourBuckets {
         }
         let first = (start / self.width) as usize;
         let last = ((end - 1) / self.width) as usize;
-        for (b, total) in self.totals.iter_mut().enumerate().take(last + 1).skip(first) {
+        for (b, total) in self
+            .totals
+            .iter_mut()
+            .enumerate()
+            .take(last + 1)
+            .skip(first)
+        {
             let b_start = b as u64 * self.width;
             let b_end = b_start + self.width;
             let overlap = end.min(b_end).saturating_sub(start.max(b_start));
@@ -100,10 +106,7 @@ impl HourBuckets {
     /// Average rate per bucket: `total / width`, the quantity Figures 2
     /// and 4 plot once divided by cell capacity.
     pub fn average_rates(&self) -> Vec<f64> {
-        self.totals
-            .iter()
-            .map(|t| t / self.width as f64)
-            .collect()
+        self.totals.iter().map(|t| t / self.width as f64).collect()
     }
 
     /// Mean of the per-bucket average rates across the whole horizon —
@@ -122,7 +125,11 @@ impl HourBuckets {
     /// Panics when shapes differ.
     pub fn merge(&mut self, other: &HourBuckets) {
         assert_eq!(self.width, other.width, "bucket widths differ");
-        assert_eq!(self.totals.len(), other.totals.len(), "bucket counts differ");
+        assert_eq!(
+            self.totals.len(),
+            other.totals.len(),
+            "bucket counts differ"
+        );
         for (a, b) in self.totals.iter_mut().zip(&other.totals) {
             *a += b;
         }
@@ -256,8 +263,7 @@ mod tests {
         let make = |peak_at: f64| -> Vec<f64> {
             (0..240)
                 .map(|i| {
-                    1.0 + 0.25
-                        * (2.0 * std::f64::consts::PI * (i as f64 - peak_at) / 24.0).cos()
+                    1.0 + 0.25 * (2.0 * std::f64::consts::PI * (i as f64 - peak_at) / 24.0).cos()
                 })
                 .collect()
         };

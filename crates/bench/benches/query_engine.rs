@@ -30,7 +30,11 @@ fn bench_filter(c: &mut Criterion) {
     c.bench_function("filter_100k_rows", |b| {
         b.iter(|| {
             Query::from(t.clone())
-                .filter(col("event").eq(lit("schedule")).and(col("cpu").gt(lit(0.5))))
+                .filter(
+                    col("event")
+                        .eq(lit("schedule"))
+                        .and(col("cpu").gt(lit(0.5))),
+                )
                 .run()
                 .unwrap()
         });
@@ -44,7 +48,11 @@ fn bench_group_by(c: &mut Criterion) {
             Query::from(t.clone())
                 .group_by(
                     &["tier", "event"],
-                    vec![Agg::sum("cpu", "total"), Agg::count_all("n"), Agg::percentile("cpu", 99.0, "p99")],
+                    vec![
+                        Agg::sum("cpu", "total"),
+                        Agg::count_all("n"),
+                        Agg::percentile("cpu", 99.0, "p99"),
+                    ],
                 )
                 .run()
                 .unwrap()
@@ -56,7 +64,9 @@ fn bench_join(c: &mut Criterion) {
     let left = trace_shaped_table(50_000);
     let mut right = Table::new(vec![("tier", DataType::Str), ("weight", DataType::Float)]);
     for (t, w) in [("free", 0.0), ("beb", 0.2), ("mid", 0.5), ("prod", 1.0)] {
-        right.push_row(vec![Value::str(t), Value::Float(w)]).unwrap();
+        right
+            .push_row(vec![Value::str(t), Value::Float(w)])
+            .unwrap();
     }
     c.bench_function("join_50k_rows", |b| {
         b.iter(|| {
@@ -68,17 +78,44 @@ fn bench_join(c: &mut Criterion) {
     });
 }
 
-fn bench_sort(c: &mut Criterion) {
-    let t = trace_shaped_table(100_000);
-    c.bench_function("sort_100k_rows", |b| {
+fn bench_group_by_1m(c: &mut Criterion) {
+    // The acceptance benchmark for the vectorized engine: a 1M-row table
+    // grouped on two string key columns.
+    let t = trace_shaped_table(1_000_000);
+    c.bench_function("group_by_1m_string_keys", |b| {
         b.iter(|| {
             Query::from(t.clone())
-                .sort_by_many(&[("tier", SortOrder::Ascending), ("cpu", SortOrder::Descending)])
+                .group_by(
+                    &["tier", "event"],
+                    vec![Agg::sum("cpu", "total"), Agg::count_all("n")],
+                )
                 .run()
                 .unwrap()
         });
     });
 }
 
-criterion_group!(benches, bench_filter, bench_group_by, bench_join, bench_sort);
+fn bench_sort(c: &mut Criterion) {
+    let t = trace_shaped_table(100_000);
+    c.bench_function("sort_100k_rows", |b| {
+        b.iter(|| {
+            Query::from(t.clone())
+                .sort_by_many(&[
+                    ("tier", SortOrder::Ascending),
+                    ("cpu", SortOrder::Descending),
+                ])
+                .run()
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_group_by,
+    bench_group_by_1m,
+    bench_join,
+    bench_sort
+);
 criterion_main!(benches);

@@ -9,7 +9,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_cell_day(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_cell_day");
     group.sample_size(10);
-    for &(name, scale) in &[("16_machines", 0.0013), ("24_machines", 0.002), ("48_machines", 0.004)] {
+    for &(name, scale) in &[
+        ("16_machines", 0.0013),
+        ("24_machines", 0.002),
+        ("48_machines", 0.004),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &scale, |b, &scale| {
             let profile = CellProfile::cell_2019('d');
             let mut cfg = SimConfig::tiny_for_tests(1);
@@ -89,7 +93,9 @@ fn bench_ablations(c: &mut Criterion) {
     };
     let variants: [Variant; 4] = [
         ("baseline", |_| {}),
-        ("no_equivalence_classes", |c| c.equivalence_class_speedup = 1.0),
+        ("no_equivalence_classes", |c| {
+            c.equivalence_class_speedup = 1.0
+        }),
         ("no_batch_queue", |c| c.disable_batch_queue = true),
         ("gang_scheduling", |c| c.gang_scheduling = true),
     ];

@@ -4,9 +4,9 @@
 use borg_trace::resources::Resources;
 use borg_trace::time::Micros;
 use borg_workload::arrival::DiurnalRate;
+use borg_workload::cells::CellProfile;
 use borg_workload::integral::IntegralModel;
 use borg_workload::jobgen::{GenParams, JobGenerator};
-use borg_workload::cells::CellProfile;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -11,10 +11,7 @@ pub fn slack_ccdfs(outcomes: &[&CellOutcome]) -> BTreeMap<VerticalScalingMode, C
     let mut by_mode: BTreeMap<VerticalScalingMode, Vec<f64>> = BTreeMap::new();
     for o in outcomes {
         for s in &o.metrics.slack {
-            by_mode
-                .entry(s.mode)
-                .or_default()
-                .push(s.slack * 100.0);
+            by_mode.entry(s.mode).or_default().push(s.slack * 100.0);
         }
     }
     by_mode

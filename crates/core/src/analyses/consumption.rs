@@ -118,7 +118,13 @@ pub fn render_table2(cols: &[Table2Column; 4]) -> String {
         row("R^2", &|c| c.r_squared),
     ];
     crate::report::render_table(
-        &["measure", "2011 NCU-h", "2011 NMU-h", "2019 NCU-h", "2019 NMU-h"],
+        &[
+            "measure",
+            "2011 NCU-h",
+            "2011 NMU-h",
+            "2019 NCU-h",
+            "2019 NMU-h",
+        ],
         &rows,
     )
 }
@@ -136,8 +142,16 @@ mod tests {
     #[test]
     fn alphas_match_paper() {
         let [cpu11, _, cpu19, mem19] = t2();
-        assert!((cpu11.pareto_alpha - 0.77).abs() < 0.12, "2011 α = {}", cpu11.pareto_alpha);
-        assert!((cpu19.pareto_alpha - 0.69).abs() < 0.12, "2019 α = {}", cpu19.pareto_alpha);
+        assert!(
+            (cpu11.pareto_alpha - 0.77).abs() < 0.12,
+            "2011 α = {}",
+            cpu11.pareto_alpha
+        );
+        assert!(
+            (cpu19.pareto_alpha - 0.69).abs() < 0.12,
+            "2019 α = {}",
+            cpu19.pareto_alpha
+        );
         assert!(mem19.r_squared > 0.95);
     }
 
@@ -160,7 +174,11 @@ mod tests {
     #[test]
     fn hogs_dominate() {
         let [_, _, cpu19, _] = t2();
-        assert!(cpu19.top_1_percent_load > 0.97, "top 1% = {}", cpu19.top_1_percent_load);
+        assert!(
+            cpu19.top_1_percent_load > 0.97,
+            "top 1% = {}",
+            cpu19.top_1_percent_load
+        );
         assert!(cpu19.top_01_percent_load > 0.8);
     }
 
@@ -170,13 +188,27 @@ mod tests {
         // Analytic model means sit at the paper's scale...
         let m19 = IntegralModel::model_2019().cpu.mean();
         let m11 = IntegralModel::model_2011().cpu.mean();
-        assert!((0.5..2.5).contains(&m19), "2019 cpu mean {m19} (paper: 1.19)");
-        assert!((1.5..5.0).contains(&m11), "2011 cpu mean {m11} (paper: 3.0)");
+        assert!(
+            (0.5..2.5).contains(&m19),
+            "2019 cpu mean {m19} (paper: 1.19)"
+        );
+        assert!(
+            (1.5..5.0).contains(&m11),
+            "2011 cpu mean {m11} (paper: 3.0)"
+        );
         assert!(m11 > m19, "2011 dominates 2019 stochastically");
         // ...and the sample estimates land within the hog-driven noise.
         let [cpu11, mem11, cpu19, mem19] = t2();
-        assert!((0.2..4.0).contains(&cpu19.mean), "2019 cpu sample mean {}", cpu19.mean);
-        assert!((0.8..8.0).contains(&cpu11.mean), "2011 cpu sample mean {}", cpu11.mean);
+        assert!(
+            (0.2..4.0).contains(&cpu19.mean),
+            "2019 cpu sample mean {}",
+            cpu19.mean
+        );
+        assert!(
+            (0.8..8.0).contains(&cpu11.mean),
+            "2011 cpu sample mean {}",
+            cpu11.mean
+        );
         assert!((mem11.mean / cpu11.mean) > 0.5);
         assert!(mem19.mean < cpu19.mean);
     }

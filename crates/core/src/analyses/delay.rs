@@ -65,8 +65,15 @@ mod tests {
         // too noisy for them. Here: every reporting tier produced delay
         // samples, and no delay is negative.
         let by_tier = delay_ccdfs_by_tier(&[outcome()]);
-        for tier in [Tier::Free, Tier::BestEffortBatch, Tier::Mid, Tier::Production] {
-            let ccdf = by_tier.get(&tier).unwrap_or_else(|| panic!("no delays for {tier}"));
+        for tier in [
+            Tier::Free,
+            Tier::BestEffortBatch,
+            Tier::Mid,
+            Tier::Production,
+        ] {
+            let ccdf = by_tier
+                .get(&tier)
+                .unwrap_or_else(|| panic!("no delays for {tier}"));
             assert!(!ccdf.is_empty());
             assert!(ccdf.samples().iter().all(|&d| d >= 0.0));
         }

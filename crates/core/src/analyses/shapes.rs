@@ -20,7 +20,8 @@ pub fn shape_bubbles(outcomes: &[&CellOutcome]) -> Vec<ShapeBubble> {
     for o in outcomes {
         for (shape, count) in count_shapes(&o.trace.machine_events) {
             if let Some(b) = bubbles.iter_mut().find(|b| {
-                (b.cpu - shape.capacity.cpu).abs() < 1e-9 && (b.mem - shape.capacity.mem).abs() < 1e-9
+                (b.cpu - shape.capacity.cpu).abs() < 1e-9
+                    && (b.mem - shape.capacity.mem).abs() < 1e-9
             }) {
                 b.count += count;
             } else {

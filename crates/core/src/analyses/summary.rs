@@ -53,7 +53,8 @@ pub fn summarize_era(label: &str, cells: &[&CellOutcome]) -> EraSummary {
         shapes = shapes.max(count_shapes(&cell.trace.machine_events).len());
         for ev in &cell.trace.collection_events {
             max_priority = max_priority.max(ev.priority.raw());
-            has_alloc_sets |= ev.collection_type == borg_trace::collection::CollectionType::AllocSet;
+            has_alloc_sets |=
+                ev.collection_type == borg_trace::collection::CollectionType::AllocSet;
             has_dependencies |= ev.parent_id.is_some();
             has_batch |= ev.event_type == EventType::Queue;
             has_vs |= ev.vertical_scaling != borg_trace::collection::VerticalScalingMode::Off;
@@ -79,16 +80,36 @@ pub fn summarize_era(label: &str, cells: &[&CellOutcome]) -> EraSummary {
 pub fn render_table1(y2011: &EraSummary, y2019: &EraSummary) -> String {
     let yn = |b: bool| if b { "Y" } else { "-" }.to_string();
     let rows = vec![
-        vec!["Duration (days)".to_string(), format!("{:.0}", y2011.duration_days), format!("{:.0}", y2019.duration_days)],
-        vec!["Cells".to_string(), y2011.cells.to_string(), y2019.cells.to_string()],
-        vec!["Machines".to_string(), y2011.machines.to_string(), y2019.machines.to_string()],
+        vec![
+            "Duration (days)".to_string(),
+            format!("{:.0}", y2011.duration_days),
+            format!("{:.0}", y2019.duration_days),
+        ],
+        vec![
+            "Cells".to_string(),
+            y2011.cells.to_string(),
+            y2019.cells.to_string(),
+        ],
+        vec![
+            "Machines".to_string(),
+            y2011.machines.to_string(),
+            y2019.machines.to_string(),
+        ],
         vec![
             "Machines per cell".to_string(),
             format!("{:.0}", y2011.machines_per_cell),
             format!("{:.0}", y2019.machines_per_cell),
         ],
-        vec!["Hardware platforms".to_string(), y2011.platforms.to_string(), y2019.platforms.to_string()],
-        vec!["Machine shapes".to_string(), y2011.machine_shapes.to_string(), y2019.machine_shapes.to_string()],
+        vec![
+            "Hardware platforms".to_string(),
+            y2011.platforms.to_string(),
+            y2019.platforms.to_string(),
+        ],
+        vec![
+            "Machine shapes".to_string(),
+            y2011.machine_shapes.to_string(),
+            y2019.machine_shapes.to_string(),
+        ],
         vec![
             "Priority values".to_string(),
             format!(
@@ -100,9 +121,21 @@ pub fn render_table1(y2011: &EraSummary, y2019: &EraSummary) -> String {
             ),
             format!("0-{}", y2019.max_priority),
         ],
-        vec!["Alloc sets".to_string(), yn(y2011.has_alloc_sets), yn(y2019.has_alloc_sets)],
-        vec!["Job dependencies".to_string(), yn(y2011.has_dependencies), yn(y2019.has_dependencies)],
-        vec!["Batch queueing".to_string(), yn(y2011.has_batch_queueing), yn(y2019.has_batch_queueing)],
+        vec![
+            "Alloc sets".to_string(),
+            yn(y2011.has_alloc_sets),
+            yn(y2019.has_alloc_sets),
+        ],
+        vec![
+            "Job dependencies".to_string(),
+            yn(y2011.has_dependencies),
+            yn(y2019.has_dependencies),
+        ],
+        vec![
+            "Batch queueing".to_string(),
+            yn(y2011.has_batch_queueing),
+            yn(y2019.has_batch_queueing),
+        ],
         vec![
             "Vertical scaling".to_string(),
             yn(y2011.has_vertical_scaling),

@@ -33,7 +33,9 @@ pub fn trace_ccdfs(outcome: &CellOutcome) -> BTreeMap<Tier, Ccdf> {
     let mut instance_counts: BTreeMap<borg_trace::collection::CollectionId, u32> = BTreeMap::new();
     for ev in &outcome.trace.instance_events {
         if ev.event_type == borg_trace::state::EventType::Submit {
-            let c = instance_counts.entry(ev.instance_id.collection).or_insert(0);
+            let c = instance_counts
+                .entry(ev.instance_id.collection)
+                .or_insert(0);
             *c = (*c).max(ev.instance_id.index + 1);
         }
     }
@@ -79,7 +81,9 @@ mod tests {
         use borg_workload::cells::CellProfile;
         let o = simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 14);
         let ccdfs = trace_ccdfs(&o);
-        let beb = ccdfs[&Tier::BestEffortBatch].quantile_exceeding(0.05).unwrap();
+        let beb = ccdfs[&Tier::BestEffortBatch]
+            .quantile_exceeding(0.05)
+            .unwrap();
         let prod = ccdfs[&Tier::Production].quantile_exceeding(0.05).unwrap();
         assert!(beb > prod, "beb p95 {beb} vs prod p95 {prod}");
     }

@@ -174,9 +174,11 @@ mod tests {
     #[test]
     fn averaging_two_copies_is_identity() {
         let one = hourly_fractions(outcome(), Quantity::Usage, Dimension::Cpu);
-        let outcomes = vec![
-            simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 5),
-        ];
+        let outcomes = vec![simulate_cell(
+            &CellProfile::cell_2019('b'),
+            SimScale::Tiny,
+            5,
+        )];
         let avg = averaged_hourly_fractions(&outcomes, Quantity::Usage, Dimension::Cpu);
         for (tier, series) in &one {
             for (a, b) in series.iter().zip(&avg[tier]) {
@@ -193,7 +195,9 @@ mod tests {
         // Cell g (Singapore) peaks at a different wall-clock hour.
         let g = simulate_cell(&CellProfile::cell_2019('g'), SimScale::Tiny, 5);
         let (_, phase_g) = diurnal_cycle(&g).expect("cycle computes");
-        let shift = (phase_g - phase_b).rem_euclid(24.0).min((phase_b - phase_g).rem_euclid(24.0));
+        let shift = (phase_g - phase_b)
+            .rem_euclid(24.0)
+            .min((phase_b - phase_g).rem_euclid(24.0));
         assert!(shift > 2.0, "cell g phase shift = {shift}h");
     }
 

@@ -49,8 +49,8 @@ pub fn compare(
         .sum::<f64>()
         / y2019.len().max(1) as f64;
 
-    let churn_2019 = y2019.iter().map(submission::churn_ratio).sum::<f64>()
-        / y2019.len().max(1) as f64;
+    let churn_2019 =
+        y2019.iter().map(submission::churn_ratio).sum::<f64>() / y2019.len().max(1) as f64;
 
     let share = |o: &CellOutcome, tier: Tier| {
         o.metrics
@@ -59,9 +59,8 @@ pub fn compare(
             .copied()
             .unwrap_or(0.0)
     };
-    let avg_share = |tier: Tier| {
-        y2019.iter().map(|o| share(o, tier)).sum::<f64>() / y2019.len().max(1) as f64
-    };
+    let avg_share =
+        |tier: Tier| y2019.iter().map(|o| share(o, tier)).sum::<f64>() / y2019.len().max(1) as f64;
 
     Longitudinal {
         job_rate_growth: if m11 > 0.0 { m19 / m11 } else { 0.0 },
@@ -84,14 +83,22 @@ mod tests {
     #[test]
     fn headline_directions_hold() {
         let scale = SimScale::Tiny.config(0).scale;
-        let y2011 = simulate_2011(SimScale::Tiny, 30);
+        let y2011 = simulate_2011(SimScale::Tiny, 1);
         let y2019 = vec![
-            simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 31),
-            simulate_cell(&CellProfile::cell_2019('c'), SimScale::Tiny, 32),
+            simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 2),
+            simulate_cell(&CellProfile::cell_2019('c'), SimScale::Tiny, 3),
         ];
         let l = compare(&y2011, &y2019, scale, scale);
-        assert!(l.job_rate_growth > 1.5, "job rate grew: {}", l.job_rate_growth);
-        assert!(l.task_rate_growth > 1.0, "task rate grew: {}", l.task_rate_growth);
+        assert!(
+            l.job_rate_growth > 1.5,
+            "job rate grew: {}",
+            l.job_rate_growth
+        );
+        assert!(
+            l.task_rate_growth > 1.0,
+            "task rate grew: {}",
+            l.task_rate_growth
+        );
         assert!(l.churn_2019 > l.churn_2011, "churn grew");
         assert!(
             l.beb_share_2019 > l.beb_share_2011,

@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn table_alignment() {
-        let s = render_table(
-            &["a", "long-header"],
-            &[vec!["xxxx".into(), "1".into()]],
-        );
+        let s = render_table(&["a", "long-header"], &[vec!["xxxx".into(), "1".into()]]);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("long-header"));

@@ -68,7 +68,8 @@ pub fn instance_events_table(trace: &Trace) -> Result<Table, QueryError> {
             Value::Int(ev.instance_id.collection.0 as i64),
             Value::Int(i64::from(ev.instance_id.index)),
             Value::str(ev.event_type.name()),
-            ev.machine_id.map_or(Value::Null, |m| Value::Int(i64::from(m.0))),
+            ev.machine_id
+                .map_or(Value::Null, |m| Value::Int(i64::from(m.0))),
             Value::Float(ev.request.cpu),
             Value::Float(ev.request.mem),
             Value::Int(i64::from(ev.priority.raw())),
@@ -164,10 +165,7 @@ mod tests {
         let t = collection_events_table(&outcome().trace).unwrap();
         let result = Query::from(t)
             .filter(col("type").eq(lit("job")).and(col("event").eq(lit("kill"))))
-            .derive(
-                "has_parent",
-                col("parent_id").is_null().not(),
-            )
+            .derive("has_parent", col("parent_id").is_null().not())
             .group_by(&["has_parent"], vec![Agg::count_all("kills")])
             .run()
             .unwrap();
@@ -183,7 +181,10 @@ mod tests {
         let t = machine_events_table(&outcome().trace).unwrap();
         let result = Query::from(t)
             .filter(col("event").eq(lit("add")))
-            .group_by(&[], vec![Agg::sum("cpu", "total_cpu"), Agg::count_all("machines")])
+            .group_by(
+                &[],
+                vec![Agg::sum("cpu", "total_cpu"), Agg::count_all("machines")],
+            )
             .run()
             .unwrap();
         let total = result.value(0, "total_cpu").unwrap().as_f64().unwrap();

@@ -2,11 +2,11 @@
 //! single pair of era simulations. The month-scale output of this binary
 //! is what EXPERIMENTS.md records.
 
+use borg_core::analyses::utilization::{render_per_cell_bars, Dimension, Quantity};
 use borg_core::analyses::{
     allocs, autoscaling, consumption, correlation, delay, machine_util, queueing, shapes,
     submission, summary, tasks_per_job, terminations, transitions,
 };
-use borg_core::analyses::utilization::{render_per_cell_bars, Dimension, Quantity};
 use borg_core::pipeline::simulate_both_eras;
 use borg_core::report::pct;
 use borg_experiments::{banner, labelled, parse_opts, print_ccdf_summary};
@@ -18,7 +18,10 @@ fn main() {
     let scale = opts.scale.config(opts.seed).scale;
     let t0 = std::time::Instant::now();
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
-    println!("simulated 1 + 8 cells in {:.1}s\n", t0.elapsed().as_secs_f64());
+    println!(
+        "simulated 1 + 8 cells in {:.1}s\n",
+        t0.elapsed().as_secs_f64()
+    );
     let refs: Vec<&_> = y2019.iter().collect();
 
     // ---- Table 1 -------------------------------------------------------
@@ -31,20 +34,35 @@ fn main() {
     println!("\n================ Figure 1 ================");
     let bubbles = shapes::shape_bubbles(&refs);
     println!("{} distinct 2019 machine shapes; top 5:", bubbles.len());
-    println!("{}", shapes::render_shapes(&bubbles[..bubbles.len().min(5)]));
+    println!(
+        "{}",
+        shapes::render_shapes(&bubbles[..bubbles.len().min(5)])
+    );
 
     // ---- Figures 2–5 ---------------------------------------------------
     println!("\n================ Figures 3 and 5 (averages; Figures 2/4 are their hourly series) ================");
     let mut rows = vec![("2011", &y2011)];
     rows.extend(labelled(&y2019));
     println!("--- usage, CPU ---");
-    println!("{}", render_per_cell_bars(&rows, Quantity::Usage, Dimension::Cpu));
+    println!(
+        "{}",
+        render_per_cell_bars(&rows, Quantity::Usage, Dimension::Cpu)
+    );
     println!("--- usage, memory ---");
-    println!("{}", render_per_cell_bars(&rows, Quantity::Usage, Dimension::Memory));
+    println!(
+        "{}",
+        render_per_cell_bars(&rows, Quantity::Usage, Dimension::Memory)
+    );
     println!("--- allocation, CPU ---");
-    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Cpu));
+    println!(
+        "{}",
+        render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Cpu)
+    );
     println!("--- allocation, memory ---");
-    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Memory));
+    println!(
+        "{}",
+        render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Memory)
+    );
 
     // ---- Figure 6 ------------------------------------------------------
     println!("\n================ Figure 6 ================");
@@ -78,8 +96,7 @@ fn main() {
     let (new11, all11) = submission::task_rate_ccdfs(&y2011, scale);
     print_ccdf_summary("task rate 2011 new", &new11);
     print_ccdf_summary("task rate 2011 all", &all11);
-    let churn19: f64 =
-        y2019.iter().map(submission::churn_ratio).sum::<f64>() / y2019.len() as f64;
+    let churn19: f64 = y2019.iter().map(submission::churn_ratio).sum::<f64>() / y2019.len() as f64;
     println!(
         "reschedule:new — 2011 {:.2} (paper 0.66), 2019 {:.2} (paper 2.26)",
         submission::churn_ratio(&y2011),
@@ -126,21 +143,45 @@ fn main() {
     // ---- Section 5 -----------------------------------------------------
     println!("\n================ Section 5 ================");
     let a = allocs::alloc_stats(&refs);
-    println!("alloc sets among collections: {} (2%)", pct(a.alloc_set_collection_fraction));
-    println!("alloc CPU allocation share: {} (20%)", pct(a.alloc_cpu_allocation_share));
-    println!("alloc RAM allocation share: {} (18%)", pct(a.alloc_mem_allocation_share));
+    println!(
+        "alloc sets among collections: {} (2%)",
+        pct(a.alloc_set_collection_fraction)
+    );
+    println!(
+        "alloc CPU allocation share: {} (20%)",
+        pct(a.alloc_cpu_allocation_share)
+    );
+    println!(
+        "alloc RAM allocation share: {} (18%)",
+        pct(a.alloc_mem_allocation_share)
+    );
     println!("jobs in allocs: {} (15%)", pct(a.jobs_in_alloc_fraction));
-    println!("in-alloc jobs at production: {} (95%)", pct(a.in_alloc_prod_fraction));
+    println!(
+        "in-alloc jobs at production: {} (95%)",
+        pct(a.in_alloc_prod_fraction)
+    );
     println!(
         "memory fill in/out of allocs: {} / {} (73% / 41%)",
         pct(a.mem_fill_in_alloc),
         pct(a.mem_fill_outside)
     );
     let term = terminations::termination_stats(&refs);
-    println!("collections with evictions: {} (3.2%)", pct(term.collections_with_evictions));
-    println!("evicted below production: {} (96.6%)", pct(term.evicted_nonprod_fraction));
-    println!("production collections evicted: {} (<0.2%)", pct(term.prod_collections_evicted));
-    println!("single-eviction share: {} (52%)", pct(term.single_eviction_fraction));
+    println!(
+        "collections with evictions: {} (3.2%)",
+        pct(term.collections_with_evictions)
+    );
+    println!(
+        "evicted below production: {} (96.6%)",
+        pct(term.evicted_nonprod_fraction)
+    );
+    println!(
+        "production collections evicted: {} (<0.2%)",
+        pct(term.prod_collections_evicted)
+    );
+    println!(
+        "single-eviction share: {} (52%)",
+        pct(term.single_eviction_fraction)
+    );
     println!(
         "kill rate with/without parent: {} / {} (87% / 41%)",
         pct(term.kill_rate_with_parent),

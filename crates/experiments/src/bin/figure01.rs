@@ -6,7 +6,11 @@ use borg_experiments::{banner, parse_opts};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 1", "machine-shape frequency by CPU and memory", &opts);
+    banner(
+        "Figure 1",
+        "machine-shape frequency by CPU and memory",
+        &opts,
+    );
     let y2019 = simulate_2019_all(opts.scale, opts.seed);
     let refs: Vec<&_> = y2019.iter().collect();
     let bubbles = shapes::shape_bubbles(&refs);

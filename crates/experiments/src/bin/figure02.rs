@@ -1,6 +1,8 @@
 //! Figure 2: hourly CPU/memory usage by tier, 2011 vs 2019.
 
-use borg_core::analyses::utilization::{averaged_hourly_fractions, hourly_fractions, Dimension, Quantity};
+use borg_core::analyses::utilization::{
+    averaged_hourly_fractions, hourly_fractions, Dimension, Quantity,
+};
 use borg_core::pipeline::simulate_both_eras;
 use borg_experiments::{banner, dump_series, parse_opts};
 use borg_trace::priority::Tier;
@@ -11,18 +13,23 @@ fn print_panel(name: &str, series: &std::collections::BTreeMap<Tier, Vec<f64>>) 
         let mean = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        println!("{tier:>5}: mean {mean:.3}  min {min:.3}  max {max:.3}  ({} hours)", xs.len());
+        println!(
+            "{tier:>5}: mean {mean:.3}  min {min:.3}  max {max:.3}  ({} hours)",
+            xs.len()
+        );
     }
 }
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 2", "fraction of cell capacity used per hour, by tier", &opts);
+    banner(
+        "Figure 2",
+        "fraction of cell capacity used per hour, by tier",
+        &opts,
+    );
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     for o in std::iter::once(&y2011).chain(&y2019) {
-        if let Some((strength, peak)) =
-            borg_core::analyses::utilization::diurnal_cycle(o)
-        {
+        if let Some((strength, peak)) = borg_core::analyses::utilization::diurnal_cycle(o) {
             println!(
                 "cell {:>4}: diurnal strength {strength:.3}, usage peaks near hour {peak:.1}",
                 o.metrics.cell_name
@@ -36,7 +43,10 @@ fn main() {
             &hourly_fractions(&y2011, Quantity::Usage, d),
         );
         let averaged = averaged_hourly_fractions(&y2019, Quantity::Usage, d);
-        print_panel(&format!("2019 {dn} usage (averaged across 8 cells)"), &averaged);
+        print_panel(
+            &format!("2019 {dn} usage (averaged across 8 cells)"),
+            &averaged,
+        );
         for (tier, series) in &averaged {
             let pts: Vec<(f64, f64)> = series
                 .iter()

@@ -1,12 +1,18 @@
 //! Figure 4: hourly CPU/memory allocation by tier (over-commitment).
 
-use borg_core::analyses::utilization::{averaged_hourly_fractions, hourly_fractions, Dimension, Quantity};
+use borg_core::analyses::utilization::{
+    averaged_hourly_fractions, hourly_fractions, Dimension, Quantity,
+};
 use borg_core::pipeline::simulate_both_eras;
 use borg_experiments::{banner, parse_opts};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 4", "fraction of cell capacity allocated per hour", &opts);
+    banner(
+        "Figure 4",
+        "fraction of cell capacity allocated per hour",
+        &opts,
+    );
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     for (d, dn) in [(Dimension::Cpu, "CPU"), (Dimension::Memory, "memory")] {
         let a2011 = hourly_fractions(&y2011, Quantity::Allocation, d);

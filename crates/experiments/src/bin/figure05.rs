@@ -11,7 +11,13 @@ fn main() {
     let mut rows = vec![("2011", &y2011)];
     rows.extend(labelled(&y2019));
     println!("--- CPU (fraction of cell capacity) ---");
-    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Cpu));
+    println!(
+        "{}",
+        render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Cpu)
+    );
     println!("--- memory ---");
-    println!("{}", render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Memory));
+    println!(
+        "{}",
+        render_per_cell_bars(&rows, Quantity::Allocation, Dimension::Memory)
+    );
 }

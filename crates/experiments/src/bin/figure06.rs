@@ -6,19 +6,33 @@ use borg_experiments::{banner, parse_opts, print_ccdf_summary};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 6", "machine utilization CCDFs at the day-15 snapshot", &opts);
+    banner(
+        "Figure 6",
+        "machine utilization CCDFs at the day-15 snapshot",
+        &opts,
+    );
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     println!("--- CPU utilization ---");
     for o in &y2019 {
-        print_ccdf_summary(&format!("cell {}", o.metrics.cell_name), &machine_util::cpu_ccdf(o));
+        print_ccdf_summary(
+            &format!("cell {}", o.metrics.cell_name),
+            &machine_util::cpu_ccdf(o),
+        );
     }
     print_ccdf_summary("2011", &machine_util::cpu_ccdf(&y2011));
     println!("\n--- memory utilization ---");
     for o in &y2019 {
-        print_ccdf_summary(&format!("cell {}", o.metrics.cell_name), &machine_util::mem_ccdf(o));
+        print_ccdf_summary(
+            &format!("cell {}", o.metrics.cell_name),
+            &machine_util::mem_ccdf(o),
+        );
     }
     print_ccdf_summary("2011", &machine_util::mem_ccdf(&y2011));
-    let above_2019: f64 = y2019.iter().map(|o| machine_util::fraction_above_cpu(o, 0.8)).sum::<f64>() / y2019.len() as f64;
+    let above_2019: f64 = y2019
+        .iter()
+        .map(|o| machine_util::fraction_above_cpu(o, 0.8))
+        .sum::<f64>()
+        / y2019.len() as f64;
     println!(
         "\nmachines above 80% CPU: 2019 avg {:.3} vs 2011 {:.3} (paper: fewer in 2019)",
         above_2019,

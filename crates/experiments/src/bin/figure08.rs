@@ -6,7 +6,11 @@ use borg_experiments::{banner, dump_series, parse_opts, print_ccdf_summary};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 8", "job submissions per hour (full-cell rates)", &opts);
+    banner(
+        "Figure 8",
+        "job submissions per hour (full-cell rates)",
+        &opts,
+    );
     let scale = opts.scale.config(opts.seed).scale;
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     let c2011 = submission::job_rate_ccdf(&y2011, scale);

@@ -6,7 +6,11 @@ use borg_experiments::{banner, parse_opts, print_ccdf_summary};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 9", "task submissions per hour, new tasks vs all tasks", &opts);
+    banner(
+        "Figure 9",
+        "task submissions per hour, new tasks vs all tasks",
+        &opts,
+    );
     let scale = opts.scale.config(opts.seed).scale;
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     let (new11, all11) = submission::task_rate_ccdfs(&y2011, scale);

@@ -6,18 +6,29 @@ use borg_experiments::{banner, dump_series, parse_opts, print_ccdf_summary};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 10", "job scheduling delay (ready → first task running, seconds)", &opts);
+    banner(
+        "Figure 10",
+        "job scheduling delay (ready → first task running, seconds)",
+        &opts,
+    );
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     println!("--- by cell ---");
     print_ccdf_summary("2011", &delay::delay_ccdf(&y2011));
     for o in &y2019 {
-        print_ccdf_summary(&format!("2019 cell {}", o.metrics.cell_name), &delay::delay_ccdf(o));
+        print_ccdf_summary(
+            &format!("2019 cell {}", o.metrics.cell_name),
+            &delay::delay_ccdf(o),
+        );
     }
     println!("\n--- by tier (2019, pooled) ---");
     let refs: Vec<&_> = y2019.iter().collect();
     for (tier, ccdf) in delay::delay_ccdfs_by_tier(&refs) {
         print_ccdf_summary(&format!("{tier}"), &ccdf);
-        dump_series(&opts, &format!("figure10_{tier}"), &ccdf.linear_series(0.0, 25.0, 100));
+        dump_series(
+            &opts,
+            &format!("figure10_{tier}"),
+            &ccdf.linear_series(0.0, 25.0, 100),
+        );
     }
     dump_series(
         &opts,

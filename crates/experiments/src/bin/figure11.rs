@@ -5,7 +5,11 @@ use borg_experiments::{banner, parse_opts, print_ccdf_summary};
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 11", "tasks per job by tier (calibrated model, uncapped)", &opts);
+    banner(
+        "Figure 11",
+        "tasks per job by tier (calibrated model, uncapped)",
+        &opts,
+    );
     for (tier, ccdf) in tasks_per_job::model_ccdfs(400_000, opts.seed) {
         print_ccdf_summary(&format!("{tier}"), &ccdf);
         let p80 = ccdf.quantile_exceeding(0.20).unwrap_or(f64::NAN);

@@ -7,7 +7,11 @@ use borg_workload::integral::IntegralModel;
 
 fn main() {
     let opts = parse_opts();
-    banner("Figure 12", "CCDF of usage-integral per job (log-log)", &opts);
+    banner(
+        "Figure 12",
+        "CCDF of usage-integral per job (log-log)",
+        &opts,
+    );
     let n = 1_000_000;
     let (cpu19, mem19) = consumption::era_samples(&IntegralModel::model_2019(), n, opts.seed);
     let (cpu11, mem11) = consumption::era_samples(&IntegralModel::model_2011(), n, opts.seed ^ 1);

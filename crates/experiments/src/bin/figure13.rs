@@ -9,10 +9,16 @@ fn main() {
     let f = correlation::figure13(1_000_000, opts.seed).expect("figure 13 computes");
     println!("bucket(NCU-h)  median NMU-h  jobs");
     for b in f.buckets.iter().take(30) {
-        println!("{:>8.0}-{:<6.0} {:>12.4} {:>6}", b.x_lo, b.x_hi, b.median_y, b.count);
+        println!(
+            "{:>8.0}-{:<6.0} {:>12.4} {:>6}",
+            b.x_lo, b.x_hi, b.median_y, b.count
+        );
     }
     if f.buckets.len() > 30 {
         println!("... ({} buckets total)", f.buckets.len());
     }
-    println!("\nPearson correlation of bucketed medians: {:.3} (paper: 0.97)", f.pearson);
+    println!(
+        "\nPearson correlation of bucketed medians: {:.3} (paper: 0.97)",
+        f.pearson
+    );
 }

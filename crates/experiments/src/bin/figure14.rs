@@ -18,6 +18,8 @@ fn main() {
         );
     }
     if let Some(r) = autoscaling::full_vs_manual_median_reduction(&refs) {
-        println!("\nmedian slack reduction, fully autoscaled vs manual: {r:.1} points (paper: >25)");
+        println!(
+            "\nmedian slack reduction, fully autoscaled vs manual: {r:.1} points (paper: >25)"
+        );
     }
 }

@@ -7,17 +7,36 @@ use borg_experiments::{banner, parse_opts};
 
 fn main() {
     let opts = parse_opts();
-    banner("Section 5", "alloc sets (§5.1) and terminations (§5.2)", &opts);
+    banner(
+        "Section 5",
+        "alloc sets (§5.1) and terminations (§5.2)",
+        &opts,
+    );
     let y2019 = simulate_2019_all(opts.scale, opts.seed);
     let refs: Vec<&_> = y2019.iter().collect();
 
     let a = allocs::alloc_stats(&refs);
     println!("--- §5.1 alloc sets (paper values in parentheses) ---");
-    println!("alloc sets among collections: {} (2%)", pct(a.alloc_set_collection_fraction));
-    println!("alloc sets' share of CPU allocation: {} (20%)", pct(a.alloc_cpu_allocation_share));
-    println!("alloc sets' share of RAM allocation: {} (18%)", pct(a.alloc_mem_allocation_share));
-    println!("jobs running in an alloc set: {} (15%)", pct(a.jobs_in_alloc_fraction));
-    println!("of those, production tier: {} (95%)", pct(a.in_alloc_prod_fraction));
+    println!(
+        "alloc sets among collections: {} (2%)",
+        pct(a.alloc_set_collection_fraction)
+    );
+    println!(
+        "alloc sets' share of CPU allocation: {} (20%)",
+        pct(a.alloc_cpu_allocation_share)
+    );
+    println!(
+        "alloc sets' share of RAM allocation: {} (18%)",
+        pct(a.alloc_mem_allocation_share)
+    );
+    println!(
+        "jobs running in an alloc set: {} (15%)",
+        pct(a.jobs_in_alloc_fraction)
+    );
+    println!(
+        "of those, production tier: {} (95%)",
+        pct(a.in_alloc_prod_fraction)
+    );
     println!(
         "memory utilization in-alloc vs others: {} vs {} (73% vs 41%)",
         pct(a.mem_fill_in_alloc),
@@ -26,10 +45,28 @@ fn main() {
 
     let t = terminations::termination_stats(&refs);
     println!("\n--- §5.2 terminations ---");
-    println!("collections with any eviction: {} (3.2%)", pct(t.collections_with_evictions));
-    println!("evicted collections below production: {} (96.6%)", pct(t.evicted_nonprod_fraction));
-    println!("production collections evicted: {} (<0.2%)", pct(t.prod_collections_evicted));
-    println!("evicted collections with exactly one eviction: {} (52%)", pct(t.single_eviction_fraction));
-    println!("kill rate with parent: {} (87%)", pct(t.kill_rate_with_parent));
-    println!("kill rate without parent: {} (41%)", pct(t.kill_rate_without_parent));
+    println!(
+        "collections with any eviction: {} (3.2%)",
+        pct(t.collections_with_evictions)
+    );
+    println!(
+        "evicted collections below production: {} (96.6%)",
+        pct(t.evicted_nonprod_fraction)
+    );
+    println!(
+        "production collections evicted: {} (<0.2%)",
+        pct(t.prod_collections_evicted)
+    );
+    println!(
+        "evicted collections with exactly one eviction: {} (52%)",
+        pct(t.single_eviction_fraction)
+    );
+    println!(
+        "kill rate with parent: {} (87%)",
+        pct(t.kill_rate_with_parent)
+    );
+    println!(
+        "kill rate without parent: {} (41%)",
+        pct(t.kill_rate_without_parent)
+    );
 }

@@ -6,15 +6,24 @@ use borg_workload::integral::IntegralModel;
 
 fn main() {
     let opts = parse_opts();
-    banner("Section 7.3", "Pollaczek–Khinchine delays for the measured C²", &opts);
+    banner(
+        "Section 7.3",
+        "Pollaczek–Khinchine delays for the measured C²",
+        &opts,
+    );
     let (cpu19, _) = consumption::era_samples(&IntegralModel::model_2019(), 1_000_000, opts.seed);
     let rows = queueing::queueing_rows(&cpu19, &[0.1, 0.3, 0.5, 0.7, 0.9]).expect("valid loads");
-    println!("{:>5} {:>16} {:>16} {:>12}", "rho", "delay (full)", "delay (mice)", "benefit");
+    println!(
+        "{:>5} {:>16} {:>16} {:>12}",
+        "rho", "delay (full)", "delay (mice)", "benefit"
+    );
     for r in rows {
         println!(
             "{:>5.1} {:>16.1} {:>16.4} {:>12.0}x",
             r.rho, r.delay_full, r.delay_mice, r.benefit
         );
     }
-    println!("\ndelays in units of mean service time; 'mice' = bottom 99% of jobs with hogs isolated");
+    println!(
+        "\ndelays in units of mean service time; 'mice' = bottom 99% of jobs with hogs isolated"
+    );
 }

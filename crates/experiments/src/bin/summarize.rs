@@ -26,7 +26,10 @@ fn main() {
         None => {
             // Demo mode: export a simulated trace, then summarize it.
             let dir = std::env::temp_dir().join("borg2019_demo_trace");
-            println!("no trace directory given; generating a demo trace at {}\n", dir.display());
+            println!(
+                "no trace directory given; generating a demo trace at {}\n",
+                dir.display()
+            );
             let outcome = borg_core::pipeline::simulate_cell(
                 &borg_workload::cells::CellProfile::cell_2019('d'),
                 borg_core::pipeline::SimScale::Tiny,
@@ -73,7 +76,10 @@ fn summarize(trace: &Trace) {
         .filter(|c| c.collection_type == CollectionType::Job)
         .count();
     let allocs = infos.len() - jobs;
-    println!("collections: {} ({jobs} jobs, {allocs} alloc sets)", infos.len());
+    println!(
+        "collections: {} ({jobs} jobs, {allocs} alloc sets)",
+        infos.len()
+    );
     let mut by_final: std::collections::BTreeMap<&str, usize> = Default::default();
     for info in infos.values() {
         let key = info.final_event.map_or("(alive at end)", |e| e.name());
@@ -117,8 +123,7 @@ fn summarize(trace: &Trace) {
     println!(
         "usage samples: {} (avg cpu {:.4} NCU per sampled task-window)",
         trace.usage.len(),
-        trace.usage.iter().map(|u| u.avg_usage.cpu).sum::<f64>()
-            / trace.usage.len().max(1) as f64
+        trace.usage.iter().map(|u| u.avg_usage.cpu).sum::<f64>() / trace.usage.len().max(1) as f64
     );
 
     // §9 validation.

@@ -5,7 +5,11 @@ use borg_experiments::{banner, parse_opts};
 
 fn main() {
     let opts = parse_opts();
-    banner("Table 2", "per-job NCU-hour / NMU-hour distribution statistics", &opts);
+    banner(
+        "Table 2",
+        "per-job NCU-hour / NMU-hour distribution statistics",
+        &opts,
+    );
     let cols = consumption::table2(2_000_000, opts.seed).expect("table 2 computes");
     println!("{}", consumption::render_table2(&cols));
     // Load-concentration summary (extension): Gini coefficients.

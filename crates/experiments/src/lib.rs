@@ -60,7 +60,9 @@ pub fn parse_opts() -> ExpOpts {
             }
             "--dump" => {
                 i += 1;
-                let dir = args.get(i).unwrap_or_else(|| panic!("--dump needs a directory"));
+                let dir = args
+                    .get(i)
+                    .unwrap_or_else(|| panic!("--dump needs a directory"));
                 opts.dump = Some(std::path::PathBuf::from(dir));
             }
             other => {

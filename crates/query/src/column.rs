@@ -1,5 +1,6 @@
 //! Typed columnar storage.
 
+use crate::dict::StrVec;
 use crate::error::QueryError;
 use crate::value::Value;
 
@@ -29,14 +30,18 @@ impl DataType {
 }
 
 /// A nullable, typed column of values.
+///
+/// Strings are dictionary-encoded ([`StrVec`]): each distinct string is
+/// stored once in a shared pool and rows hold dense `u32` codes, so the
+/// relational operators compare integers rather than cloned `String`s.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// Integer column.
     Int(Vec<Option<i64>>),
     /// Float column.
     Float(Vec<Option<f64>>),
-    /// String column.
-    Str(Vec<Option<String>>),
+    /// String column (dictionary-encoded).
+    Str(StrVec),
     /// Boolean column.
     Bool(Vec<Option<bool>>),
 }
@@ -47,8 +52,28 @@ impl Column {
         match dt {
             DataType::Int => Column::Int(Vec::new()),
             DataType::Float => Column::Float(Vec::new()),
-            DataType::Str => Column::Str(Vec::new()),
+            DataType::Str => Column::Str(StrVec::new()),
             DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// An empty column with room for `n` rows.
+    pub fn with_capacity(dt: DataType, n: usize) -> Column {
+        match dt {
+            DataType::Int => Column::Int(Vec::with_capacity(n)),
+            DataType::Float => Column::Float(Vec::with_capacity(n)),
+            DataType::Str => Column::Str(StrVec::with_capacity(n)),
+            DataType::Bool => Column::Bool(Vec::with_capacity(n)),
+        }
+    }
+
+    /// Reserves room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            Column::Int(v) => v.reserve(additional),
+            Column::Float(v) => v.reserve(additional),
+            Column::Str(v) => v.reserve(additional),
+            Column::Bool(v) => v.reserve(additional),
         }
     }
 
@@ -78,15 +103,84 @@ impl Column {
     }
 
     /// The value at `row` (out-of-range returns `Null`).
+    ///
+    /// This is the boundary where dictionary codes become owned
+    /// [`Value::Str`]s; hot paths inside the engine use the typed
+    /// accessors ([`Column::f64_at`], [`Column::str_vec`], …) instead.
     pub fn get(&self, row: usize) -> Value {
         match self {
-            Column::Int(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Int),
-            Column::Float(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Float),
+            Column::Int(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map_or(Value::Null, Value::Int),
+            Column::Float(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map_or(Value::Null, Value::Float),
             Column::Str(v) => v
                 .get(row)
-                .and_then(|o| o.clone())
-                .map_or(Value::Null, Value::Str),
-            Column::Bool(v) => v.get(row).copied().flatten().map_or(Value::Null, Value::Bool),
+                .map_or(Value::Null, |s| Value::Str(s.to_string())),
+            Column::Bool(v) => v
+                .get(row)
+                .copied()
+                .flatten()
+                .map_or(Value::Null, Value::Bool),
+        }
+    }
+
+    /// Numeric view of one cell: ints widen to `f64`; `None` for nulls
+    /// and non-numeric columns. No `Value` is materialized.
+    #[inline]
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => v.get(row).copied().flatten().map(|x| x as f64),
+            Column::Float(v) => v.get(row).copied().flatten(),
+            _ => None,
+        }
+    }
+
+    /// True when the cell is null (out-of-range counts as null).
+    #[inline]
+    pub fn is_null_at(&self, row: usize) -> bool {
+        match self {
+            Column::Int(v) => v.get(row).copied().flatten().is_none(),
+            Column::Float(v) => v.get(row).copied().flatten().is_none(),
+            Column::Str(v) => v.get(row).is_none(),
+            Column::Bool(v) => v.get(row).copied().flatten().is_none(),
+        }
+    }
+
+    /// The dictionary-encoded string storage, for string columns.
+    pub fn str_vec(&self) -> Option<&StrVec> {
+        match self {
+            Column::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw integer cells, for int columns.
+    pub fn int_slice(&self) -> Option<&[Option<i64>]> {
+        match self {
+            Column::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw float cells, for float columns.
+    pub fn float_slice(&self) -> Option<&[Option<f64>]> {
+        match self {
+            Column::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw boolean cells, for bool columns.
+    pub fn bool_slice(&self) -> Option<&[Option<bool>]> {
+        match self {
+            Column::Bool(v) => Some(v),
+            _ => None,
         }
     }
 
@@ -102,7 +196,7 @@ impl Column {
             (Column::Float(v), Value::Float(x)) => v.push(Some(x)),
             (Column::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
             (Column::Float(v), Value::Null) => v.push(None),
-            (Column::Str(v), Value::Str(x)) => v.push(Some(x)),
+            (Column::Str(v), Value::Str(x)) => v.push(Some(&x)),
             (Column::Str(v), Value::Null) => v.push(None),
             (Column::Bool(v), Value::Bool(x)) => v.push(Some(x)),
             (Column::Bool(v), Value::Null) => v.push(None),
@@ -118,32 +212,35 @@ impl Column {
     }
 
     /// A new column containing only the rows selected by `mask` (same
-    /// length as the column; `true` keeps).
+    /// length as the column; `true` keeps). Allocation is sized exactly
+    /// from the mask's population count.
     pub fn filter(&self, mask: &[bool]) -> Column {
-        fn keep<T: Clone>(v: &[Option<T>], mask: &[bool]) -> Vec<Option<T>> {
-            v.iter()
-                .zip(mask)
-                .filter(|(_, &m)| m)
-                .map(|(x, _)| x.clone())
-                .collect()
+        fn keep<T: Copy>(v: &[Option<T>], mask: &[bool]) -> Vec<Option<T>> {
+            let kept = mask.iter().filter(|&&m| m).count();
+            let mut out = Vec::with_capacity(kept);
+            out.extend(v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x));
+            out
         }
         match self {
             Column::Int(v) => Column::Int(keep(v, mask)),
             Column::Float(v) => Column::Float(keep(v, mask)),
-            Column::Str(v) => Column::Str(keep(v, mask)),
+            Column::Str(v) => Column::Str(v.filter(mask)),
             Column::Bool(v) => Column::Bool(keep(v, mask)),
         }
     }
 
-    /// A new column with rows rearranged to `indices` order.
+    /// A new column with rows rearranged to `indices` order
+    /// (out-of-range indices become null).
     pub fn take(&self, indices: &[usize]) -> Column {
-        fn gather<T: Clone>(v: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
-            idx.iter().map(|&i| v.get(i).cloned().flatten()).collect()
+        fn gather<T: Copy>(v: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
+            let mut out = Vec::with_capacity(idx.len());
+            out.extend(idx.iter().map(|&i| v.get(i).copied().flatten()));
+            out
         }
         match self {
             Column::Int(v) => Column::Int(gather(v, indices)),
             Column::Float(v) => Column::Float(gather(v, indices)),
-            Column::Str(v) => Column::Str(gather(v, indices)),
+            Column::Str(v) => Column::Str(v.take(indices)),
             Column::Bool(v) => Column::Bool(gather(v, indices)),
         }
     }
@@ -200,6 +297,38 @@ mod tests {
         let t = c.take(&[4, 0]);
         assert_eq!(t.get(0), Value::Int(4));
         assert_eq!(t.get(1), Value::Int(0));
+    }
+
+    #[test]
+    fn string_columns_dictionary_encode() {
+        let mut c = Column::empty(DataType::Str);
+        for s in ["prod", "beb", "prod", "prod"] {
+            c.push(Value::str(s), "tier").unwrap();
+        }
+        c.push(Value::Null, "tier").unwrap();
+        let sv = c.str_vec().unwrap();
+        assert_eq!(sv.dict_len(), 2); // two distinct strings despite 4 rows
+        assert_eq!(sv.code(0), sv.code(2));
+        assert_eq!(c.get(0), Value::str("prod"));
+        assert_eq!(c.get(4), Value::Null);
+        // Filter shares the pool instead of cloning strings.
+        let f = c.filter(&[true, true, false, false, true]);
+        assert_eq!(f.str_vec().unwrap().get(0), Some("prod"));
+        assert!(f.str_vec().unwrap().same_dict(sv));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mut c = Column::empty(DataType::Int);
+        c.push(Value::Int(3), "x").unwrap();
+        c.push(Value::Null, "x").unwrap();
+        assert_eq!(c.f64_at(0), Some(3.0));
+        assert_eq!(c.f64_at(1), None);
+        assert!(!c.is_null_at(0));
+        assert!(c.is_null_at(1));
+        assert!(c.is_null_at(7));
+        assert!(c.str_vec().is_none());
+        assert_eq!(c.int_slice().unwrap().len(), 2);
     }
 
     #[test]

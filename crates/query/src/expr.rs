@@ -5,12 +5,25 @@
 //! subset the paper's queries need. Nulls propagate SQL-style: any
 //! operation on a null yields null, and a null predicate does not select
 //! the row.
+//!
+//! Evaluation is columnar: an expression evaluates over a row range into
+//! a typed vector ([`EvalVec`]), with literal operands kept as broadcast
+//! constants and per-type kernels for the hot combinations (numeric
+//! arithmetic and comparison, string-vs-literal comparison via
+//! dictionary codes, boolean logic). Predicate masks evaluate blocks of
+//! rows in parallel ([`crate::parallel`]); because each block is a pure
+//! function of the input rows, the mask is identical however many
+//! threads run. [`Expr::eval_row`] remains as the row-at-a-time
+//! reference implementation.
 
 use crate::column::Column;
+use crate::dict::{StrVec, NULL_CODE};
 use crate::error::QueryError;
+use crate::parallel;
 use crate::table::Table;
 use crate::value::Value;
 use std::cmp::Ordering;
+use std::ops::Range;
 
 /// An expression tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,7 +157,8 @@ impl Expr {
         }
     }
 
-    /// Evaluates the expression for one row of a table.
+    /// Evaluates the expression for one row of a table (the reference
+    /// semantics; the columnar path must agree with this).
     pub fn eval_row(&self, table: &Table, row: usize) -> Result<Value, QueryError> {
         match self {
             Expr::Column(name) => table.value(row, name),
@@ -159,23 +173,11 @@ impl Expr {
             },
             Expr::IsNull(inner) => Ok(Value::Bool(inner.eval_row(table, row)?.is_null())),
             Expr::Bucket { inner, width } => {
-                if width.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                    return Err(QueryError::IncompatibleOperands {
-                        op: "bucket",
-                        detail: format!("non-positive width {width}"),
-                    });
-                }
+                check_bucket_width(*width)?;
                 match inner.eval_row(table, row)? {
                     Value::Null => Ok(Value::Null),
-                    Value::Int(i) => {
-                        let w = *width as i64;
-                        if w >= 1 && (*width - w as f64).abs() < 1e-9 {
-                            Ok(Value::Int(i.div_euclid(w) * w))
-                        } else {
-                            Ok(Value::Float((i as f64 / width).floor() * width))
-                        }
-                    }
-                    Value::Float(x) => Ok(Value::Float((x / width).floor() * width)),
+                    Value::Int(i) => Ok(bucket_int(i, *width)),
+                    Value::Float(x) => Ok(Value::Float(bucket_f64(x, *width))),
                     other => Err(QueryError::IncompatibleOperands {
                         op: "bucket",
                         detail: format!("{other:?}"),
@@ -198,41 +200,555 @@ impl Expr {
     }
 
     /// Evaluates the expression as a predicate mask: null ⇒ `false`.
+    ///
+    /// Blocks of rows evaluate in parallel; the result is independent of
+    /// the thread count.
     pub fn eval_mask(&self, table: &Table) -> Result<Vec<bool>, QueryError> {
-        self.eval(table)?
-            .into_iter()
-            .map(|v| match v {
-                Value::Bool(b) => Ok(b),
-                Value::Null => Ok(false),
-                other => Err(QueryError::IncompatibleOperands {
-                    op: "filter",
-                    detail: format!("predicate produced {other:?}"),
-                }),
-            })
-            .collect()
+        let n = table.num_rows();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let blocks = parallel::map_blocks(n, parallel::num_threads(), |_, rows| {
+            let len = rows.len();
+            self.eval_vec(table, rows).and_then(|v| mask_block(v, len))
+        });
+        let mut mask = Vec::with_capacity(n);
+        for block in blocks {
+            mask.extend(block?);
+        }
+        Ok(mask)
     }
 
     /// Evaluates into a typed [`Column`] (type inferred from the first
     /// non-null value; all-null becomes a float column).
     pub fn eval_column(&self, table: &Table) -> Result<Column, QueryError> {
-        let values = self.eval(table)?;
-        let dt = values
-            .iter()
-            .find_map(|v| match v {
-                Value::Int(_) => Some(crate::column::DataType::Int),
-                Value::Float(_) => Some(crate::column::DataType::Float),
-                Value::Str(_) => Some(crate::column::DataType::Str),
-                Value::Bool(_) => Some(crate::column::DataType::Bool),
-                Value::Null => None,
-            })
-            .unwrap_or(crate::column::DataType::Float);
-        let mut col = Column::empty(dt);
-        for v in values {
-            // Ints widen into float columns when the first value was a
-            // float; a genuine mixed-type expression is a user error.
-            col.push(v, "<expr>")?;
+        let n = table.num_rows();
+        if n == 0 {
+            return Ok(Column::Float(Vec::new()));
         }
-        Ok(col)
+        fn all_null<T>(v: &[Option<T>]) -> bool {
+            v.iter().all(Option::is_none)
+        }
+        Ok(match self.eval_vec(table, 0..n)? {
+            EvalVec::Int(v) if !all_null(&v) => Column::Int(v),
+            EvalVec::Float(v) if !all_null(&v) => Column::Float(v),
+            EvalVec::Str(v) if v.codes().iter().any(|&c| c != NULL_CODE) => Column::Str(v),
+            EvalVec::Bool(v) if !all_null(&v) => Column::Bool(v),
+            EvalVec::Const(Value::Int(x)) => Column::Int(vec![Some(x); n]),
+            EvalVec::Const(Value::Float(x)) => Column::Float(vec![Some(x); n]),
+            EvalVec::Const(Value::Bool(x)) => Column::Bool(vec![Some(x); n]),
+            EvalVec::Const(Value::Str(s)) => {
+                let mut v = StrVec::with_capacity(n);
+                let code = v.intern(&s);
+                for _ in 0..n {
+                    v.push_code(code);
+                }
+                Column::Str(v)
+            }
+            // All-null results (whatever carrier produced them) become a
+            // float column, matching the row-at-a-time type inference.
+            _ => Column::Float(vec![None; n]),
+        })
+    }
+
+    /// Columnar evaluation over a row range. Pure: the result depends
+    /// only on `table` and `rows`, never on scheduling.
+    fn eval_vec(&self, table: &Table, rows: Range<usize>) -> Result<EvalVec, QueryError> {
+        match self {
+            Expr::Column(name) => Ok(match table.column(name)? {
+                Column::Int(v) => EvalVec::Int(v[rows].to_vec()),
+                Column::Float(v) => EvalVec::Float(v[rows].to_vec()),
+                Column::Str(v) => EvalVec::Str(v.slice(rows)),
+                Column::Bool(v) => EvalVec::Bool(v[rows].to_vec()),
+            }),
+            Expr::Literal(v) => Ok(EvalVec::Const(v.clone())),
+            Expr::Not(inner) => eval_not(inner.eval_vec(table, rows)?),
+            Expr::IsNull(inner) => Ok(eval_is_null(inner.eval_vec(table, rows)?)),
+            Expr::Bucket { inner, width } => {
+                check_bucket_width(*width)?;
+                eval_bucket(inner.eval_vec(table, rows)?, *width)
+            }
+            Expr::Binary { op, left, right } => {
+                let len = rows.len();
+                let l = left.eval_vec(table, rows.clone())?;
+                let r = right.eval_vec(table, rows)?;
+                eval_binop_vec(*op, l, r, len)
+            }
+        }
+    }
+}
+
+/// One block's evaluation result: a typed vector, or a broadcast literal
+/// (length-independent).
+enum EvalVec {
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Str(StrVec),
+    Bool(Vec<Option<bool>>),
+    Const(Value),
+}
+
+/// A borrowed scalar view of one cell — the generic fallback currency
+/// (no heap allocation, unlike [`Value`]).
+#[derive(Clone, Copy)]
+enum Cell<'a> {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+    Bool(bool),
+}
+
+impl Cell<'_> {
+    fn is_null(self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    fn as_f64(self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(i as f64),
+            Cell::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Owned value, for error messages only.
+    fn to_value(self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::Int(i) => Value::Int(i),
+            Cell::Float(f) => Value::Float(f),
+            Cell::Str(s) => Value::Str(s.to_string()),
+            Cell::Bool(b) => Value::Bool(b),
+        }
+    }
+}
+
+impl EvalVec {
+    #[inline]
+    fn cell(&self, i: usize) -> Cell<'_> {
+        match self {
+            EvalVec::Int(v) => v[i].map_or(Cell::Null, Cell::Int),
+            EvalVec::Float(v) => v[i].map_or(Cell::Null, Cell::Float),
+            EvalVec::Str(v) => v.get(i).map_or(Cell::Null, Cell::Str),
+            EvalVec::Bool(v) => v[i].map_or(Cell::Null, Cell::Bool),
+            EvalVec::Const(v) => match v {
+                Value::Null => Cell::Null,
+                Value::Int(x) => Cell::Int(*x),
+                Value::Float(x) => Cell::Float(*x),
+                Value::Str(s) => Cell::Str(s),
+                Value::Bool(b) => Cell::Bool(*b),
+            },
+        }
+    }
+
+    fn is_const_null(&self) -> bool {
+        matches!(self, EvalVec::Const(Value::Null))
+    }
+
+    /// The first non-null cell, if any (error paths and all-null checks).
+    fn first_non_null(&self, len: usize) -> Option<Cell<'_>> {
+        (0..len).map(|i| self.cell(i)).find(|c| !c.is_null())
+    }
+}
+
+/// Numeric per-row view: ints widen to `f64`.
+enum NumView<'a> {
+    Int(&'a [Option<i64>]),
+    Float(&'a [Option<f64>]),
+    Const(f64),
+}
+
+impl NumView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<f64> {
+        match self {
+            NumView::Int(v) => v[i].map(|x| x as f64),
+            NumView::Float(v) => v[i],
+            NumView::Const(x) => Some(*x),
+        }
+    }
+}
+
+/// Numeric view when the operand is statically numeric; `None` otherwise
+/// (the caller falls back to the generic cell path).
+fn num_view(v: &EvalVec) -> Option<NumView<'_>> {
+    match v {
+        EvalVec::Int(v) => Some(NumView::Int(v)),
+        EvalVec::Float(v) => Some(NumView::Float(v)),
+        EvalVec::Const(Value::Int(x)) => Some(NumView::Const(*x as f64)),
+        EvalVec::Const(Value::Float(x)) => Some(NumView::Const(*x)),
+        _ => None,
+    }
+}
+
+/// Integer per-row view (for int-preserving arithmetic).
+enum IntView<'a> {
+    Vec(&'a [Option<i64>]),
+    Const(i64),
+}
+
+impl IntView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<i64> {
+        match self {
+            IntView::Vec(v) => v[i],
+            IntView::Const(x) => Some(*x),
+        }
+    }
+}
+
+fn int_view(v: &EvalVec) -> Option<IntView<'_>> {
+    match v {
+        EvalVec::Int(v) => Some(IntView::Vec(v)),
+        EvalVec::Const(Value::Int(x)) => Some(IntView::Const(*x)),
+        _ => None,
+    }
+}
+
+/// Boolean per-row view for `AND`/`OR`/`NOT` operands. Errors when the
+/// operand can produce a non-null non-boolean (matching the row-at-a-time
+/// semantics, where such a row errors regardless of the other operand).
+enum BoolView<'a> {
+    Vec(&'a [Option<bool>]),
+    Const(Option<bool>),
+}
+
+impl BoolView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<bool> {
+        match self {
+            BoolView::Vec(v) => v[i],
+            BoolView::Const(b) => *b,
+        }
+    }
+}
+
+fn bool_view<'a>(v: &'a EvalVec, len: usize, op: &'static str) -> Result<BoolView<'a>, QueryError> {
+    match v {
+        EvalVec::Bool(v) => Ok(BoolView::Vec(v)),
+        EvalVec::Const(Value::Bool(b)) => Ok(BoolView::Const(Some(*b))),
+        EvalVec::Const(Value::Null) => Ok(BoolView::Const(None)),
+        other => match other.first_non_null(len) {
+            None => Ok(BoolView::Const(None)), // all null: a null operand per row
+            Some(cell) => Err(QueryError::IncompatibleOperands {
+                op,
+                detail: format!("{:?}", cell.to_value()),
+            }),
+        },
+    }
+}
+
+fn check_bucket_width(width: f64) -> Result<(), QueryError> {
+    if width.partial_cmp(&0.0) != Some(Ordering::Greater) {
+        return Err(QueryError::IncompatibleOperands {
+            op: "bucket",
+            detail: format!("non-positive width {width}"),
+        });
+    }
+    Ok(())
+}
+
+fn bucket_int(i: i64, width: f64) -> Value {
+    let w = width as i64;
+    if w >= 1 && (width - w as f64).abs() < 1e-9 {
+        Value::Int(i.div_euclid(w) * w)
+    } else {
+        Value::Float((i as f64 / width).floor() * width)
+    }
+}
+
+fn bucket_f64(x: f64, width: f64) -> f64 {
+    (x / width).floor() * width
+}
+
+fn eval_not(v: EvalVec) -> Result<EvalVec, QueryError> {
+    match v {
+        EvalVec::Bool(v) => Ok(EvalVec::Bool(
+            v.into_iter().map(|b| b.map(|b| !b)).collect(),
+        )),
+        EvalVec::Const(Value::Bool(b)) => Ok(EvalVec::Const(Value::Bool(!b))),
+        EvalVec::Const(Value::Null) => Ok(EvalVec::Const(Value::Null)),
+        other => {
+            let len = match &other {
+                EvalVec::Int(v) => v.len(),
+                EvalVec::Float(v) => v.len(),
+                EvalVec::Str(v) => v.len(),
+                _ => 1,
+            };
+            match other.first_non_null(len) {
+                None => Ok(EvalVec::Const(Value::Null)),
+                Some(cell) => Err(QueryError::IncompatibleOperands {
+                    op: "not",
+                    detail: format!("{:?}", cell.to_value()),
+                }),
+            }
+        }
+    }
+}
+
+fn eval_is_null(v: EvalVec) -> EvalVec {
+    match v {
+        EvalVec::Int(v) => EvalVec::Bool(v.into_iter().map(|c| Some(c.is_none())).collect()),
+        EvalVec::Float(v) => EvalVec::Bool(v.into_iter().map(|c| Some(c.is_none())).collect()),
+        EvalVec::Str(v) => EvalVec::Bool(v.codes().iter().map(|&c| Some(c == NULL_CODE)).collect()),
+        EvalVec::Bool(v) => EvalVec::Bool(v.into_iter().map(|c| Some(c.is_none())).collect()),
+        EvalVec::Const(v) => EvalVec::Const(Value::Bool(v.is_null())),
+    }
+}
+
+fn eval_bucket(v: EvalVec, width: f64) -> Result<EvalVec, QueryError> {
+    match v {
+        EvalVec::Int(xs) => {
+            let w = width as i64;
+            if w >= 1 && (width - w as f64).abs() < 1e-9 {
+                Ok(EvalVec::Int(
+                    xs.into_iter()
+                        .map(|c| c.map(|i| i.div_euclid(w) * w))
+                        .collect(),
+                ))
+            } else {
+                Ok(EvalVec::Float(
+                    xs.into_iter()
+                        .map(|c| c.map(|i| bucket_f64(i as f64, width)))
+                        .collect(),
+                ))
+            }
+        }
+        EvalVec::Float(xs) => Ok(EvalVec::Float(
+            xs.into_iter()
+                .map(|c| c.map(|x| bucket_f64(x, width)))
+                .collect(),
+        )),
+        EvalVec::Const(Value::Null) => Ok(EvalVec::Const(Value::Null)),
+        EvalVec::Const(Value::Int(i)) => Ok(EvalVec::Const(bucket_int(i, width))),
+        EvalVec::Const(Value::Float(x)) => Ok(EvalVec::Const(Value::Float(bucket_f64(x, width)))),
+        other => {
+            let len = match &other {
+                EvalVec::Str(v) => v.len(),
+                EvalVec::Bool(v) => v.len(),
+                _ => 1,
+            };
+            match other.first_non_null(len) {
+                None => Ok(EvalVec::Const(Value::Null)),
+                Some(cell) => Err(QueryError::IncompatibleOperands {
+                    op: "bucket",
+                    detail: format!("{:?}", cell.to_value()),
+                }),
+            }
+        }
+    }
+}
+
+#[inline]
+fn ord_matches(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("comparison op"),
+    }
+}
+
+/// String column vs string literal: one `Ordering` per dictionary code,
+/// then an integer scan (`flipped` when the literal is the left operand).
+fn str_const_cmp(op: BinOp, sv: &StrVec, s: &str, flipped: bool) -> EvalVec {
+    let ords: Vec<Ordering> = (0..sv.dict_len() as u32)
+        .map(|c| {
+            let ord = sv.string_of(c).cmp(s);
+            if flipped {
+                ord.reverse()
+            } else {
+                ord
+            }
+        })
+        .collect();
+    EvalVec::Bool(
+        sv.codes()
+            .iter()
+            .map(|&c| {
+                if c == NULL_CODE {
+                    None
+                } else {
+                    Some(ord_matches(op, ords[c as usize]))
+                }
+            })
+            .collect(),
+    )
+}
+
+fn incompatible(op: &'static str, l: Cell<'_>, r: Cell<'_>) -> QueryError {
+    QueryError::IncompatibleOperands {
+        op,
+        detail: format!("{:?} vs {:?}", l.to_value(), r.to_value()),
+    }
+}
+
+/// Generic arithmetic fallback: at least one operand is statically
+/// non-numeric, so every row with both sides non-null is an error and
+/// the surviving rows are all null.
+fn generic_arith(l: &EvalVec, r: &EvalVec, len: usize) -> Result<EvalVec, QueryError> {
+    for i in 0..len {
+        let (cl, cr) = (l.cell(i), r.cell(i));
+        if !cl.is_null() && !cr.is_null() {
+            return Err(incompatible("arithmetic", cl, cr));
+        }
+    }
+    Ok(EvalVec::Float(vec![None; len]))
+}
+
+/// Generic comparison fallback, mirroring `Value::compare` cell-wise.
+fn generic_cmp(op: BinOp, l: &EvalVec, r: &EvalVec, len: usize) -> Result<EvalVec, QueryError> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let (cl, cr) = (l.cell(i), r.cell(i));
+        if cl.is_null() || cr.is_null() {
+            out.push(None);
+            continue;
+        }
+        let ord = match (cl, cr) {
+            (Cell::Str(a), Cell::Str(b)) => a.cmp(b),
+            (Cell::Bool(a), Cell::Bool(b)) => a.cmp(&b),
+            _ => match (cl.as_f64(), cr.as_f64()) {
+                (Some(a), Some(b)) => match a.partial_cmp(&b) {
+                    Some(ord) => ord,
+                    None => return Err(incompatible("comparison", cl, cr)),
+                },
+                _ => return Err(incompatible("comparison", cl, cr)),
+            },
+        };
+        out.push(Some(ord_matches(op, ord)));
+    }
+    Ok(EvalVec::Bool(out))
+}
+
+fn eval_binop_vec(op: BinOp, l: EvalVec, r: EvalVec, len: usize) -> Result<EvalVec, QueryError> {
+    use BinOp::*;
+    // Two literals fold to a literal via the scalar engine.
+    if let (EvalVec::Const(a), EvalVec::Const(b)) = (&l, &r) {
+        return Ok(EvalVec::Const(eval_binop(op, a.clone(), b.clone())?));
+    }
+    match op {
+        And | Or => {
+            let lv = bool_view(&l, len, "and/or")?;
+            let rv = bool_view(&r, len, "and/or")?;
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                // SQL three-valued logic.
+                out.push(match (op, lv.get(i), rv.get(i)) {
+                    (And, Some(false), _) | (And, _, Some(false)) => Some(false),
+                    (And, Some(true), Some(true)) => Some(true),
+                    (Or, Some(true), _) | (Or, _, Some(true)) => Some(true),
+                    (Or, Some(false), Some(false)) => Some(false),
+                    _ => None,
+                });
+            }
+            Ok(EvalVec::Bool(out))
+        }
+        Add | Sub | Mul | Div => {
+            // A null literal nulls every row, whatever the other side is.
+            if l.is_const_null() || r.is_const_null() {
+                return Ok(EvalVec::Const(Value::Null));
+            }
+            if let (Some(a), Some(b)) = (int_view(&l), int_view(&r)) {
+                // Integer arithmetic stays integral except for division.
+                return Ok(if op == Div {
+                    EvalVec::Float(
+                        (0..len)
+                            .map(|i| match (a.get(i), b.get(i)) {
+                                (Some(x), Some(y)) if y != 0 => Some(x as f64 / y as f64),
+                                _ => None,
+                            })
+                            .collect(),
+                    )
+                } else {
+                    EvalVec::Int(
+                        (0..len)
+                            .map(|i| match (a.get(i), b.get(i)) {
+                                (Some(x), Some(y)) => Some(match op {
+                                    Add => x.wrapping_add(y),
+                                    Sub => x.wrapping_sub(y),
+                                    Mul => x.wrapping_mul(y),
+                                    _ => unreachable!("int arithmetic op"),
+                                }),
+                                _ => None,
+                            })
+                            .collect(),
+                    )
+                });
+            }
+            if let (Some(a), Some(b)) = (num_view(&l), num_view(&r)) {
+                return Ok(EvalVec::Float(
+                    (0..len)
+                        .map(|i| match (a.get(i), b.get(i)) {
+                            (Some(x), Some(y)) => match op {
+                                Add => Some(x + y),
+                                Sub => Some(x - y),
+                                Mul => Some(x * y),
+                                Div => {
+                                    if y == 0.0 {
+                                        None
+                                    } else {
+                                        Some(x / y)
+                                    }
+                                }
+                                _ => unreachable!("arithmetic op"),
+                            },
+                            _ => None,
+                        })
+                        .collect(),
+                ));
+            }
+            generic_arith(&l, &r, len)
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            // A null literal nulls every comparison.
+            if l.is_const_null() || r.is_const_null() {
+                return Ok(EvalVec::Const(Value::Null));
+            }
+            if let (EvalVec::Str(sv), EvalVec::Const(Value::Str(s))) = (&l, &r) {
+                return Ok(str_const_cmp(op, sv, s, false));
+            }
+            if let (EvalVec::Const(Value::Str(s)), EvalVec::Str(sv)) = (&l, &r) {
+                return Ok(str_const_cmp(op, sv, s, true));
+            }
+            if let (Some(a), Some(b)) = (num_view(&l), num_view(&r)) {
+                let mut out = Vec::with_capacity(len);
+                for i in 0..len {
+                    out.push(match (a.get(i), b.get(i)) {
+                        (Some(x), Some(y)) => match x.partial_cmp(&y) {
+                            Some(ord) => Some(ord_matches(op, ord)),
+                            // NaN comparisons error, as in the scalar path.
+                            None => return Err(incompatible("comparison", l.cell(i), r.cell(i))),
+                        },
+                        _ => None,
+                    });
+                }
+                return Ok(EvalVec::Bool(out));
+            }
+            generic_cmp(op, &l, &r, len)
+        }
+    }
+}
+
+/// Converts one block's predicate result to a mask (null ⇒ `false`).
+fn mask_block(v: EvalVec, len: usize) -> Result<Vec<bool>, QueryError> {
+    match v {
+        EvalVec::Bool(v) => Ok(v.into_iter().map(|b| b.unwrap_or(false)).collect()),
+        EvalVec::Const(Value::Bool(b)) => Ok(vec![b; len]),
+        EvalVec::Const(Value::Null) => Ok(vec![false; len]),
+        other => {
+            let first = other
+                .first_non_null(len)
+                .map_or(Value::Null, |c| c.to_value());
+            Err(QueryError::IncompatibleOperands {
+                op: "filter",
+                detail: format!("predicate produced {first:?}"),
+            })
+        }
     }
 }
 
@@ -312,24 +828,14 @@ fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, QueryError> {
                 _ => unreachable!("arithmetic op"),
             })
         }
-        Eq | Ne | Lt | Le | Gt | Ge => {
-            match l.compare(&r) {
-                None if l.is_null() || r.is_null() => Ok(Value::Null),
-                None => Err(QueryError::IncompatibleOperands {
-                    op: "comparison",
-                    detail: format!("{l:?} vs {r:?}"),
-                }),
-                Some(ord) => Ok(Value::Bool(match op {
-                    Eq => ord == Ordering::Equal,
-                    Ne => ord != Ordering::Equal,
-                    Lt => ord == Ordering::Less,
-                    Le => ord != Ordering::Greater,
-                    Gt => ord == Ordering::Greater,
-                    Ge => ord != Ordering::Less,
-                    _ => unreachable!("comparison op"),
-                })),
-            }
-        }
+        Eq | Ne | Lt | Le | Gt | Ge => match l.compare(&r) {
+            None if l.is_null() || r.is_null() => Ok(Value::Null),
+            None => Err(QueryError::IncompatibleOperands {
+                op: "comparison",
+                detail: format!("{l:?} vs {r:?}"),
+            }),
+            Some(ord) => Ok(Value::Bool(ord_matches(op, ord))),
+        },
     }
 }
 
@@ -408,6 +914,9 @@ mod tests {
         let t = table();
         let e = col("s").eq(lit("a"));
         assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, false]);
+        // Flipped operand order and inequality.
+        let f = lit("a").lt(col("s"));
+        assert_eq!(f.eval_mask(&t).unwrap(), vec![false, true, false]);
     }
 
     #[test]
@@ -417,6 +926,11 @@ mod tests {
         assert!(col("x").and(lit(true)).eval_row(&t, 0).is_err());
         assert!(col("s").gt(lit(1i64)).eval_row(&t, 0).is_err());
         assert!(lit(5i64).not().eval_row(&t, 0).is_err());
+        // The columnar path agrees.
+        assert!(col("s").add(lit(1i64)).eval_column(&t).is_err());
+        assert!(col("x").and(lit(true)).eval_mask(&t).is_err());
+        assert!(col("s").gt(lit(1i64)).eval_mask(&t).is_err());
+        assert!(lit(5i64).not().eval_mask(&t).is_err());
     }
 
     #[test]
@@ -426,6 +940,21 @@ mod tests {
         assert_eq!(c.data_type(), DataType::Int);
         let f = col("y").eval_column(&t).unwrap();
         assert_eq!(f.data_type(), DataType::Float);
+        // Strings and literals materialize too.
+        let s = col("s").eval_column(&t).unwrap();
+        assert_eq!(s.data_type(), DataType::Str);
+        assert_eq!(s.get(1), Value::str("b"));
+        let k = lit("tag").eval_column(&t).unwrap();
+        assert_eq!(k.get(2), Value::str("tag"));
+    }
+
+    #[test]
+    fn all_null_expression_becomes_float_column() {
+        let mut t = Table::new(vec![("x", DataType::Int)]);
+        t.push_row(vec![Value::Null]).unwrap();
+        let c = col("x").eval_column(&t).unwrap();
+        assert_eq!(c.data_type(), DataType::Float);
+        assert!(c.get(0).is_null());
     }
 
     #[test]
@@ -444,12 +973,18 @@ mod tests {
         assert_eq!(col("y").bucket(1.0).eval_row(&t, 1).unwrap(), Value::Null);
         assert!(col("s").bucket(1.0).eval_row(&t, 0).is_err());
         assert!(col("x").bucket(0.0).eval_row(&t, 0).is_err());
+        assert!(col("s").bucket(1.0).eval_column(&t).is_err());
+        assert!(col("x").bucket(0.0).eval_column(&t).is_err());
         // Negative values floor toward -infinity, like SQL's
         // date_trunc-style bucketing.
         let mut neg = Table::new(vec![("v", DataType::Int)]);
         neg.push_row(vec![Value::Int(-3)]).unwrap();
         assert_eq!(
             col("v").bucket(2.0).eval_row(&neg, 0).unwrap(),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            col("v").bucket(2.0).eval_column(&neg).unwrap().get(0),
             Value::Int(-4)
         );
     }
@@ -459,5 +994,85 @@ mod tests {
         let t = table();
         let e = col("x").add(col("y"));
         assert_eq!(e.eval_row(&t, 0).unwrap(), Value::Float(1.5));
+        assert_eq!(e.eval_column(&t).unwrap().get(0), Value::Float(1.5));
+    }
+
+    #[test]
+    fn columnar_matches_row_reference() {
+        // Mixed expression over every column type, checked cell by cell
+        // against eval_row.
+        let mut t = Table::new(vec![
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+            ("b", DataType::Bool),
+        ]);
+        let rows = [
+            (
+                Value::Int(3),
+                Value::Float(0.5),
+                Value::str("x"),
+                Value::Bool(true),
+            ),
+            (
+                Value::Null,
+                Value::Float(-0.5),
+                Value::str("y"),
+                Value::Bool(false),
+            ),
+            (Value::Int(-2), Value::Null, Value::Null, Value::Null),
+            (
+                Value::Int(0),
+                Value::Float(2.0),
+                Value::str("x"),
+                Value::Bool(true),
+            ),
+        ];
+        for (a, b, c, d) in rows {
+            t.push_row(vec![a, b, c, d]).unwrap();
+        }
+        let exprs = [
+            col("i").add(col("f")).mul(lit(2.0)),
+            col("i").sub(lit(1i64)),
+            col("f").div(lit(0.0)),
+            col("s").ne(lit("x")),
+            col("b").or(col("f").lt(lit(0.0))),
+            col("i").bucket(2.0),
+            col("s").is_null().or(col("b")),
+        ];
+        for e in exprs {
+            let column = e.eval_column(&t).unwrap();
+            for row in 0..t.num_rows() {
+                let reference = e.eval_row(&t, row).unwrap();
+                // Int cells may be carried in a float column when the
+                // reference produced all nulls; compare semantically.
+                match (column.get(row), reference) {
+                    (a, b) if a == b => {}
+                    (a, b) => panic!("row {row}: columnar {a:?} vs reference {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_parallel_matches_sequential() {
+        let mut t = Table::new(vec![("v", DataType::Int)]);
+        let rows = crate::parallel::BLOCK_ROWS + 1000;
+        for i in 0..rows {
+            t.push_row(vec![if i % 17 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i as i64 % 31)
+            }])
+            .unwrap();
+        }
+        let pred = col("v").gt(lit(15i64)).and(col("v").ne(lit(20i64)));
+        crate::parallel::override_threads(1);
+        let seq = pred.eval_mask(&t).unwrap();
+        crate::parallel::override_threads(8);
+        let par = pred.eval_mask(&t).unwrap();
+        crate::parallel::override_threads(0);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), rows);
     }
 }

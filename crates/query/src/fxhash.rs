@@ -1,0 +1,98 @@
+//! A fast, non-cryptographic hasher for the engine's hot hash maps.
+//!
+//! The standard library's SipHash is DoS-resistant but costs real time in
+//! group-by and join inner loops. Keys here are either fixed-width `u64`
+//! encodings or short interned strings from trusted in-process data, so
+//! the rustc-style multiply-rotate hash (FxHash) is the right trade.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// rustc-FxHash: one multiply and rotate per word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_distribute() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+
+        let mut s: FxHashSet<Box<[u64]>> = FxHashSet::default();
+        s.insert(vec![1, 2].into_boxed_slice());
+        assert!(s.contains(&[1u64, 2][..]));
+    }
+
+    #[test]
+    fn string_keys_hash_consistently() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("prod".into(), 1);
+        assert_eq!(m.get("prod"), Some(&1));
+        assert_eq!(m.get("beb"), None);
+    }
+}

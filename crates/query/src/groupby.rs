@@ -1,10 +1,27 @@
-//! Hash group-by with aggregates.
+//! Vectorized hash group-by with aggregates.
+//!
+//! The implementation is columnar and partitioned:
+//!
+//! 1. Key columns are encoded once into flat `u64` vectors
+//!    ([`crate::keys`]), so the per-row work is filling a fixed-width
+//!    `[u64]` buffer and one FxHash lookup — no `Value`s, no `String`
+//!    clones, no per-row allocation (a key is boxed only when its group
+//!    is first seen).
+//! 2. Rows are processed in fixed-size blocks ([`crate::parallel`]),
+//!    each block producing a partial aggregation; blocks run on a scoped
+//!    thread pool and the partials are merged in block order. Because
+//!    block boundaries and merge order are independent of the thread
+//!    count, the parallel result is bit-identical to the sequential one.
+//!
+//! Group order follows first appearance in the input, as before.
 
 use crate::column::{Column, DataType};
 use crate::error::QueryError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::keys::{encode_column, EncodedCol};
+use crate::parallel;
 use crate::table::Table;
-use crate::value::{GroupKey, Value};
-use std::collections::HashMap;
+use crate::value::Value;
 
 /// Aggregate function kinds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,7 +151,7 @@ enum AggState {
     Min(Option<f64>),
     Max(Option<f64>),
     Percentile(Vec<f64>, f64),
-    Distinct(std::collections::HashSet<crate::value::GroupKey>),
+    Distinct(FxHashSet<u64>),
     Variance(f64, f64, u64),
 }
 
@@ -152,14 +169,15 @@ impl AggState {
         }
     }
 
-    fn update_value(&mut self, value: &Value) {
+    /// Records one encoded distinct key (`CountDistinct` only).
+    #[inline]
+    fn insert_distinct(&mut self, key: u64) {
         if let AggState::Distinct(set) = self {
-            if !value.is_null() {
-                set.insert(value.group_key());
-            }
+            set.insert(key);
         }
     }
 
+    #[inline]
     fn update(&mut self, value: Option<f64>, count_row: bool) {
         match self {
             AggState::Count(c) => {
@@ -202,6 +220,46 @@ impl AggState {
                     *n += 1;
                 }
             }
+        }
+    }
+
+    /// Folds a later block's partial state into this one. Must be called
+    /// in block order so float accumulation order is deterministic.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(c), AggState::Count(c2)) => *c += c2,
+            (AggState::Sum(s, seen), AggState::Sum(s2, seen2)) => {
+                if seen2 {
+                    *s += s2;
+                    *seen = true;
+                }
+            }
+            (AggState::Mean(s, n), AggState::Mean(s2, n2)) => {
+                if n2 > 0 {
+                    *s += s2;
+                    *n += n2;
+                }
+            }
+            (AggState::Min(m), AggState::Min(m2)) => {
+                if let Some(v) = m2 {
+                    *m = Some(m.map_or(v, |x: f64| x.min(v)));
+                }
+            }
+            (AggState::Max(m), AggState::Max(m2)) => {
+                if let Some(v) = m2 {
+                    *m = Some(m.map_or(v, |x: f64| x.max(v)));
+                }
+            }
+            (AggState::Percentile(xs, _), AggState::Percentile(xs2, _)) => xs.extend(xs2),
+            (AggState::Distinct(set), AggState::Distinct(set2)) => set.extend(set2),
+            (AggState::Variance(sum, sum_sq, n), AggState::Variance(s2, sq2, n2)) => {
+                if n2 > 0 {
+                    *sum += s2;
+                    *sum_sq += sq2;
+                    *n += n2;
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate states"),
         }
     }
 
@@ -250,13 +308,96 @@ impl AggState {
     }
 }
 
+/// Typed, pre-resolved view of one aggregate's input column.
+enum AggInput<'a> {
+    /// `COUNT(*)`: no input.
+    NoInput,
+    /// `COUNT(col)`: only needs per-row null checks.
+    NullCheck(EncodedCol),
+    /// `COUNT(DISTINCT col)`: needs grouping-equality keys.
+    Distinct(EncodedCol),
+    /// Numeric aggregate over an int column.
+    Int(&'a [Option<i64>]),
+    /// Numeric aggregate over a float column.
+    Float(&'a [Option<f64>]),
+}
+
+/// One block's partial aggregation. Group order is first appearance
+/// within the block.
+struct Partial {
+    lookup: FxHashMap<Box<[u64]>, u32>,
+    keys: Vec<Box<[u64]>>,
+    first_rows: Vec<usize>,
+    states: Vec<Vec<AggState>>,
+}
+
+impl Partial {
+    fn new() -> Partial {
+        Partial {
+            lookup: FxHashMap::default(),
+            keys: Vec::new(),
+            first_rows: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// The group index for `key`, creating the group (first seen at
+    /// global row `row`) on miss.
+    #[inline]
+    fn group_index(&mut self, key: &[u64], row: usize, aggs: &[Agg]) -> usize {
+        if let Some(&i) = self.lookup.get(key) {
+            return i as usize;
+        }
+        let boxed: Box<[u64]> = key.into();
+        let i = self.keys.len();
+        self.lookup.insert(boxed.clone(), i as u32);
+        self.keys.push(boxed);
+        self.first_rows.push(row);
+        self.states
+            .push(aggs.iter().map(|a| AggState::new(a.kind)).collect());
+        i
+    }
+}
+
+fn aggregate_block(
+    rows: std::ops::Range<usize>,
+    encoded_keys: &[EncodedCol],
+    inputs: &[AggInput<'_>],
+    aggs: &[Agg],
+) -> Partial {
+    let mut partial = Partial::new();
+    let mut key_buf = vec![0u64; encoded_keys.len()];
+    for row in rows {
+        for (slot, e) in key_buf.iter_mut().zip(encoded_keys) {
+            *slot = e.keys[row];
+        }
+        let idx = partial.group_index(&key_buf, row, aggs);
+        let states = &mut partial.states[idx];
+        for (state, input) in states.iter_mut().zip(inputs) {
+            match input {
+                AggInput::NoInput => state.update(None, true),
+                AggInput::NullCheck(e) => state.update(None, !e.is_null(row)),
+                AggInput::Distinct(e) => {
+                    if !e.is_null(row) {
+                        state.insert_distinct(e.keys[row]);
+                    }
+                }
+                AggInput::Int(v) => state.update(v[row].map(|x| x as f64), false),
+                AggInput::Float(v) => state.update(v[row], false),
+            }
+        }
+    }
+    partial
+}
+
 /// Groups `table` by the named key columns and computes the aggregates.
 ///
 /// The output has one row per distinct key combination, with the key
 /// columns first (original types preserved) followed by one column per
-/// aggregate. Group order follows first appearance in the input.
+/// aggregate. Group order follows first appearance in the input. The
+/// result is deterministic and independent of the worker-thread count.
 pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, QueryError> {
-    // Resolve columns up front.
+    // Resolve and validate columns up front.
     let key_cols: Vec<&Column> = keys
         .iter()
         .map(|k| table.column(k))
@@ -280,69 +421,83 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, Que
             }
         }
     }
-    let agg_inputs: Vec<Option<&Column>> = aggs
+
+    let encoded_keys: Vec<EncodedCol> = key_cols.iter().map(|c| encode_column(c)).collect();
+    let inputs: Vec<AggInput<'_>> = aggs
         .iter()
         .map(|a| {
             if a.kind == AggKind::CountAll {
-                None
-            } else {
-                Some(table.column(&a.input).expect("validated above"))
+                return AggInput::NoInput;
+            }
+            let c = table.column(&a.input).expect("validated above");
+            match a.kind {
+                AggKind::Count => AggInput::NullCheck(encode_column(c)),
+                AggKind::CountDistinct => AggInput::Distinct(encode_column(c)),
+                _ => match c {
+                    Column::Int(v) => AggInput::Int(v),
+                    Column::Float(v) => AggInput::Float(v),
+                    _ => unreachable!("numeric aggregate validated"),
+                },
             }
         })
         .collect();
 
-    let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-    let mut group_keys: Vec<Vec<Value>> = Vec::new();
-    let mut group_states: Vec<Vec<AggState>> = Vec::new();
-
-    for row in 0..table.num_rows() {
-        let key: Vec<GroupKey> = key_cols.iter().map(|c| c.get(row).group_key()).collect();
-        let idx = *group_index.entry(key).or_insert_with(|| {
-            group_keys.push(key_cols.iter().map(|c| c.get(row)).collect());
-            group_states.push(aggs.iter().map(|a| AggState::new(a.kind)).collect());
-            group_keys.len() - 1
-        });
-        for (ai, agg) in aggs.iter().enumerate() {
-            let (value, count_row) = match agg.kind {
-                AggKind::CountAll => (None, true),
-                AggKind::Count => {
-                    let v = agg_inputs[ai].expect("count has input").get(row);
-                    (None, !v.is_null())
+    // Per-block partial aggregation (parallel), merged in block order so
+    // the result is bit-identical to the single-threaded run.
+    let partials = parallel::map_blocks(table.num_rows(), parallel::num_threads(), |_, rows| {
+        aggregate_block(rows, &encoded_keys, &inputs, aggs)
+    });
+    let mut merged = Partial::new();
+    for partial in partials {
+        for ((key, first_row), states) in partial
+            .keys
+            .into_iter()
+            .zip(partial.first_rows)
+            .zip(partial.states)
+        {
+            match merged.lookup.get(&*key) {
+                Some(&g) => {
+                    for (acc, state) in merged.states[g as usize].iter_mut().zip(states) {
+                        acc.merge(state);
+                    }
                 }
-                AggKind::CountDistinct => {
-                    let v = agg_inputs[ai].expect("agg has input").get(row);
-                    group_states[idx][ai].update_value(&v);
-                    (None, false)
+                None => {
+                    let g = merged.keys.len();
+                    merged.lookup.insert(key.clone(), g as u32);
+                    merged.keys.push(key);
+                    merged.first_rows.push(first_row);
+                    merged.states.push(states);
                 }
-                _ => {
-                    let v = agg_inputs[ai].expect("agg has input").get(row);
-                    (v.as_f64(), false)
-                }
-            };
-            group_states[idx][ai].update(value, count_row);
+            }
         }
     }
 
-    // Assemble output.
-    let mut schema: Vec<(String, DataType)> = keys
+    // Assemble the output: key columns gather each group's first row
+    // (sharing string dictionaries); aggregate columns are built from the
+    // finished states.
+    let mut out_cols: Vec<(String, Column)> = keys
         .iter()
         .zip(&key_cols)
-        .map(|(k, c)| (k.to_string(), c.data_type()))
+        .map(|(k, c)| (k.to_string(), c.take(&merged.first_rows)))
         .collect();
-    for agg in aggs {
-        let dt = match agg.kind {
-            AggKind::Count | AggKind::CountAll | AggKind::CountDistinct => DataType::Int,
-            _ => DataType::Float,
+    let n_groups = merged.keys.len();
+    let mut finished: Vec<Vec<Value>> = vec![Vec::new(); aggs.len()];
+    for states in merged.states {
+        for (ai, state) in states.into_iter().enumerate() {
+            finished[ai].push(state.finish());
+        }
+    }
+    for (agg, values) in aggs.iter().zip(finished) {
+        let col = match agg.kind {
+            AggKind::Count | AggKind::CountAll | AggKind::CountDistinct => {
+                Column::Int(values.into_iter().map(|v| v.as_i64()).collect())
+            }
+            _ => Column::Float(values.into_iter().map(|v| v.as_f64()).collect()),
         };
-        schema.push((agg.output.clone(), dt));
+        debug_assert_eq!(col.len(), n_groups);
+        out_cols.push((agg.output.clone(), col));
     }
-    let mut out = Table::new(schema);
-    for (key, states) in group_keys.into_iter().zip(group_states) {
-        let mut row = key;
-        row.extend(states.into_iter().map(AggState::finish));
-        out.push_row(row)?;
-    }
-    Ok(out)
+    Table::from_columns(out_cols)
 }
 
 #[cfg(test)]
@@ -351,10 +506,7 @@ mod tests {
     use crate::value::Value;
 
     fn table() -> Table {
-        let mut t = Table::new(vec![
-            ("tier", DataType::Str),
-            ("cpu", DataType::Float),
-        ]);
+        let mut t = Table::new(vec![("tier", DataType::Str), ("cpu", DataType::Float)]);
         for (tier, cpu) in [
             ("prod", 1.0),
             ("beb", 2.0),
@@ -362,7 +514,8 @@ mod tests {
             ("free", 4.0),
             ("beb", 6.0),
         ] {
-            t.push_row(vec![Value::str(tier), Value::Float(cpu)]).unwrap();
+            t.push_row(vec![Value::str(tier), Value::Float(cpu)])
+                .unwrap();
         }
         t.push_row(vec![Value::str("prod"), Value::Null]).unwrap();
         t
@@ -475,14 +628,11 @@ mod tests {
         let out = group_by(
             &t,
             &["k"],
-            &[
-                Agg::count_distinct("u", "users"),
-                Agg::variance("v", "var"),
-            ],
+            &[Agg::count_distinct("u", "users"), Agg::variance("v", "var")],
         )
         .unwrap();
         assert_eq!(out.value(0, "users").unwrap(), Value::Int(2)); // x, y (null excluded)
-        // Sample variance of [2, 4, 6] = 4.
+                                                                   // Sample variance of [2, 4, 6] = 4.
         assert_eq!(out.value(0, "var").unwrap(), Value::Float(4.0));
         // Group "b": one value → variance null, one distinct user.
         assert_eq!(out.value(1, "users").unwrap(), Value::Int(1));
@@ -497,5 +647,39 @@ mod tests {
         let out = group_by(&t, &["k"], &[Agg::sum("v", "s")]).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.value(0, "s").unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn int_and_float_zero_keys_group_like_before() {
+        // Int 0, Float 0.0 and -0.0 are the same group key; null is not.
+        let mut t = Table::new(vec![("k", DataType::Float), ("v", DataType::Float)]);
+        for k in [Value::Float(0.0), Value::Float(-0.0), Value::Null] {
+            t.push_row(vec![k, Value::Float(1.0)]).unwrap();
+        }
+        let out = group_by(&t, &["k"], &[Agg::count_all("n")]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, "n").unwrap(), Value::Int(2));
+        assert_eq!(out.value(1, "n").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_blocks() {
+        // Enough rows for several blocks; result must be identical with
+        // 1 thread and many.
+        let mut t = Table::new(vec![("k", DataType::Int), ("v", DataType::Float)]);
+        let rows = crate::parallel::BLOCK_ROWS * 2 + 123;
+        for i in 0..rows {
+            t.push_row(vec![
+                Value::Int((i % 7) as i64),
+                Value::Float((i % 13) as f64 * 0.5),
+            ])
+            .unwrap();
+        }
+        crate::parallel::override_threads(1);
+        let seq = group_by(&t, &["k"], &[Agg::sum("v", "s"), Agg::count_all("n")]).unwrap();
+        crate::parallel::override_threads(8);
+        let par = group_by(&t, &["k"], &[Agg::sum("v", "s"), Agg::count_all("n")]).unwrap();
+        crate::parallel::override_threads(0);
+        assert_eq!(seq, par);
     }
 }

@@ -1,9 +1,22 @@
-//! Hash joins.
+//! Hash joins over encoded keys.
+//!
+//! Keys are encoded once per column into flat `u64` vectors
+//! ([`crate::keys`]); the build and probe loops then hash fixed-width
+//! `[u64]` row keys with FxHash — no `Value`s and no cloned `String`s.
+//! For string key pairs, the right column's dictionary codes are
+//! remapped into the left column's dictionary up front, so the probe
+//! compares integer codes directly; right strings absent from the left
+//! pool get a sentinel no left row can produce.
+//!
+//! Output assembly is `take`-based: string columns share their
+//! dictionary with the input instead of cloning row values.
 
+use crate::column::{Column, DataType};
+use crate::dict::NULL_CODE;
 use crate::error::QueryError;
+use crate::fxhash::FxHashMap;
+use crate::keys::{encode_column, EncodedCol, STR_NULL};
 use crate::table::Table;
-use crate::value::GroupKey;
-use std::collections::HashMap;
 
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +25,44 @@ pub enum JoinKind {
     Inner,
     /// Keep every left row; unmatched right columns become null.
     LeftOuter,
+}
+
+/// Key-type compatibility: pairs outside one class can never be equal
+/// (ints and floats compare numerically, as in `Value::compare`).
+fn compatible(l: DataType, r: DataType) -> bool {
+    let class = |dt: DataType| match dt {
+        DataType::Int | DataType::Float => 0u8,
+        DataType::Str => 1,
+        DataType::Bool => 2,
+    };
+    class(l) == class(r)
+}
+
+/// Encodes a right-side key column into the left column's key space.
+fn encode_right(lcol: &Column, rcol: &Column) -> EncodedCol {
+    match (lcol, rcol) {
+        (Column::Str(l), Column::Str(r)) => {
+            // Strings absent from the left pool can never match a probe;
+            // give them per-code sentinels above every valid left key.
+            let map = r.code_mapping_into(l);
+            let keys = r
+                .codes()
+                .iter()
+                .map(|&c| {
+                    if c == NULL_CODE {
+                        STR_NULL
+                    } else {
+                        map[c as usize].map_or((1u64 << 32) | c as u64, |lc| lc as u64)
+                    }
+                })
+                .collect();
+            EncodedCol {
+                keys,
+                null_key: STR_NULL,
+            }
+        }
+        _ => encode_column(rcol),
+    }
 }
 
 /// Hash-joins `left` and `right` on equality of the given key columns
@@ -33,81 +84,97 @@ pub fn join(
             right_keys.len()
         )));
     }
-    let lcols: Vec<_> = left_keys
+    let lcols: Vec<&Column> = left_keys
         .iter()
         .map(|k| left.column(k))
         .collect::<Result<_, _>>()?;
-    let rcols: Vec<_> = right_keys
+    let rcols: Vec<&Column> = right_keys
         .iter()
         .map(|k| right.column(k))
         .collect::<Result<_, _>>()?;
 
-    // Build the hash table over the right side.
-    let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    'rows: for row in 0..right.num_rows() {
-        let mut key = Vec::with_capacity(rcols.len());
-        for c in &rcols {
-            let v = c.get(row);
-            if v.is_null() {
-                continue 'rows; // null keys never match
+    // Pairs from different type classes can never match; with an empty
+    // index every probe misses, which reproduces the old row-at-a-time
+    // semantics (inner: no rows; left outer: every left row unmatched).
+    let matchable = lcols
+        .iter()
+        .zip(&rcols)
+        .all(|(l, r)| compatible(l.data_type(), r.data_type()));
+
+    let lkeys: Vec<EncodedCol> = lcols.iter().map(|c| encode_column(c)).collect();
+    let rkeys: Vec<EncodedCol> = lcols
+        .iter()
+        .zip(&rcols)
+        .map(|(l, r)| encode_right(l, r))
+        .collect();
+
+    // Build the hash table over the right side (null keys never match).
+    let mut index: FxHashMap<Box<[u64]>, Vec<u32>> = FxHashMap::default();
+    let mut key_buf = vec![0u64; rkeys.len()];
+    if matchable {
+        'rows: for row in 0..right.num_rows() {
+            for (slot, e) in key_buf.iter_mut().zip(&rkeys) {
+                if e.is_null(row) {
+                    continue 'rows;
+                }
+                *slot = e.keys[row];
             }
-            key.push(v.group_key());
+            match index.get_mut(key_buf.as_slice()) {
+                Some(rows) => rows.push(row as u32),
+                None => {
+                    index.insert(key_buf.as_slice().into(), vec![row as u32]);
+                }
+            }
         }
-        index.entry(key).or_default().push(row);
     }
 
-    // Probe with the left side.
-    let mut left_rows: Vec<usize> = Vec::new();
-    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    // Probe with the left side, in left row order.
+    let mut left_rows: Vec<usize> = Vec::with_capacity(left.num_rows());
+    let mut right_indices: Vec<usize> = Vec::with_capacity(left.num_rows());
+    // Out-of-range marker: `Column::take` turns it into null.
+    let missing = right.num_rows();
+    let mut key_buf = vec![0u64; lkeys.len()];
     'probe: for row in 0..left.num_rows() {
-        let mut key = Vec::with_capacity(lcols.len());
-        for c in &lcols {
-            let v = c.get(row);
-            if v.is_null() {
+        for (slot, e) in key_buf.iter_mut().zip(&lkeys) {
+            if e.is_null(row) {
                 if kind == JoinKind::LeftOuter {
                     left_rows.push(row);
-                    right_rows.push(None);
+                    right_indices.push(missing);
                 }
                 continue 'probe;
             }
-            key.push(v.group_key());
+            *slot = e.keys[row];
         }
-        match index.get(&key) {
+        match index.get(key_buf.as_slice()) {
             Some(matches) => {
                 for &r in matches {
                     left_rows.push(row);
-                    right_rows.push(Some(r));
+                    right_indices.push(r as usize);
                 }
             }
             None => {
                 if kind == JoinKind::LeftOuter {
                     left_rows.push(row);
-                    right_rows.push(None);
+                    right_indices.push(missing);
                 }
             }
         }
     }
 
-    // Materialize output columns.
-    let mut out_cols: Vec<(String, crate::column::Column)> = Vec::new();
+    // Materialize output columns; `take` shares string dictionaries, so
+    // no cell values are cloned here.
+    let mut out_cols: Vec<(String, Column)> =
+        Vec::with_capacity(left.num_columns() + right.num_columns());
     for name in left.column_names() {
         let col = left.column(name).expect("own column");
         out_cols.push((name.clone(), col.take(&left_rows)));
     }
-    let left_names: std::collections::HashSet<&String> = left.column_names().iter().collect();
-    // For right columns, a take with "missing" markers: map None to an
-    // out-of-range index, which Column::take turns into null.
-    let sentinel = right.num_rows();
-    let right_indices: Vec<usize> = right_rows
-        .iter()
-        .map(|r| r.unwrap_or(sentinel))
-        .collect();
     for name in right.column_names() {
         if right_keys.contains(&name.as_str()) {
             continue;
         }
         let col = right.column(name).expect("own column");
-        let out_name = if left_names.contains(name) {
+        let out_name = if left.column_names().contains(name) {
             format!("right_{name}")
         } else {
             name.clone()
@@ -181,5 +248,44 @@ mod tests {
     #[test]
     fn key_arity_checked() {
         assert!(join(&jobs(), &tasks(), &["job"], &[], JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn string_keys_join_across_dictionaries() {
+        // Right table interns strings in a different order (different
+        // codes); join must still match on string value.
+        let mut r = Table::new(vec![("tier", DataType::Str), ("w", DataType::Float)]);
+        for (t, w) in [("free", 0.0), ("unknown", 9.0), ("prod", 1.0)] {
+            r.push_row(vec![Value::str(t), Value::Float(w)]).unwrap();
+        }
+        let out = join(&jobs(), &r, &["tier"], &["tier"], JoinKind::LeftOuter).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, "w").unwrap(), Value::Float(1.0)); // prod
+        assert!(out.value(1, "w").unwrap().is_null()); // beb unmatched
+        assert_eq!(out.value(2, "w").unwrap(), Value::Float(0.0)); // free
+    }
+
+    #[test]
+    fn int_and_float_keys_compare_numerically() {
+        let mut l = Table::new(vec![("k", DataType::Int)]);
+        l.push_row(vec![Value::Int(2)]).unwrap();
+        let mut r = Table::new(vec![("k", DataType::Float), ("v", DataType::Int)]);
+        r.push_row(vec![Value::Float(2.0), Value::Int(7)]).unwrap();
+        let out = join(&l, &r, &["k"], &["k"], JoinKind::Inner).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, "v").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn incompatible_key_types_never_match() {
+        let mut l = Table::new(vec![("k", DataType::Int)]);
+        l.push_row(vec![Value::Int(1)]).unwrap();
+        let mut r = Table::new(vec![("k", DataType::Bool), ("v", DataType::Int)]);
+        r.push_row(vec![Value::Bool(true), Value::Int(7)]).unwrap();
+        let inner = join(&l, &r, &["k"], &["k"], JoinKind::Inner).unwrap();
+        assert_eq!(inner.num_rows(), 0);
+        let outer = join(&l, &r, &["k"], &["k"], JoinKind::LeftOuter).unwrap();
+        assert_eq!(outer.num_rows(), 1);
+        assert!(outer.value(0, "v").unwrap().is_null());
     }
 }

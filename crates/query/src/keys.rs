@@ -1,0 +1,141 @@
+//! Fixed-width `u64` key encodings for grouping and joining.
+//!
+//! Group-by and join used to build a `Vec<GroupKey>` per row — one enum
+//! (often holding a cloned `String`) per key cell. This module encodes a
+//! key column once, up front, into a flat `Vec<u64>` whose equality
+//! classes match [`crate::value::Value::group_key`]:
+//!
+//! * numerics widen to `f64` and compare by bit pattern, with `-0.0`
+//!   normalized to `+0.0` (so `Int(2)`, `Float(2.0)` and `-0.0`/`+0.0`
+//!   group together exactly as before);
+//! * strings use their dictionary codes;
+//! * booleans use 0/1.
+//!
+//! Nulls get a per-type sentinel that no non-null cell can produce, so
+//! null cells group with each other and with nothing else. Row keys are
+//! then fixed-width `[u64]` slices: hashable with no per-row allocation.
+
+use crate::column::Column;
+use crate::dict::NULL_CODE;
+
+/// Null sentinel for numeric cells: the bit pattern of `-0.0`, which is
+/// unreachable because [`num_key`] normalizes `-0.0` to `+0.0`.
+pub const NUM_NULL: u64 = 0x8000_0000_0000_0000;
+/// Null sentinel for string cells (never a valid dictionary code).
+pub const STR_NULL: u64 = NULL_CODE as u64;
+/// Null sentinel for boolean cells.
+pub const BOOL_NULL: u64 = 2;
+
+/// The grouping key of one non-null numeric cell.
+#[inline]
+pub fn num_key(f: f64) -> u64 {
+    // `-0.0 == 0.0`, so equal-comparing values must encode equally.
+    if f == 0.0 {
+        0
+    } else {
+        f.to_bits()
+    }
+}
+
+/// A key column encoded to one `u64` per row.
+pub struct EncodedCol {
+    /// Per-row keys.
+    pub keys: Vec<u64>,
+    /// The value `keys[row]` takes when the cell is null.
+    pub null_key: u64,
+}
+
+impl EncodedCol {
+    /// True when the cell at `row` is null.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        self.keys[row] == self.null_key
+    }
+}
+
+/// Encodes a column for grouping (equality semantics of
+/// [`crate::value::Value::group_key`]).
+pub fn encode_column(col: &Column) -> EncodedCol {
+    match col {
+        Column::Int(v) => EncodedCol {
+            keys: v
+                .iter()
+                .map(|c| c.map_or(NUM_NULL, |x| num_key(x as f64)))
+                .collect(),
+            null_key: NUM_NULL,
+        },
+        Column::Float(v) => EncodedCol {
+            keys: v.iter().map(|c| c.map_or(NUM_NULL, num_key)).collect(),
+            null_key: NUM_NULL,
+        },
+        Column::Str(v) => EncodedCol {
+            keys: v.codes().iter().map(|&c| c as u64).collect(),
+            null_key: STR_NULL,
+        },
+        Column::Bool(v) => EncodedCol {
+            keys: v
+                .iter()
+                .map(|c| c.map_or(BOOL_NULL, |b| b as u64))
+                .collect(),
+            null_key: BOOL_NULL,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::value::Value;
+
+    fn encode_values(dt: DataType, vs: &[Value]) -> EncodedCol {
+        let mut c = Column::empty(dt);
+        for v in vs {
+            c.push(v.clone(), "x").unwrap();
+        }
+        encode_column(&c)
+    }
+
+    #[test]
+    fn int_and_float_share_equality_classes() {
+        let i = encode_values(DataType::Int, &[Value::Int(2), Value::Int(0), Value::Null]);
+        let f = encode_values(
+            DataType::Float,
+            &[Value::Float(2.0), Value::Float(-0.0), Value::Null],
+        );
+        assert_eq!(i.keys, f.keys);
+        assert!(i.is_null(2));
+        assert!(!i.is_null(1));
+    }
+
+    #[test]
+    fn zero_never_collides_with_null() {
+        let c = encode_values(DataType::Float, &[Value::Float(0.0), Value::Null]);
+        assert_ne!(c.keys[0], c.keys[1]);
+    }
+
+    #[test]
+    fn strings_encode_as_codes() {
+        let c = encode_values(
+            DataType::Str,
+            &[
+                Value::str("a"),
+                Value::str("b"),
+                Value::str("a"),
+                Value::Null,
+            ],
+        );
+        assert_eq!(c.keys[0], c.keys[2]);
+        assert_ne!(c.keys[0], c.keys[1]);
+        assert!(c.is_null(3));
+    }
+
+    #[test]
+    fn bools_encode_distinctly() {
+        let c = encode_values(
+            DataType::Bool,
+            &[Value::Bool(false), Value::Bool(true), Value::Null],
+        );
+        assert_eq!(c.keys, vec![0, 1, BOOL_NULL]);
+    }
+}

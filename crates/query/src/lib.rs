@@ -32,17 +32,22 @@
 //! ```
 
 pub mod column;
+pub mod dict;
 pub mod error;
 pub mod expr;
+pub mod fxhash;
 pub mod groupby;
 pub mod join;
+mod keys;
 pub mod ops;
+pub mod parallel;
 pub mod query;
 pub mod sort;
 pub mod table;
 pub mod value;
 
 pub use column::{Column, DataType};
+pub use dict::StrVec;
 pub use error::QueryError;
 pub use expr::{col, lit, Expr};
 pub use groupby::{Agg, AggKind};

@@ -1,0 +1,123 @@
+//! Partitioned parallel execution.
+//!
+//! The engine parallelizes filter and group-by by splitting tables into
+//! fixed-size row blocks ([`BLOCK_ROWS`]) and processing blocks on a
+//! scoped thread pool. Two properties make results reproducible:
+//!
+//! * **Fixed partitioning** — block boundaries depend only on the row
+//!   count, never on the thread count, so per-block partial results are
+//!   the same objects sequentially and in parallel.
+//! * **Ordered merge** — partials are always combined in block order.
+//!
+//! Together these make the parallel path **bit-identical** to the
+//! sequential path: the sequential path is simply the same block loop run
+//! on one thread.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per partition block. Fixed (never derived from the thread count)
+/// so that partial-aggregation boundaries — and therefore float
+/// accumulation order — are identical however many threads run.
+pub const BLOCK_ROWS: usize = 1 << 16;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the engine to use exactly `n` worker threads (`0` restores
+/// auto-detection). Intended for tests and tuning; the default uses the
+/// machine's available parallelism.
+pub fn override_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker-thread count the engine will use.
+pub fn num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+}
+
+/// Splits `n_rows` into fixed blocks, applies `f(block_index, rows)` to
+/// every block on up to `threads` workers, and returns the results in
+/// block order. `f` must be pure; scheduling cannot affect the output.
+pub fn map_blocks<T, F>(n_rows: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let n_blocks = n_rows.div_ceil(BLOCK_ROWS);
+    let block_range = |b: usize| b * BLOCK_ROWS..((b + 1) * BLOCK_ROWS).min(n_rows);
+    if threads <= 1 || n_blocks <= 1 {
+        return (0..n_blocks).map(|b| f(b, block_range(b))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_blocks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads.min(n_blocks))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        done.push((b, f(b, block_range(b))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for w in workers {
+            for (b, value) in w.join().expect("query worker panicked") {
+                slots[b] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every block computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_all_rows_in_order() {
+        let n = BLOCK_ROWS * 2 + 17;
+        for threads in [1, 4] {
+            let ranges = map_blocks(n, threads, |b, r| (b, r));
+            assert_eq!(ranges.len(), 3);
+            assert_eq!(ranges[0].1, 0..BLOCK_ROWS);
+            assert_eq!(ranges[2].1, BLOCK_ROWS * 2..n);
+            for (i, (b, _)) in ranges.iter().enumerate() {
+                assert_eq!(i, *b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_blocks() {
+        let out = map_blocks(0, 4, |_, _| 1u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = BLOCK_ROWS * 3 + 5;
+        let seq = map_blocks(n, 1, |_, r| r.sum::<usize>());
+        let par = map_blocks(n, 8, |_, r| r.sum::<usize>());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        override_threads(3);
+        assert_eq!(num_threads(), 3);
+        override_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

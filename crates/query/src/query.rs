@@ -49,8 +49,9 @@ impl Query {
 
     /// Keeps only the named columns.
     pub fn select(mut self, columns: &[&str]) -> Query {
-        self.steps
-            .push(Step::Project(columns.iter().map(|s| s.to_string()).collect()));
+        self.steps.push(Step::Project(
+            columns.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -71,7 +72,8 @@ impl Query {
 
     /// Sorts by one column.
     pub fn sort_by(mut self, column: &str, order: SortOrder) -> Query {
-        self.steps.push(Step::Sort(vec![(column.to_string(), order)]));
+        self.steps
+            .push(Step::Sort(vec![(column.to_string(), order)]));
         self
     }
 
@@ -182,7 +184,10 @@ mod tests {
         let out = Query::from(usage_table())
             .filter(col("cpu").gt(lit(0.15)))
             .group_by(&["cell", "tier"], vec![Agg::sum("cpu", "total")])
-            .sort_by_many(&[("cell", SortOrder::Ascending), ("total", SortOrder::Descending)])
+            .sort_by_many(&[
+                ("cell", SortOrder::Ascending),
+                ("total", SortOrder::Descending),
+            ])
             .run()
             .unwrap();
         assert_eq!(out.num_rows(), 3);

@@ -97,6 +97,15 @@ impl Table {
         Ok(self.column(column)?.get(row))
     }
 
+    /// Reserves room for `additional` more rows in every column —
+    /// call before a `push_row` loop of known size to avoid repeated
+    /// reallocation.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
+    }
+
     /// Appends a row; values must match the schema positionally.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), QueryError> {
         if row.len() != self.columns.len() {
@@ -170,7 +179,11 @@ impl Table {
     }
 
     /// Adds (or replaces) a column; must match the row count.
-    pub fn with_column(mut self, name: impl Into<String>, col: Column) -> Result<Table, QueryError> {
+    pub fn with_column(
+        mut self,
+        name: impl Into<String>,
+        col: Column,
+    ) -> Result<Table, QueryError> {
         let name = name.into();
         if col.len() != self.num_rows() && self.num_columns() > 0 {
             return Err(QueryError::ArityMismatch {

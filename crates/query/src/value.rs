@@ -92,9 +92,7 @@ impl Value {
         }
         match (rank(self), rank(other)) {
             (a, b) if a != b => a.cmp(&b),
-            _ => self
-                .compare(other)
-                .unwrap_or(Ordering::Equal),
+            _ => self.compare(other).unwrap_or(Ordering::Equal),
         }
     }
 
@@ -114,7 +112,11 @@ impl Value {
             Value::Null => GroupKey::Null,
             Value::Bool(b) => GroupKey::Bool(*b),
             Value::Int(i) => GroupKey::Num((*i as f64).to_bits()),
-            Value::Float(f) => GroupKey::Num(if *f == 0.0 { 0.0f64.to_bits() } else { f.to_bits() }),
+            Value::Float(f) => GroupKey::Num(if *f == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                f.to_bits()
+            }),
             Value::Str(s) => GroupKey::Str(s.clone()),
         }
     }
@@ -182,8 +184,14 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_comparison() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).compare(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -194,11 +202,13 @@ mod tests {
 
     #[test]
     fn sort_key_total_order() {
-        let mut vs = [Value::str("b"),
+        let mut vs = [
+            Value::str("b"),
             Value::Int(3),
             Value::Null,
             Value::Float(1.5),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vs.sort_by(|a, b| a.sort_key_cmp(b));
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Bool(true));
@@ -210,7 +220,10 @@ mod tests {
     #[test]
     fn group_keys() {
         assert_eq!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
-        assert_eq!(Value::Float(0.0).group_key(), Value::Float(-0.0).group_key());
+        assert_eq!(
+            Value::Float(0.0).group_key(),
+            Value::Float(-0.0).group_key()
+        );
         assert_ne!(Value::Null.group_key(), Value::Int(0).group_key());
         assert!(Value::Null.group_eq(&Value::Null));
         assert!(!Value::Null.group_eq(&Value::Int(0)));

@@ -1,15 +1,90 @@
 //! Property tests: the query engine against naive reference
 //! implementations, over randomized tables.
+//!
+//! The optimized engine encodes keys as integers, aggregates in blocks,
+//! and sorts by decorated primitive keys; the references here use the
+//! original row-at-a-time `Value`/`GroupKey` semantics. Generators cover
+//! nulls, `-0.0`/`+0.0` floats, duplicate keys, and cross-dictionary
+//! strings. Tables stay below one parallel block so float accumulation
+//! order matches the references exactly; cross-block determinism is
+//! checked separately by `parallel_pipeline_matches_sequential`.
 
-use borg_query::prelude::*;
 use borg_query::join::{join, JoinKind};
+use borg_query::prelude::*;
+use borg_query::value::GroupKey;
 use borg_query::Agg;
 use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
 
 fn int_table(name: &str, xs: &[i64]) -> Table {
     let mut t = Table::new(vec![(name.to_string(), DataType::Int)]);
     for &x in xs {
         t.push_row(vec![Value::Int(x)]).unwrap();
+    }
+    t
+}
+
+/// Splits rows into groups keyed by `Value::group_key`, in first-appearance
+/// order: the reference for the engine's group-by ordering contract.
+fn naive_groups(t: &Table, keys: &[&str]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let cols: Vec<_> = keys.iter().map(|k| t.column(k).unwrap()).collect();
+    let mut lookup: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+    let mut first_rows = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for row in 0..t.num_rows() {
+        let gk: Vec<GroupKey> = cols.iter().map(|c| c.get(row).group_key()).collect();
+        let next = members.len();
+        let idx = *lookup.entry(gk).or_insert(next);
+        if idx == members.len() {
+            first_rows.push(row);
+            members.push(Vec::new());
+        }
+        members[idx].push(row);
+    }
+    (first_rows, members)
+}
+
+/// The group's numeric input values in row order (`None` = null).
+fn group_values(t: &Table, rows: &[usize], col: &str) -> Vec<Option<f64>> {
+    rows.iter()
+        .map(|&r| t.value(r, col).unwrap().as_f64())
+        .collect()
+}
+
+const STR_POOL: [&str; 5] = ["", "a", "b", "aa", "prod"];
+
+/// Decodes one generated row tuple into (k_s, k_f, v, w) cell values.
+fn decode_row(s: u8, f: u8, c: u8, x: f64, i: i64) -> Vec<Value> {
+    let k_s = match s {
+        0 => Value::Null,
+        _ => Value::str(STR_POOL[(s - 1) as usize]),
+    };
+    let k_f = match f {
+        0 => Value::Null,
+        1 => Value::Float(-0.0),
+        2 => Value::Float(0.0),
+        3 => Value::Float(1.5),
+        _ => Value::Float(x),
+    };
+    let v = if c == 0 {
+        Value::Null
+    } else {
+        Value::Float(x * 1.25)
+    };
+    let w = if c == 1 { Value::Null } else { Value::Int(i) };
+    vec![k_s, k_f, v, w]
+}
+
+fn mixed_table(rows: &[(u8, u8, u8, f64, i64)]) -> Table {
+    let mut t = Table::new(vec![
+        ("k_s", DataType::Str),
+        ("k_f", DataType::Float),
+        ("v", DataType::Float),
+        ("w", DataType::Int),
+    ]);
+    for &(s, f, c, x, i) in rows {
+        t.push_row(decode_row(s, f, c, x, i)).unwrap();
     }
     t
 }
@@ -101,4 +176,254 @@ proptest! {
             prop_assert_eq!(out.value(r, "double").unwrap(), Value::Int(x * 2));
         }
     }
+
+    #[test]
+    fn group_by_matches_naive_reference(
+        rows in prop::collection::vec((0u8..6, 0u8..5, 0u8..4, -4.0f64..4.0, 0i64..4), 0..100),
+    ) {
+        let t = mixed_table(&rows);
+        let out = borg_query::groupby::group_by(
+            &t,
+            &["k_s", "k_f"],
+            &[
+                Agg::count_all("n"),
+                Agg::count("v", "nv"),
+                Agg::sum("v", "s"),
+                Agg::mean("v", "m"),
+                Agg::min("v", "lo"),
+                Agg::max("v", "hi"),
+                Agg::variance("v", "var"),
+                Agg::percentile("v", 50.0, "p50"),
+                Agg::count_distinct("w", "d"),
+            ],
+        )
+        .unwrap();
+
+        let (first_rows, members) = naive_groups(&t, &["k_s", "k_f"]);
+        prop_assert_eq!(out.num_rows(), first_rows.len());
+        for (g, (&fr, rows)) in first_rows.iter().zip(&members).enumerate() {
+            // Key columns carry the group's first-appearance values.
+            prop_assert_eq!(out.value(g, "k_s").unwrap(), t.value(fr, "k_s").unwrap());
+            prop_assert_eq!(out.value(g, "k_f").unwrap(), t.value(fr, "k_f").unwrap());
+
+            let vals = group_values(&t, rows, "v");
+            let present: Vec<f64> = vals.iter().flatten().copied().collect();
+            prop_assert_eq!(out.value(g, "n").unwrap(), Value::Int(rows.len() as i64));
+            prop_assert_eq!(
+                out.value(g, "nv").unwrap(),
+                Value::Int(present.len() as i64)
+            );
+
+            // Accumulate in row order with the same operations the engine
+            // uses, so float results are bit-identical, not just close.
+            let (mut s, mut sq, mut seen) = (0.0f64, 0.0f64, false);
+            let (mut lo, mut hi) = (None, None);
+            for &v in &present {
+                s += v;
+                sq += v * v;
+                seen = true;
+                lo = Some(lo.map_or(v, |x: f64| x.min(v)));
+                hi = Some(hi.map_or(v, |x: f64| x.max(v)));
+            }
+            let nf = present.len() as f64;
+            let want_sum = if seen { Value::Float(s) } else { Value::Null };
+            let want_mean = if seen { Value::Float(s / nf) } else { Value::Null };
+            let want_var = if present.len() < 2 {
+                Value::Null
+            } else {
+                let mean = s / nf;
+                Value::Float((sq - nf * mean * mean) / (nf - 1.0))
+            };
+            let want_p50 = if present.is_empty() {
+                Value::Null
+            } else {
+                let mut xs = present.clone();
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let rank = 0.5 * (xs.len() - 1) as f64;
+                let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+                let frac = rank - lo as f64;
+                Value::Float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+            };
+            let distinct: HashSet<GroupKey> = rows
+                .iter()
+                .map(|&r| t.value(r, "w").unwrap())
+                .filter(|v| !v.is_null())
+                .map(|v| v.group_key())
+                .collect();
+
+            prop_assert_eq!(out.value(g, "s").unwrap(), want_sum);
+            prop_assert_eq!(out.value(g, "m").unwrap(), want_mean);
+            prop_assert_eq!(out.value(g, "lo").unwrap(), lo.map_or(Value::Null, Value::Float));
+            prop_assert_eq!(out.value(g, "hi").unwrap(), hi.map_or(Value::Null, Value::Float));
+            prop_assert_eq!(out.value(g, "var").unwrap(), want_var);
+            prop_assert_eq!(out.value(g, "p50").unwrap(), want_p50);
+            prop_assert_eq!(out.value(g, "d").unwrap(), Value::Int(distinct.len() as i64));
+        }
+    }
+
+    #[test]
+    fn sort_matches_naive_stable_sort(
+        rows in prop::collection::vec((0u8..6, 0u8..5, 0u8..4, -4.0f64..4.0, 0i64..6), 0..80),
+        o1 in 0u8..2,
+        o2 in 0u8..2,
+    ) {
+        let t = mixed_table(&rows);
+        let order = |o: u8| if o == 0 { SortOrder::Ascending } else { SortOrder::Descending };
+        let keys = [("k_s", order(o1)), ("k_f", order(o2)), ("w", SortOrder::Ascending)];
+        let sorted = borg_query::sort::sort_by(&t, &keys).unwrap();
+
+        // Reference: stable index sort with the original row-at-a-time
+        // comparator.
+        let cols: Vec<_> = keys.iter().map(|(k, _)| t.column(k).unwrap()).collect();
+        let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+        idx.sort_by(|&a, &b| {
+            for (c, &(_, ord)) in cols.iter().zip(&keys) {
+                let mut o = c.get(a).sort_key_cmp(&c.get(b));
+                if ord == SortOrder::Descending {
+                    o = o.reverse();
+                }
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            Ordering::Equal
+        });
+        prop_assert_eq!(sorted, t.take_rows(&idx));
+    }
+
+    #[test]
+    fn join_matches_naive_nested_loop(
+        left in prop::collection::vec((0u8..4, 0u8..5), 0..40),
+        right in prop::collection::vec((0u8..4, 0u8..5), 0..40),
+    ) {
+        // Left keys are (Str, Int); right keys are (Str, Float) interned in
+        // a different dictionary order — exercising cross-dictionary string
+        // matching and numeric Int/Float key equality, with nulls.
+        const LPOOL: [&str; 3] = ["a", "b", "c"];
+        const RPOOL: [&str; 3] = ["c", "b", "zz"];
+        let mut lt = Table::new(vec![
+            ("k_s", DataType::Str),
+            ("k_n", DataType::Int),
+            ("lid", DataType::Int),
+        ]);
+        for (i, &(s, n)) in left.iter().enumerate() {
+            let k_s = if s == 0 { Value::Null } else { Value::str(LPOOL[(s - 1) as usize]) };
+            let k_n = if n == 0 { Value::Null } else { Value::Int((n - 1) as i64) };
+            lt.push_row(vec![k_s, k_n, Value::Int(i as i64)]).unwrap();
+        }
+        let mut rt = Table::new(vec![
+            ("k_s", DataType::Str),
+            ("k_n", DataType::Float),
+            ("rid", DataType::Int),
+        ]);
+        for (i, &(s, n)) in right.iter().enumerate() {
+            let k_s = if s == 0 { Value::Null } else { Value::str(RPOOL[(s - 1) as usize]) };
+            let k_n = if n == 0 { Value::Null } else { Value::Float((n - 1) as f64) };
+            rt.push_row(vec![k_s, k_n, Value::Int(i as i64)]).unwrap();
+        }
+
+        // Reference: nested loop with `group_eq`, nulls never matching,
+        // matches emitted in (left row, right row) order.
+        let pairs = |kind: JoinKind| {
+            let mut out: Vec<(usize, Option<usize>)> = Vec::new();
+            for lr in 0..lt.num_rows() {
+                let mut matched = false;
+                for rr in 0..rt.num_rows() {
+                    let ok = ["k_s", "k_n"].iter().all(|k| {
+                        let lv = lt.value(lr, k).unwrap();
+                        let rv = rt.value(rr, k).unwrap();
+                        !lv.is_null() && !rv.is_null() && lv.group_eq(&rv)
+                    });
+                    if ok {
+                        out.push((lr, Some(rr)));
+                        matched = true;
+                    }
+                }
+                if !matched && kind == JoinKind::LeftOuter {
+                    out.push((lr, None));
+                }
+            }
+            out
+        };
+
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
+            let out = join(&lt, &rt, &["k_s", "k_n"], &["k_s", "k_n"], kind).unwrap();
+            let expected = pairs(kind);
+            prop_assert_eq!(out.num_rows(), expected.len());
+            for (i, &(lr, rr)) in expected.iter().enumerate() {
+                prop_assert_eq!(out.value(i, "k_s").unwrap(), lt.value(lr, "k_s").unwrap());
+                prop_assert_eq!(out.value(i, "k_n").unwrap(), lt.value(lr, "k_n").unwrap());
+                prop_assert_eq!(out.value(i, "lid").unwrap(), lt.value(lr, "lid").unwrap());
+                let want_rid = rr.map_or(Value::Null, |r| rt.value(r, "rid").unwrap());
+                prop_assert_eq!(out.value(i, "rid").unwrap(), want_rid);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_matches_row_at_a_time_eval(
+        rows in prop::collection::vec((0u8..6, 0u8..5, 0u8..4, -4.0f64..4.0, 0i64..4), 0..80),
+    ) {
+        let t = mixed_table(&rows);
+        let pred = col("v").gt(lit(0.0)).or(col("k_s").eq(lit("a")));
+        let out = Query::from(t.clone()).filter(pred.clone()).run().unwrap();
+        // Reference: keep rows where the scalar evaluator says
+        // `Bool(true)`; null predicates drop the row.
+        let mask: Vec<bool> = (0..t.num_rows())
+            .map(|r| pred.eval_row(&t, r).unwrap() == Value::Bool(true))
+            .collect();
+        prop_assert_eq!(out, t.filter_rows(&mask));
+    }
+}
+
+/// A full filter → group-by → sort pipeline over a table spanning several
+/// parallel blocks must produce identical values *and row order* whatever
+/// the worker-thread count.
+#[test]
+fn parallel_pipeline_matches_sequential() {
+    use borg_query::parallel::{override_threads, BLOCK_ROWS};
+    let n = BLOCK_ROWS * 2 + 1234;
+    let tiers = ["prod", "batch", "free", "mid"];
+    let mut t = Table::new(vec![
+        ("tier", DataType::Str),
+        ("cpu", DataType::Float),
+        ("id", DataType::Int),
+    ]);
+    t.reserve_rows(n);
+    for i in 0..n {
+        let tier = if i % 97 == 0 {
+            Value::Null
+        } else {
+            Value::str(tiers[i % 4])
+        };
+        let cpu = if i % 31 == 0 {
+            Value::Null
+        } else {
+            Value::Float((i % 1000) as f64 * 0.25 - 100.0)
+        };
+        t.push_row(vec![tier, cpu, Value::Int(i as i64)]).unwrap();
+    }
+    let run = || {
+        Query::from(t.clone())
+            .filter(col("cpu").gt(lit(-50.0)))
+            .group_by(
+                &["tier"],
+                vec![
+                    Agg::sum("cpu", "s"),
+                    Agg::mean("cpu", "m"),
+                    Agg::count_all("n"),
+                    Agg::count_distinct("id", "d"),
+                ],
+            )
+            .sort_by("s", SortOrder::Descending)
+            .run()
+            .unwrap()
+    };
+    override_threads(1);
+    let sequential = run();
+    override_threads(8);
+    let parallel = run();
+    override_threads(0);
+    assert_eq!(sequential, parallel);
+    assert!(sequential.num_rows() > 0);
 }

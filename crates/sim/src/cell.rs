@@ -285,10 +285,12 @@ impl<'a> CellSim<'a> {
 
     fn prime_events(&mut self) {
         for (i, j) in self.jobs.iter().enumerate() {
-            self.queue.push(j.spec.submit_time, Ev::JobSubmit { job: i });
+            self.queue
+                .push(j.spec.submit_time, Ev::JobSubmit { job: i });
         }
         for (i, a) in self.allocs.iter().enumerate() {
-            self.queue.push(a.spec.submit_time, Ev::AllocSubmit { alloc: i });
+            self.queue
+                .push(a.spec.submit_time, Ev::AllocSubmit { alloc: i });
         }
         self.queue.push(self.cfg.usage_interval, Ev::UsageTick);
         self.queue.push(Micros::from_minutes(5), Ev::BatchTick);
@@ -475,8 +477,7 @@ impl<'a> CellSim<'a> {
     fn ensure_dispatch(&mut self) {
         if !self.dispatch_active && !self.pending.is_empty() {
             self.dispatch_active = true;
-            self.queue
-                .push(self.now + Micros(10_000), Ev::Dispatch);
+            self.queue.push(self.now + Micros(10_000), Ev::Dispatch);
         }
     }
 
@@ -602,12 +603,9 @@ impl<'a> CellSim<'a> {
             if let Some(alloc_idx) = self.allocs.iter().position(|a| a.spec.id == aid) {
                 if self.allocs[alloc_idx].active && !self.allocs[alloc_idx].draining {
                     let size = self.allocs[alloc_idx].spec.instance_size;
-                    let found = self.allocs[alloc_idx]
-                        .instances
-                        .iter()
-                        .position(|inst| {
-                            inst.machine.is_some() && (inst.used + request).fits_in(&size)
-                        });
+                    let found = self.allocs[alloc_idx].instances.iter().position(|inst| {
+                        inst.machine.is_some() && (inst.used + request).fits_in(&size)
+                    });
                     if let Some(inst) = found {
                         let machine = self.allocs[alloc_idx].instances[inst]
                             .machine
@@ -676,7 +674,13 @@ impl<'a> CellSim<'a> {
         self.stalled.push_back((job, task));
     }
 
-    fn start_task(&mut self, job: usize, task: usize, machine: usize, in_alloc: Option<(usize, usize)>) {
+    fn start_task(
+        &mut self,
+        job: usize,
+        task: usize,
+        machine: usize,
+        in_alloc: Option<(usize, usize)>,
+    ) {
         {
             let t = &mut self.jobs[job].tasks[task];
             t.state = TaskState::Running {
@@ -709,13 +713,13 @@ impl<'a> CellSim<'a> {
 
         // Flaky tasks get interrupted and resubmitted (§6.2 churn).
         if self.jobs[job].flaky {
-            let gap_hours = Exponential::with_mean(
-                1.0 / self.profile.flaky_interrupts_per_hour.max(1e-6),
-            )
-            .sample(&mut self.rng);
+            let gap_hours =
+                Exponential::with_mean(1.0 / self.profile.flaky_interrupts_per_hour.max(1e-6))
+                    .sample(&mut self.rng);
             let at = self.now + Micros::from_secs((gap_hours * 3600.0).max(30.0) as u64);
             let attempt = self.jobs[job].tasks[task].attempt;
-            self.queue.push(at, Ev::TaskInterrupt { job, task, attempt });
+            self.queue
+                .push(at, Ev::TaskInterrupt { job, task, attempt });
         }
     }
 
@@ -857,9 +861,7 @@ impl<'a> CellSim<'a> {
         // Parent-child cascade (§3, §5.2): children die with the parent.
         let children = std::mem::take(&mut self.jobs[job].children);
         for c in children {
-            if self.jobs[c].state != JobState::Ended
-                && self.jobs[c].state != JobState::NotArrived
-            {
+            if self.jobs[c].state != JobState::Ended && self.jobs[c].state != JobState::NotArrived {
                 self.on_job_end(c, true);
             } else if self.jobs[c].state == JobState::NotArrived {
                 // Will be killed at submission.
@@ -902,7 +904,11 @@ impl<'a> CellSim<'a> {
                 self.emit_alloc_instance(alloc, i, EventType::Fail);
             }
         }
-        if self.allocs[alloc].instances.iter().any(|i| i.machine.is_some()) {
+        if self.allocs[alloc]
+            .instances
+            .iter()
+            .any(|i| i.machine.is_some())
+        {
             self.emit_alloc_collection(alloc, EventType::Schedule);
         }
         let expire = self.allocs[alloc].spec.submit_time + self.allocs[alloc].spec.duration;
@@ -1038,9 +1044,7 @@ impl<'a> CellSim<'a> {
         let victims: Vec<(usize, usize)> = self.machines[machine]
             .occupants
             .iter()
-            .filter(|o| {
-                !o.is_alloc_instance && (hardware_failure || o.tier < Tier::Production)
-            })
+            .filter(|o| !o.is_alloc_instance && (hardware_failure || o.tier < Tier::Production))
             .map(|o| (o.owner, o.index))
             .collect();
         for (j, t) in victims {
@@ -1119,7 +1123,8 @@ impl<'a> CellSim<'a> {
             if limit.cpu > 0.0 {
                 let slack = ((limit.cpu - peak_cpu).max(0.0)) / limit.cpu;
                 let mode = self.jobs[j].tasks[t].autopilot.mode();
-                self.metrics.add_slack(mode, slack, self.usage_seq * 131 + t as u64);
+                self.metrics
+                    .add_slack(mode, slack, self.usage_seq * 131 + t as u64);
             }
 
             // §5.1: memory fill by alloc membership.
@@ -1133,10 +1138,9 @@ impl<'a> CellSim<'a> {
             }
 
             // Autopilot adjusts the limit from the observed window peak.
-            let new_limit = self.jobs[j].tasks[t].autopilot.observe(
-                Resources::new(peak_cpu, avg.mem),
-                limit,
-            );
+            let new_limit = self.jobs[j].tasks[t]
+                .autopilot
+                .observe(Resources::new(peak_cpu, avg.mem), limit);
             if (new_limit.cpu - limit.cpu).abs() > 0.10 * limit.cpu.max(1e-9) {
                 self.jobs[j].tasks[t].limit = new_limit;
                 self.emit_task(j, t, EventType::UpdateRunning, Some(machine));
@@ -1192,8 +1196,7 @@ impl<'a> CellSim<'a> {
                 .occupants
                 .iter()
                 .filter(|o| {
-                    !o.is_alloc_instance
-                        && !matches!(o.tier, Tier::Production | Tier::Monitoring)
+                    !o.is_alloc_instance && !matches!(o.tier, Tier::Production | Tier::Monitoring)
                 })
                 .map(|o| (o.tier, o.owner, o.index, o.request.mem))
                 .collect();

@@ -103,8 +103,10 @@ impl SimConfig {
 
     /// The usage-interval-aligned snapshot window start.
     pub fn snapshot_window(&self) -> Micros {
-        Micros(self.snapshot_at.as_micros() / self.usage_interval.as_micros().max(1)
-            * self.usage_interval.as_micros())
+        Micros(
+            self.snapshot_at.as_micros() / self.usage_interval.as_micros().max(1)
+                * self.usage_interval.as_micros(),
+        )
     }
 
     /// Mean time between maintenance sweeps for one machine.
@@ -127,7 +129,10 @@ impl SimConfig {
             "usage interval below trace resolution"
         );
         assert!(self.keep_usage_every >= 1, "keep_usage_every >= 1");
-        assert!(self.mean_decision_micros > 0, "decision time must be positive");
+        assert!(
+            self.mean_decision_micros > 0,
+            "decision time must be positive"
+        );
         assert!(
             self.equivalence_class_speedup >= 1.0,
             "equivalence-class speedup must be >= 1"

@@ -133,7 +133,11 @@ impl Machine {
     /// §5.2). Returns the victims (owner, index) or `None` when even
     /// preempting everything below the tier is not enough. Alloc
     /// instances are never victims.
-    pub fn preemption_victims(&self, request: Resources, tier: Tier) -> Option<Vec<(usize, usize)>> {
+    pub fn preemption_victims(
+        &self,
+        request: Resources,
+        tier: Tier,
+    ) -> Option<Vec<(usize, usize)>> {
         let needed = discount(request, tier);
         let mut candidates: Vec<&Occupant> = self
             .occupants
@@ -186,7 +190,10 @@ mod tests {
         // Four beb tasks of 0.5 NCU each count 0.25 each against the
         // machine, so all four fit: raw requests total 2.0 NCU (200%).
         for i in 0..4 {
-            assert!(m.fits(Resources::new(0.5, 0.2), Tier::BestEffortBatch), "i = {i}");
+            assert!(
+                m.fits(Resources::new(0.5, 0.2), Tier::BestEffortBatch),
+                "i = {i}"
+            );
             m.add(task(i, Tier::BestEffortBatch, 0.5));
         }
         let raw: Resources = m.occupants.iter().map(|o| o.request).sum();

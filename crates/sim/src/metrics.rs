@@ -149,12 +149,20 @@ const MAX_SLACK_SAMPLES: usize = 400_000;
 
 impl SimMetrics {
     /// Fresh accumulators for a cell.
-    pub fn new(cell_name: &str, horizon: Micros, capacity: Resources, tiers: &[Tier]) -> SimMetrics {
+    pub fn new(
+        cell_name: &str,
+        horizon: Micros,
+        capacity: Resources,
+        tiers: &[Tier],
+    ) -> SimMetrics {
         SimMetrics {
             cell_name: cell_name.to_string(),
             horizon,
             capacity,
-            tiers: tiers.iter().map(|&t| (t, TierSeries::new(horizon))).collect(),
+            tiers: tiers
+                .iter()
+                .map(|&t| (t, TierSeries::new(horizon)))
+                .collect(),
             job_submissions: HourBuckets::new(MICROS_PER_HOUR, horizon.as_micros()),
             new_task_submissions: HourBuckets::new(MICROS_PER_HOUR, horizon.as_micros()),
             all_task_submissions: HourBuckets::new(MICROS_PER_HOUR, horizon.as_micros()),
@@ -242,16 +250,26 @@ impl SimMetrics {
     pub fn explain_scheduling(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let placements = self
-            .instance_transitions
-            .get(Some(crate::metrics::schedule_from()), borg_trace::state::EventType::Schedule);
+        let placements = self.instance_transitions.get(
+            Some(crate::metrics::schedule_from()),
+            borg_trace::state::EventType::Schedule,
+        );
         writeln!(out, "scheduling report for cell {}", self.cell_name).ok();
         writeln!(out, "  placements: {placements}").ok();
-        writeln!(out, "  preemptions by production work: {}", self.preemptions).ok();
+        writeln!(
+            out,
+            "  preemptions by production work: {}",
+            self.preemptions
+        )
+        .ok();
         if self.stalls_by_tier.is_empty() {
             writeln!(out, "  no placement attempt ever failed").ok();
         } else {
-            writeln!(out, "  failed placement attempts (cell full for that request):").ok();
+            writeln!(
+                out,
+                "  failed placement attempts (cell full for that request):"
+            )
+            .ok();
             for (tier, n) in &self.stalls_by_tier {
                 writeln!(out, "    {tier:>5}: {n}").ok();
             }

@@ -13,16 +13,15 @@ use borg_workload::cells::CellProfile;
 /// the same order as `profiles`.
 pub fn run_cells_parallel(profiles: &[CellProfile], cfg: &SimConfig) -> Vec<CellOutcome> {
     let mut slots: Vec<Option<CellOutcome>> = (0..profiles.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, (profile, slot)) in profiles.iter().zip(slots.iter_mut()).enumerate() {
             let mut cell_cfg = cfg.clone();
             cell_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(CellSim::run_cell(profile, &cell_cfg));
             });
         }
-    })
-    .expect("cell simulation thread panicked");
+    });
     slots
         .into_iter()
         .map(|s| s.expect("every cell produced an outcome"))
@@ -36,10 +35,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let profiles = vec![
-            CellProfile::cell_2019('a'),
-            CellProfile::cell_2019('b'),
-        ];
+        let profiles = vec![CellProfile::cell_2019('a'), CellProfile::cell_2019('b')];
         let mut cfg = SimConfig::tiny_for_tests(7);
         cfg.horizon = Micros::from_hours(6);
         let parallel = run_cells_parallel(&profiles, &cfg);
@@ -62,10 +58,7 @@ mod tests {
 
     #[test]
     fn cells_get_distinct_seeds() {
-        let profiles = vec![
-            CellProfile::cell_2019('a'),
-            CellProfile::cell_2019('a'),
-        ];
+        let profiles = vec![CellProfile::cell_2019('a'), CellProfile::cell_2019('a')];
         let mut cfg = SimConfig::tiny_for_tests(9);
         cfg.horizon = Micros::from_hours(6);
         let outcomes = run_cells_parallel(&profiles, &cfg);

@@ -99,9 +99,10 @@ fn gang_scheduling_starts_jobs_whole() {
         Default::default();
     for ev in &o.trace.instance_events {
         if ev.event_type == EventType::Schedule {
-            let e = first_sched
-                .entry(ev.instance_id.collection.0)
-                .or_insert((ev.time, 0, u32::MAX));
+            let e =
+                first_sched
+                    .entry(ev.instance_id.collection.0)
+                    .or_insert((ev.time, 0, u32::MAX));
             if ev.time == e.0 {
                 e.1 += 1;
             }

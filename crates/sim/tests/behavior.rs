@@ -69,7 +69,12 @@ fn allocation_exceeds_usage_overcommit() {
 fn scheduling_delays_are_seconds_not_hours() {
     let outcome = week_outcome(14);
     assert!(outcome.metrics.delays.len() > 100);
-    let mut delays: Vec<f64> = outcome.metrics.delays.iter().map(|d| d.delay_secs).collect();
+    let mut delays: Vec<f64> = outcome
+        .metrics
+        .delays
+        .iter()
+        .map(|d| d.delay_secs)
+        .collect();
     delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = delays[delays.len() / 2];
     assert!(
@@ -102,7 +107,10 @@ fn rescheduling_churn_exists() {
     let outcome = week_outcome(16);
     let new: f64 = outcome.metrics.new_task_submissions.totals().iter().sum();
     let all: f64 = outcome.metrics.all_task_submissions.totals().iter().sum();
-    assert!(all > new * 1.2, "resubmissions expected: new {new}, all {all}");
+    assert!(
+        all > new * 1.2,
+        "resubmissions expected: new {new}, all {all}"
+    );
 }
 
 #[test]
@@ -235,7 +243,10 @@ fn dependency_cascades_kill_children() {
     let kp = with_parent_killed as f64 / with_parent as f64;
     let ko = without_parent_killed as f64 / without_parent as f64;
     assert!(kp > ko, "kill rate with parent {kp:.2} vs without {ko:.2}");
-    assert!(kp > 0.7, "paper: 87% of jobs with parents are killed, got {kp:.2}");
+    assert!(
+        kp > 0.7,
+        "paper: 87% of jobs with parents are killed, got {kp:.2}"
+    );
 }
 
 #[test]
@@ -244,7 +255,10 @@ fn deterministic_given_seed() {
     let cfg = SimConfig::tiny_for_tests(33);
     let a = CellSim::run_cell(&profile, &cfg);
     let b = CellSim::run_cell(&profile, &cfg);
-    assert_eq!(a.trace.collection_events.len(), b.trace.collection_events.len());
+    assert_eq!(
+        a.trace.collection_events.len(),
+        b.trace.collection_events.len()
+    );
     assert_eq!(a.trace.instance_events.len(), b.trace.instance_events.len());
     assert_eq!(a.trace.usage.len(), b.trace.usage.len());
     assert_eq!(a.metrics.preemptions, b.metrics.preemptions);

@@ -234,7 +234,8 @@ pub fn write_instance_events(w: &mut impl Write, events: &[InstanceEvent]) -> io
             e.priority.raw(),
             e.alloc_instance
                 .map_or(String::new(), |a| a.collection.0.to_string()),
-            e.alloc_instance.map_or(String::new(), |a| a.index.to_string()),
+            e.alloc_instance
+                .map_or(String::new(), |a| a.index.to_string()),
         )?;
     }
     Ok(())
@@ -376,10 +377,15 @@ pub fn write_trace_dir(trace: &Trace, dir: &std::path::Path) -> io::Result<()> {
 /// Reads a trace previously written by [`write_trace_dir`].
 pub fn read_trace_dir(dir: &std::path::Path) -> Result<Trace, CsvError> {
     let open = |name: &str| -> Result<std::io::BufReader<std::fs::File>, CsvError> {
-        Ok(std::io::BufReader::new(std::fs::File::open(dir.join(name))?))
+        Ok(std::io::BufReader::new(std::fs::File::open(
+            dir.join(name),
+        )?))
     };
     let meta = std::fs::read_to_string(dir.join("metadata.csv"))?;
-    let line = meta.lines().nth(1).ok_or_else(|| parse_err(2, "missing metadata row"))?;
+    let line = meta
+        .lines()
+        .nth(1)
+        .ok_or_else(|| parse_err(2, "missing metadata row"))?;
     let parts: Vec<&str> = line.split(',').collect();
     let cell_name = field(&parts, 0, 2)?.to_string();
     let schema = match field(&parts, 1, 2)? {
@@ -458,33 +464,27 @@ mod tests {
     #[test]
     fn machine_events_round_trip() {
         let t = sample_trace();
-        let back = round_trip(
-            &t.machine_events,
-            write_machine_events,
-            |b| read_machine_events(b),
-        );
+        let back = round_trip(&t.machine_events, write_machine_events, |b| {
+            read_machine_events(b)
+        });
         assert_eq!(back, t.machine_events);
     }
 
     #[test]
     fn collection_events_round_trip() {
         let t = sample_trace();
-        let back = round_trip(
-            &t.collection_events,
-            write_collection_events,
-            |b| read_collection_events(b),
-        );
+        let back = round_trip(&t.collection_events, write_collection_events, |b| {
+            read_collection_events(b)
+        });
         assert_eq!(back, t.collection_events);
     }
 
     #[test]
     fn instance_events_round_trip() {
         let t = sample_trace();
-        let back = round_trip(
-            &t.instance_events,
-            write_instance_events,
-            |b| read_instance_events(b),
-        );
+        let back = round_trip(&t.instance_events, write_instance_events, |b| {
+            read_instance_events(b)
+        });
         assert_eq!(back, t.instance_events);
     }
 

@@ -38,11 +38,7 @@ pub mod usage;
 pub mod validate;
 
 pub use collection::{
-    CollectionEvent,
-    CollectionId,
-    CollectionType,
-    SchedulerKind,
-    VerticalScalingMode,
+    CollectionEvent, CollectionId, CollectionType, SchedulerKind, VerticalScalingMode,
 };
 pub use instance::{InstanceEvent, InstanceId};
 pub use machine::{MachineEvent, MachineEventType, MachineId, Platform};

@@ -60,7 +60,12 @@ pub struct MachineEvent {
 
 impl MachineEvent {
     /// Convenience constructor for the initial `Add` of a machine.
-    pub fn add(time: Micros, machine_id: MachineId, capacity: Resources, platform: Platform) -> Self {
+    pub fn add(
+        time: Micros,
+        machine_id: MachineId,
+        capacity: Resources,
+        platform: Platform,
+    ) -> Self {
         MachineEvent {
             time,
             machine_id,

@@ -91,10 +91,7 @@ pub fn v2_event_code(ev: EventType) -> Option<u8> {
 ///
 /// The trace should already be in the v2 schema (see [`downgrade`]);
 /// events without a v2 code are skipped.
-pub fn write_v2_task_events(
-    w: &mut impl std::io::Write,
-    trace: &Trace,
-) -> std::io::Result<()> {
+pub fn write_v2_task_events(w: &mut impl std::io::Write, trace: &Trace) -> std::io::Result<()> {
     for ev in &trace.instance_events {
         let Some(code) = v2_event_code(ev.event_type) else {
             continue;
@@ -119,10 +116,10 @@ pub fn write_v2_task_events(
 mod tests {
     use super::*;
     use crate::collection::{CollectionId, UserId};
-    use crate::state::EventType as E;
     use crate::instance::{InstanceEvent, InstanceId};
     use crate::machine::MachineId;
     use crate::resources::Resources;
+    use crate::state::EventType as E;
     use crate::time::Micros;
 
     fn v3_trace() -> Trace {

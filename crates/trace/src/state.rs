@@ -57,7 +57,11 @@ impl EventType {
     pub const fn is_terminal(self) -> bool {
         matches!(
             self,
-            EventType::Evict | EventType::Fail | EventType::Finish | EventType::Kill | EventType::Lost
+            EventType::Evict
+                | EventType::Fail
+                | EventType::Finish
+                | EventType::Kill
+                | EventType::Lost
         )
     }
 
@@ -282,7 +286,10 @@ mod tests {
     fn happy_path_finish() {
         let mut sm = StateMachine::new();
         assert_eq!(sm.apply(EventType::Submit).unwrap(), InstanceState::Pending);
-        assert_eq!(sm.apply(EventType::Schedule).unwrap(), InstanceState::Running);
+        assert_eq!(
+            sm.apply(EventType::Schedule).unwrap(),
+            InstanceState::Running
+        );
         assert_eq!(
             sm.apply(EventType::Finish).unwrap(),
             InstanceState::Dead(TerminationKind::Finish)

@@ -1,6 +1,8 @@
 //! The trace bundle: all tables of one cell-month.
 
-use crate::collection::{CollectionEvent, CollectionId, CollectionType, SchedulerKind, VerticalScalingMode};
+use crate::collection::{
+    CollectionEvent, CollectionId, CollectionType, SchedulerKind, VerticalScalingMode,
+};
 use crate::instance::{InstanceEvent, InstanceId};
 use crate::machine::{MachineEvent, MachineEventType};
 use crate::priority::Priority;
@@ -157,9 +159,7 @@ impl Trace {
             if ev.event_type == EventType::Submit && ev.time < entry.submit_time {
                 entry.submit_time = ev.time;
             }
-            if ev.event_type.is_terminal()
-                && entry.final_time.is_none_or(|t| ev.time >= t)
-            {
+            if ev.event_type.is_terminal() && entry.final_time.is_none_or(|t| ev.time >= t) {
                 entry.final_event = Some(ev.event_type);
                 entry.final_time = Some(ev.time);
             }
@@ -211,12 +211,7 @@ mod tests {
         ));
     }
 
-    fn collection_event(
-        id: u64,
-        t: Micros,
-        ty: EventType,
-        parent: Option<u64>,
-    ) -> CollectionEvent {
+    fn collection_event(id: u64, t: Micros, ty: EventType, parent: Option<u64>) -> CollectionEvent {
         CollectionEvent {
             time: t,
             collection_id: CollectionId(id),
@@ -254,18 +249,30 @@ mod tests {
     #[test]
     fn collections_summarize_events() {
         let mut trace = Trace::new("t", SchemaVersion::V3Trace2019, Micros::from_days(1));
-        trace
-            .collection_events
-            .push(collection_event(1, Micros::from_secs(10), EventType::Submit, None));
-        trace
-            .collection_events
-            .push(collection_event(1, Micros::from_secs(20), EventType::Schedule, None));
-        trace
-            .collection_events
-            .push(collection_event(1, Micros::from_secs(90), EventType::Finish, None));
-        trace
-            .collection_events
-            .push(collection_event(2, Micros::from_secs(15), EventType::Submit, Some(1)));
+        trace.collection_events.push(collection_event(
+            1,
+            Micros::from_secs(10),
+            EventType::Submit,
+            None,
+        ));
+        trace.collection_events.push(collection_event(
+            1,
+            Micros::from_secs(20),
+            EventType::Schedule,
+            None,
+        ));
+        trace.collection_events.push(collection_event(
+            1,
+            Micros::from_secs(90),
+            EventType::Finish,
+            None,
+        ));
+        trace.collection_events.push(collection_event(
+            2,
+            Micros::from_secs(15),
+            EventType::Submit,
+            Some(1),
+        ));
         let infos = trace.collections();
         assert_eq!(infos.len(), 2);
         let c1 = &infos[&CollectionId(1)];
@@ -280,12 +287,18 @@ mod tests {
     #[test]
     fn sort_orders_all_tables() {
         let mut trace = Trace::new("t", SchemaVersion::V3Trace2019, Micros::from_days(1));
-        trace
-            .collection_events
-            .push(collection_event(1, Micros::from_secs(20), EventType::Submit, None));
-        trace
-            .collection_events
-            .push(collection_event(2, Micros::from_secs(10), EventType::Submit, None));
+        trace.collection_events.push(collection_event(
+            1,
+            Micros::from_secs(20),
+            EventType::Submit,
+            None,
+        ));
+        trace.collection_events.push(collection_event(
+            2,
+            Micros::from_secs(10),
+            EventType::Submit,
+            None,
+        ));
         trace.sort();
         assert!(trace.collection_events[0].time <= trace.collection_events[1].time);
     }

@@ -129,7 +129,9 @@ mod tests {
 
     #[test]
     fn histogram_from_samples_monotone() {
-        let samples: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 997) as f64 / 997.0).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 997) as f64 / 997.0)
+            .collect();
         let h = CpuHistogram::from_samples(&samples);
         assert!(h.is_monotone());
         assert!(h.min() < 0.02);
@@ -168,7 +170,10 @@ mod tests {
     fn percentile_points_are_21_biased_high() {
         assert_eq!(CPU_HISTOGRAM_PERCENTILES.len(), 21);
         // More than half the points are at or above the 80th percentile.
-        let high = CPU_HISTOGRAM_PERCENTILES.iter().filter(|&&p| p >= 80.0).count();
+        let high = CPU_HISTOGRAM_PERCENTILES
+            .iter()
+            .filter(|&&p| p >= 80.0)
+            .count();
         assert!(high > 10);
     }
 }

@@ -79,11 +79,22 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::IllegalInstanceTransition { instance, event, time } => {
+            Violation::IllegalInstanceTransition {
+                instance,
+                event,
+                time,
+            } => {
                 write!(f, "instance {instance}: illegal event {event} at {time}")
             }
-            Violation::IllegalCollectionTransition { collection, event, time } => {
-                write!(f, "collection {collection}: illegal event {event} at {time}")
+            Violation::IllegalCollectionTransition {
+                collection,
+                event,
+                time,
+            } => {
+                write!(
+                    f,
+                    "collection {collection}: illegal event {event} at {time}"
+                )
             }
             Violation::TerminationBeforeSubmit { collection } => {
                 write!(f, "collection {collection}: terminated before submit")
@@ -91,7 +102,12 @@ impl fmt::Display for Violation {
             Violation::UsageOnUnknownMachine { machine } => {
                 write!(f, "usage on unknown machine {machine}")
             }
-            Violation::MachineOverCapacity { machine, window, cpu_used, cpu_capacity } => {
+            Violation::MachineOverCapacity {
+                machine,
+                window,
+                cpu_used,
+                cpu_capacity,
+            } => {
                 write!(
                     f,
                     "machine {machine} over capacity at {window}: used {cpu_used:.3} of {cpu_capacity:.3} NCU"
@@ -270,7 +286,9 @@ fn check_usage(trace: &Trace, out: &mut Vec<Violation>, cfg: &ValidateConfig) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::collection::{CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode};
+    use crate::collection::{
+        CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
+    };
     use crate::instance::{InstanceEvent, InstanceId};
     use crate::machine::{MachineEvent, Platform};
     use crate::priority::Priority;
@@ -389,7 +407,9 @@ mod tests {
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::UsageOnUnknownMachine { .. })));
-        assert!(v.iter().any(|x| matches!(x, Violation::OrphanInstance { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::OrphanInstance { .. })));
     }
 
     #[test]
@@ -406,7 +426,9 @@ mod tests {
         rec2.cpu_histogram = CpuHistogram(h);
         t.usage.push(rec2);
         let v = validate(&t);
-        assert!(v.iter().any(|x| matches!(x, Violation::BadUsageWindow { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BadUsageWindow { .. })));
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::NonMonotoneHistogram { .. })));

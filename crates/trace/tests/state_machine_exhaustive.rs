@@ -128,7 +128,13 @@ fn terminal_events_always_produce_matching_dead_state() {
 #[test]
 fn success_is_final_but_eviction_is_not() {
     let mut finished = machine_in(Some(InstanceState::Dead(TerminationKind::Finish)));
-    assert!(finished.apply(EventType::Submit).is_err(), "no resubmit after success");
+    assert!(
+        finished.apply(EventType::Submit).is_err(),
+        "no resubmit after success"
+    );
     let mut evicted = machine_in(Some(InstanceState::Dead(TerminationKind::Evict)));
-    assert!(evicted.apply(EventType::Submit).is_ok(), "evicted work is rescheduled (§5.2)");
+    assert!(
+        evicted.apply(EventType::Submit).is_ok(),
+        "evicted work is rescheduled (§5.2)"
+    );
 }

@@ -69,7 +69,10 @@ impl DiurnalRate {
     /// Panics unless `base > 0` and `0 <= amplitude < 1`.
     pub fn new(base_per_hour: f64, amplitude: f64, phase_hours: f64) -> DiurnalRate {
         assert!(base_per_hour > 0.0, "base rate must be positive");
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0, 1)"
+        );
         DiurnalRate {
             base_per_hour,
             amplitude,

@@ -285,7 +285,10 @@ mod tests {
 
     #[test]
     fn job_shares_sum_to_one() {
-        for p in CellProfile::all_2019().iter().chain([&CellProfile::cell_2011()]) {
+        for p in CellProfile::all_2019()
+            .iter()
+            .chain([&CellProfile::cell_2011()])
+        {
             let total: f64 = p.tiers.iter().map(|t| t.job_share).sum();
             assert!((total - 1.0).abs() < 1e-9, "cell {}: {total}", p.name);
         }
@@ -300,9 +303,24 @@ mod tests {
 
     #[test]
     fn cell_extremes_match_paper() {
-        let prod = |c: char| CellProfile::cell_2019(c).tier(Tier::Production).unwrap().target_cpu_util;
-        let beb = |c: char| CellProfile::cell_2019(c).tier(Tier::BestEffortBatch).unwrap().target_cpu_util;
-        let mid = |c: char| CellProfile::cell_2019(c).tier(Tier::Mid).unwrap().target_cpu_util;
+        let prod = |c: char| {
+            CellProfile::cell_2019(c)
+                .tier(Tier::Production)
+                .unwrap()
+                .target_cpu_util
+        };
+        let beb = |c: char| {
+            CellProfile::cell_2019(c)
+                .tier(Tier::BestEffortBatch)
+                .unwrap()
+                .target_cpu_util
+        };
+        let mid = |c: char| {
+            CellProfile::cell_2019(c)
+                .tier(Tier::Mid)
+                .unwrap()
+                .target_cpu_util
+        };
         for c in 'b'..='h' {
             assert!(prod('a') >= prod(c), "cell a has the largest prod share");
         }
@@ -338,7 +356,10 @@ mod tests {
         let p = CellProfile::cell_2019('c');
         let beb = p.tier(Tier::BestEffortBatch).unwrap();
         let beb_mem_alloc = beb.target_mem_util / beb.mem_fill;
-        assert!((1.2..1.6).contains(&beb_mem_alloc), "beb mem alloc = {beb_mem_alloc}");
+        assert!(
+            (1.2..1.6).contains(&beb_mem_alloc),
+            "beb mem alloc = {beb_mem_alloc}"
+        );
     }
 
     #[test]

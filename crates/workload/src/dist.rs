@@ -29,7 +29,10 @@ impl Uniform {
     ///
     /// Panics when `lo > hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64) -> Uniform {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform bounds"
+        );
         Uniform { lo, hi }
     }
 }
@@ -54,7 +57,10 @@ impl Exponential {
     ///
     /// Panics when `rate` is not strictly positive.
     pub fn new(rate: f64) -> Exponential {
-        assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be positive");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exponential rate must be positive"
+        );
         Exponential { rate }
     }
 
@@ -87,7 +93,10 @@ impl Pareto {
     ///
     /// Panics on non-positive `alpha` or `x_min`.
     pub fn new(alpha: f64, x_min: f64) -> Pareto {
-        assert!(alpha > 0.0 && x_min > 0.0, "pareto parameters must be positive");
+        assert!(
+            alpha > 0.0 && x_min > 0.0,
+            "pareto parameters must be positive"
+        );
         Pareto { alpha, x_min }
     }
 }
@@ -121,7 +130,10 @@ impl BoundedPareto {
     ///
     /// Panics unless `0 < lo < hi` and `alpha > 0`.
     pub fn new(alpha: f64, lo: f64, hi: f64) -> BoundedPareto {
-        assert!(alpha > 0.0 && lo > 0.0 && lo < hi, "bad bounded-pareto parameters");
+        assert!(
+            alpha > 0.0 && lo > 0.0 && lo < hi,
+            "bad bounded-pareto parameters"
+        );
         BoundedPareto { alpha, lo, hi }
     }
 
@@ -233,7 +245,10 @@ impl BodyTail {
     ///
     /// Panics when `tail_prob` is outside `[0, 1]`.
     pub fn new(body: LogNormal, tail: BoundedPareto, tail_prob: f64) -> BodyTail {
-        assert!((0.0..=1.0).contains(&tail_prob), "tail_prob must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&tail_prob),
+            "tail_prob must be a probability"
+        );
         BodyTail {
             body,
             tail,
@@ -462,9 +477,18 @@ mod tests {
         let d = BoundedPareto::new(1.5, 1.0, 100.0);
         let mut r = rng();
         let n = 400_000;
-        let m2: f64 = (0..n).map(|_| { let x = d.sample(&mut r); x * x }).sum::<f64>() / n as f64;
+        let m2: f64 = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut r);
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
         let analytic = d.second_moment();
-        assert!((m2 - analytic).abs() / analytic < 0.05, "emp {m2} vs {analytic}");
+        assert!(
+            (m2 - analytic).abs() / analytic < 0.05,
+            "emp {m2} vs {analytic}"
+        );
     }
 
     #[test]
@@ -476,7 +500,10 @@ mod tests {
         );
         assert!(d.mean() > 0.0);
         assert!(d.variance() > 0.0);
-        assert!(d.c_squared() > 1.0, "heavy mixture has C² above exponential");
+        assert!(
+            d.c_squared() > 1.0,
+            "heavy mixture has C² above exponential"
+        );
         // Mixture mean between its components' contributions.
         assert!(d.mean() < d.tail.mean());
     }

@@ -95,7 +95,11 @@ mod tests {
 
     fn cpu_samples(model: &IntegralModel, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        model.sample_many(N, &mut rng).iter().map(|j| j.ncu_hours).collect()
+        model
+            .sample_many(N, &mut rng)
+            .iter()
+            .map(|j| j.ncu_hours)
+            .collect()
     }
 
     #[test]
@@ -151,7 +155,11 @@ mod tests {
     fn cpu_2011_matches_table2_shape() {
         let xs = cpu_samples(&IntegralModel::model_2011(), 4);
         let m: Moments = xs.iter().copied().collect();
-        assert!((1.5..5.0).contains(&m.mean()), "mean = {} (paper: 3.0)", m.mean());
+        assert!(
+            (1.5..5.0).contains(&m.mean()),
+            "mean = {} (paper: 3.0)",
+            m.mean()
+        );
         let c2 = m.c_squared();
         assert!((3_000.0..30_000.0).contains(&c2), "C² = {c2} (paper: 8375)");
         let fit = ParetoFit::fit_ccdf_regression(&xs, 1.0, 99.99).unwrap();
@@ -186,7 +194,10 @@ mod tests {
         let cpu_mean: f64 = jobs.iter().map(|j| j.ncu_hours).sum::<f64>() / N as f64;
         let mem_mean: f64 = jobs.iter().map(|j| j.nmu_hours).sum::<f64>() / N as f64;
         let ratio = mem_mean / cpu_mean;
-        assert!((0.4..0.8).contains(&ratio), "ratio = {ratio} (paper: 0.67/1.19 = 0.56)");
+        assert!(
+            (0.4..0.8).contains(&ratio),
+            "ratio = {ratio} (paper: 0.67/1.19 = 0.56)"
+        );
     }
 
     #[test]

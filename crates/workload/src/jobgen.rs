@@ -89,7 +89,10 @@ impl JobSpec {
     pub fn intended_integral(&self) -> Resources {
         self.tasks
             .iter()
-            .map(|t| t.usage.integral_over(self.submit_time, self.submit_time + self.duration))
+            .map(|t| {
+                t.usage
+                    .integral_over(self.submit_time, self.submit_time + self.duration)
+            })
             .sum()
     }
 
@@ -197,7 +200,10 @@ impl<'a> JobGenerator<'a> {
     ///
     /// Panics on a non-positive capacity, rate, or horizon.
     pub fn new(profile: &'a CellProfile, params: GenParams) -> JobGenerator<'a> {
-        assert!(params.capacity.cpu > 0.0 && params.capacity.mem > 0.0, "capacity must be positive");
+        assert!(
+            params.capacity.cpu > 0.0 && params.capacity.mem > 0.0,
+            "capacity must be positive"
+        );
         assert!(params.job_rate_per_hour > 0.0, "job rate must be positive");
         assert!(params.horizon > Micros::ZERO, "horizon must be positive");
         JobGenerator { profile, params }
@@ -259,10 +265,7 @@ impl<'a> JobGenerator<'a> {
         let p_early = (p_kill + self.profile.fail_prob).min(1.0);
         // Early terminations land uniformly in [0.05, 1.0] of the
         // duration: E[frac] ≈ 0.525, E[sqrt(frac)] ≈ 0.694.
-        (
-            1.0 - p_early * (1.0 - 0.525),
-            1.0 - p_early * (1.0 - 0.694),
-        )
+        (1.0 - p_early * (1.0 - 0.525), 1.0 - p_early * (1.0 - 0.694))
     }
 
     fn generate_residents(
@@ -292,8 +295,7 @@ impl<'a> JobGenerator<'a> {
             .map(|_| task_model.sample_capped(rng, self.params.task_cap))
             .collect();
         let total_tasks: u32 = slot_tasks.iter().sum();
-        let r_cpu =
-            (target_cpu / f64::from(total_tasks.max(1))).clamp(MIN_TASK_CPU, MAX_TASK_CPU);
+        let r_cpu = (target_cpu / f64::from(total_tasks.max(1))).clamp(MIN_TASK_CPU, MAX_TASK_CPU);
 
         // Each resident "slot" is a chain of service jobs covering the
         // whole window: when one incarnation is killed or fails (the §5.2
@@ -376,8 +378,7 @@ impl<'a> JobGenerator<'a> {
                 let mean_ncu_hours = stream_util * self.params.capacity.cpu / rate_tier.max(1e-9);
                 let (mean_tasks, sqrt_tasks) =
                     TaskCountModel::for_tier(tp.tier).capped_moments(self.params.task_cap);
-                let (dur_mean, dur_sqrt) =
-                    self.truncated_duration_moments(tp.mean_duration_hours);
+                let (dur_mean, dur_sqrt) = self.truncated_duration_moments(tp.mean_duration_hours);
                 let mean_realized_hours = dur_mean * early_mean;
                 let sqrt_realized_hours = dur_sqrt * early_sqrt;
                 let base_median = mean_ncu_hours
@@ -404,7 +405,9 @@ impl<'a> JobGenerator<'a> {
 
             let n_tasks = TaskCountModel::for_tier(tier).sample_capped(rng, self.params.task_cap);
             let dur_dist = duration_dist(tp.mean_duration_hours);
-            let dur_hours = dur_dist.sample(rng).min(self.params.horizon.as_hours_f64() * 1.5);
+            let dur_hours = dur_dist
+                .sample(rng)
+                .min(self.params.horizon.as_hours_f64() * 1.5);
             let duration = Micros((dur_hours * MICROS_PER_HOUR as f64).max(60.0 * 1e6) as u64);
             let termination = self.sample_termination(rng, /* has_parent: */ false);
 
@@ -419,9 +422,8 @@ impl<'a> JobGenerator<'a> {
             // statistical sampler in `integral`.
             let realized_hours = match termination {
                 TerminationIntent::Finish => dur_hours,
-                TerminationIntent::Kill { at_fraction } | TerminationIntent::Fail { at_fraction } => {
-                    dur_hours * at_fraction
-                }
+                TerminationIntent::Kill { at_fraction }
+                | TerminationIntent::Fail { at_fraction } => dur_hours * at_fraction,
             };
             let footprint = (n_tasks as f64 * realized_hours.max(1.0 / 60.0))
                 / (cal.mean_tasks * cal.mean_realized_hours);
@@ -574,9 +576,8 @@ impl<'a> JobGenerator<'a> {
             .tier(Tier::Production)
             .expect("profiles always include production");
         let inst_cpu = (0.015 / prod.cpu_fill) * 2.5;
-        let inst_mem = (0.015 * (prod.target_mem_util / prod.target_cpu_util.max(1e-9))
-            / prod.mem_fill)
-            * 2.5;
+        let inst_mem =
+            (0.015 * (prod.target_mem_util / prod.target_cpu_util.max(1e-9)) / prod.mem_fill) * 2.5;
         let count_dist = Discrete::new(vec![(2u32, 4.0), (5, 4.0), (10, 1.0)]);
         let life_dist = duration_dist(40.0);
         (0..count)
@@ -670,7 +671,10 @@ impl<'a> JobGenerator<'a> {
 /// Log-normal duration distribution with the given mean (hours).
 fn duration_dist(mean_hours: f64) -> LogNormal {
     // mean = exp(mu + sigma²/2) → mu = ln(mean) − sigma²/2.
-    LogNormal::new(mean_hours.ln() - DURATION_SIGMA * DURATION_SIGMA / 2.0, DURATION_SIGMA)
+    LogNormal::new(
+        mean_hours.ln() - DURATION_SIGMA * DURATION_SIGMA / 2.0,
+        DURATION_SIGMA,
+    )
 }
 
 /// Picks a random element of a slice.
@@ -766,7 +770,10 @@ mod tests {
     #[test]
     fn jobs_sorted_and_in_horizon() {
         let (_, w) = workload(1);
-        assert!(w.jobs.windows(2).all(|p| p[0].submit_time <= p[1].submit_time));
+        assert!(w
+            .jobs
+            .windows(2)
+            .all(|p| p[0].submit_time <= p[1].submit_time));
         assert!(w.jobs.iter().all(|j| j.submit_time < Micros::from_days(4)));
         assert!(!w.jobs.is_empty());
     }
@@ -783,7 +790,10 @@ mod tests {
         let (_, w) = workload(3);
         let in_alloc: Vec<&JobSpec> = w.jobs.iter().filter(|j| j.alloc_set.is_some()).collect();
         assert!(!in_alloc.is_empty());
-        let prod = in_alloc.iter().filter(|j| j.tier == Tier::Production).count();
+        let prod = in_alloc
+            .iter()
+            .filter(|j| j.tier == Tier::Production)
+            .count();
         let frac = prod as f64 / in_alloc.len() as f64;
         assert!(frac > 0.85, "prod fraction of in-alloc jobs = {frac}");
     }
@@ -804,7 +814,10 @@ mod tests {
         }
         let with_parent = kp as f64 / np as f64;
         let without = ko as f64 / no as f64;
-        assert!((0.80..0.94).contains(&with_parent), "with parent: {with_parent}");
+        assert!(
+            (0.80..0.94).contains(&with_parent),
+            "with parent: {with_parent}"
+        );
         assert!((0.33..0.50).contains(&without), "without parent: {without}");
     }
 
@@ -825,7 +838,10 @@ mod tests {
         let (_, w) = workload(6);
         for j in w.jobs.iter().take(500) {
             for t in &j.tasks {
-                assert!(t.request.cpu >= t.usage.base.cpu * 0.99, "limit below usage");
+                assert!(
+                    t.request.cpu >= t.usage.base.cpu * 0.99,
+                    "limit below usage"
+                );
                 assert!(t.request.cpu <= 0.9 && t.request.mem <= 0.9);
             }
         }

@@ -31,7 +31,10 @@ impl TaskCountModel {
     ///
     /// Panics on out-of-range parameters.
     pub fn new(p_single: f64, alpha: f64, max_tasks: u32) -> TaskCountModel {
-        assert!((0.0..=1.0).contains(&p_single), "p_single must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_single),
+            "p_single must be a probability"
+        );
         assert!(alpha > 0.0 && max_tasks >= 2, "bad task-count parameters");
         TaskCountModel {
             p_single,

@@ -57,10 +57,16 @@ impl UsageProcess {
         peak_factor: f64,
         seed: u64,
     ) -> UsageProcess {
-        assert!((0.0..1.0).contains(&diurnal_amplitude), "amplitude in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&diurnal_amplitude),
+            "amplitude in [0,1)"
+        );
         assert!((0.0..1.0).contains(&noise), "noise in [0,1)");
         assert!(peak_factor >= 1.0, "peak factor >= 1");
-        assert!(base.is_non_negative() && base.is_finite(), "base usage must be sane");
+        assert!(
+            base.is_non_negative() && base.is_finite(),
+            "base usage must be sane"
+        );
         UsageProcess {
             base,
             diurnal_amplitude,
@@ -136,14 +142,7 @@ mod tests {
     use super::*;
 
     fn process() -> UsageProcess {
-        UsageProcess::new(
-            Resources::new(0.2, 0.1),
-            0.3,
-            0.0,
-            0.1,
-            1.5,
-            42,
-        )
+        UsageProcess::new(Resources::new(0.2, 0.1), 0.3, 0.0, 0.1, 1.5, 42)
     }
 
     #[test]

@@ -39,7 +39,12 @@ fn main() {
 
         let util: f64 = outcome.metrics.average_cpu_util_by_tier().values().sum();
         let alloc: f64 = outcome.metrics.average_cpu_alloc_by_tier().values().sum();
-        let mut delays: Vec<f64> = outcome.metrics.delays.iter().map(|d| d.delay_secs).collect();
+        let mut delays: Vec<f64> = outcome
+            .metrics
+            .delays
+            .iter()
+            .map(|d| d.delay_secs)
+            .collect();
         delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let med = delays.get(delays.len() / 2).copied().unwrap_or(f64::NAN);
         let p90 = delays

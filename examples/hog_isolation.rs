@@ -28,9 +28,15 @@ fn main() {
     let tail = TailShare::compute(&cpu).expect("non-degenerate sample");
     let fit = ParetoFit::fit_ccdf_regression(&cpu, 1.0, 99.99).expect("tail fits");
     println!("workload characterization (1M jobs):");
-    println!("  top 1% of jobs carry {:.1}% of the CPU load", tail.top_1_percent * 100.0);
+    println!(
+        "  top 1% of jobs carry {:.1}% of the CPU load",
+        tail.top_1_percent * 100.0
+    );
     println!("  top 0.1% carry {:.1}%", tail.top_01_percent * 100.0);
-    println!("  Pareto alpha = {:.2} (R² = {:.3})", fit.alpha, fit.r_squared);
+    println!(
+        "  Pareto alpha = {:.2} (R² = {:.3})",
+        fit.alpha, fit.r_squared
+    );
 
     // 2. Split hogs from mice at the 99th percentile.
     let mut sorted = cpu.clone();
@@ -44,7 +50,10 @@ fn main() {
 
     // 3. The M/G/1 what-if at a range of loads.
     println!("\nPollaczek–Khinchine mean queueing delay (mean service times):");
-    println!("{:>6} {:>14} {:>14} {:>10}", "load", "mixed queue", "mice isolated", "benefit");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "load", "mixed queue", "mice isolated", "benefit"
+    );
     for rho in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let mixed = mg1_mean_queueing_delay(rho, all.c_squared()).expect("valid load");
         let isolated = mg1_mean_queueing_delay(rho, mice.c_squared()).expect("valid load");

@@ -37,7 +37,12 @@ fn main() {
         println!("  {tier:>5}: {alloc:.3}");
     }
 
-    let delays: Vec<f64> = outcome.metrics.delays.iter().map(|d| d.delay_secs).collect();
+    let delays: Vec<f64> = outcome
+        .metrics
+        .delays
+        .iter()
+        .map(|d| d.delay_secs)
+        .collect();
     let ccdf = borg2019::analysis::Ccdf::from_samples(delays);
     println!(
         "\nmedian job scheduling delay: {:.2}s over {} jobs",

@@ -32,7 +32,7 @@ fn main() -> Result<(), borg2019::query::QueryError> {
                 col("event")
                     .eq(lit("finish"))
                     .or(col("event").eq(lit("kill")))
-                    .or(col("event").eq(lit("fail")))
+                    .or(col("event").eq(lit("fail"))),
             ),
         )
         .group_by(&["tier", "event"], vec![Agg::count_all("n")])
@@ -42,7 +42,11 @@ fn main() -> Result<(), borg2019::query::QueryError> {
 
     // Query 2: kill rate for jobs with vs without parents.
     let kills = Query::from(coll.clone())
-        .filter(col("type").eq(lit("job")).and(col("event").eq(lit("submit"))))
+        .filter(
+            col("type")
+                .eq(lit("job"))
+                .and(col("event").eq(lit("submit"))),
+        )
         .derive("has_parent", col("parent_id").is_null().not())
         .select(&["collection_id", "has_parent"])
         .run()?;
@@ -54,10 +58,7 @@ fn main() -> Result<(), borg2019::query::QueryError> {
     let by_parent = Query::from(kills)
         .left_join(killed, &["collection_id"], &["collection_id"])
         .derive("was_killed", col("killed").is_null().not())
-        .group_by(
-            &["has_parent", "was_killed"],
-            vec![Agg::count_all("jobs")],
-        )
+        .group_by(&["has_parent", "was_killed"], vec![Agg::count_all("jobs")])
         .sort_by_many(&[
             ("has_parent", SortOrder::Ascending),
             ("was_killed", SortOrder::Ascending),
@@ -71,7 +72,13 @@ fn main() -> Result<(), borg2019::query::QueryError> {
         .filter(col("event").eq(lit("schedule")))
         .sort_by("cpu_request", SortOrder::Descending)
         .limit(5)
-        .select(&["collection_id", "instance_index", "tier", "cpu_request", "mem_request"])
+        .select(&[
+            "collection_id",
+            "instance_index",
+            "tier",
+            "cpu_request",
+            "mem_request",
+        ])
         .run()?;
     println!("-- five largest placed requests --\n{biggest}");
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repo-wide sanity gate: formatting, lints, build, tests.
+#
+# Everything runs with --offline: the container has no crates.io access and
+# all dependencies are workspace-local (see DESIGN.md §7).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "All checks passed."

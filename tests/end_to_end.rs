@@ -26,7 +26,11 @@ fn cell_2011() -> &'static CellOutcome {
 #[test]
 fn whole_pipeline_produces_valid_traces() {
     for outcome in [cell_b(), cell_2011()] {
-        assert!(validate(&outcome.trace).is_empty(), "cell {}", outcome.trace.cell_name);
+        assert!(
+            validate(&outcome.trace).is_empty(),
+            "cell {}",
+            outcome.trace.cell_name
+        );
         assert!(outcome.trace.collections().len() > 100);
     }
 }
@@ -34,7 +38,10 @@ fn whole_pipeline_produces_valid_traces() {
 #[test]
 fn downgraded_2019_trace_is_valid_2011() {
     let v2 = downgrade(&cell_b().trace);
-    assert_eq!(v2.schema, Some(borg2019::trace::trace::SchemaVersion::V2Trace2011));
+    assert_eq!(
+        v2.schema,
+        Some(borg2019::trace::trace::SchemaVersion::V2Trace2011)
+    );
     assert!(validate(&v2).is_empty());
     // Every collection in the v2 view is a plain job with band-quantized
     // priority.
@@ -56,8 +63,14 @@ fn csv_round_trip_of_simulated_trace() {
     let dir = std::env::temp_dir().join(format!("borg_e2e_{}", std::process::id()));
     borg2019::trace::csv::write_trace_dir(&cell_b().trace, &dir).expect("write");
     let back = borg2019::trace::csv::read_trace_dir(&dir).expect("read");
-    assert_eq!(back.collection_events.len(), cell_b().trace.collection_events.len());
-    assert_eq!(back.instance_events.len(), cell_b().trace.instance_events.len());
+    assert_eq!(
+        back.collection_events.len(),
+        cell_b().trace.collection_events.len()
+    );
+    assert_eq!(
+        back.instance_events.len(),
+        cell_b().trace.instance_events.len()
+    );
     assert_eq!(back.usage.len(), cell_b().trace.usage.len());
     assert_eq!(back.machine_events, cell_b().trace.machine_events);
     std::fs::remove_dir_all(&dir).ok();
@@ -84,7 +97,9 @@ fn analyses_agree_with_query_engine() {
 #[test]
 fn longitudinal_rates_grow() {
     let scale = SimScale::Tiny.config(0).scale;
-    let r2011 = submission::job_rate_ccdf(cell_2011(), scale).median().unwrap();
+    let r2011 = submission::job_rate_ccdf(cell_2011(), scale)
+        .median()
+        .unwrap();
     let r2019 = submission::job_rate_ccdf(cell_b(), scale).median().unwrap();
     assert!(
         r2019 > r2011 * 1.5,
@@ -129,5 +144,8 @@ fn tier_usage_sums_to_total() {
     let total: f64 = per_tier.values().sum();
     assert!(total > 0.1 && total < 1.0, "total utilization {total}");
     assert!(per_tier.contains_key(&Tier::BestEffortBatch));
-    assert!(!per_tier.contains_key(&Tier::Monitoring), "monitoring folded into prod");
+    assert!(
+        !per_tier.contains_key(&Tier::Monitoring),
+        "monitoring folded into prod"
+    );
 }

@@ -24,7 +24,11 @@ fn figure8_as_sql_matches_metrics() {
     // WHERE event = 'submit' AND type = 'job' GROUP BY hour
     let coll = tables::collection_events_table(&outcome().trace).expect("table");
     let per_hour = Query::from(coll)
-        .filter(col("event").eq(lit("submit")).and(col("type").eq(lit("job"))))
+        .filter(
+            col("event")
+                .eq(lit("submit"))
+                .and(col("type").eq(lit("job"))),
+        )
         .derive("hour", col("time").bucket(HOUR_US))
         .group_by(&["hour"], vec![Agg::count_all("jobs")])
         .run()
@@ -36,7 +40,10 @@ fn figure8_as_sql_matches_metrics() {
     // within the metrics' total.
     let metrics_total: f64 = outcome().metrics.job_submissions.totals().iter().sum();
     assert!(sql_total as f64 <= metrics_total + 0.5);
-    assert!(sql_total as f64 > metrics_total * 0.9, "{sql_total} vs {metrics_total}");
+    assert!(
+        sql_total as f64 > metrics_total * 0.9,
+        "{sql_total} vs {metrics_total}"
+    );
 }
 
 #[test]
