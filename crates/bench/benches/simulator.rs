@@ -13,6 +13,8 @@ fn bench_cell_day(c: &mut Criterion) {
         ("16_machines", 0.0013),
         ("24_machines", 0.002),
         ("48_machines", 0.004),
+        ("512_machines", 512.0 / 12000.0),
+        ("2048_machines", 2048.0 / 12000.0),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &scale, |b, &scale| {
             let profile = CellProfile::cell_2019('d');
@@ -23,6 +25,17 @@ fn bench_cell_day(c: &mut Criterion) {
             b.iter(|| CellSim::run_cell(&profile, &cfg));
         });
     }
+    // The pre-index placement path at the ≥5x acceptance scale, for the
+    // before/after numbers in BENCH_simulator.json.
+    group.bench_function("512_machines_naive_scan", |b| {
+        let profile = CellProfile::cell_2019('d');
+        let mut cfg = SimConfig::tiny_for_tests(1);
+        cfg.scale = 512.0 / 12000.0;
+        cfg.horizon = Micros::from_days(1);
+        cfg.snapshot_at = Micros::from_hours(12);
+        cfg.use_placement_index = false;
+        b.iter(|| CellSim::run_cell(&profile, &cfg));
+    });
     group.finish();
 }
 
@@ -78,6 +91,78 @@ fn bench_machine_fit(c: &mut Criterion) {
     });
 }
 
+fn bench_placement_path(c: &mut Criterion) {
+    use borg_sim::machine::{Machine, Occupant};
+    use borg_sim::PlacementIndex;
+    use borg_trace::machine::MachineId;
+    use borg_trace::priority::Tier;
+    use borg_trace::resources::Resources;
+    const FLEET: usize = 10_000;
+    let mut machines: Vec<Machine> = (0..FLEET)
+        .map(|i| Machine::new(MachineId(i as u32), Resources::new(0.5, 0.5)))
+        .collect();
+    for (i, m) in machines.iter_mut().enumerate() {
+        for k in 0..(i % 12) {
+            m.add(Occupant {
+                owner: k,
+                index: i,
+                is_alloc_instance: false,
+                tier: Tier::BestEffortBatch,
+                request: Resources::new(0.05, 0.04),
+            });
+        }
+    }
+    let req = Resources::new(0.08, 0.06);
+    let mut group = c.benchmark_group("placement_path");
+    group.bench_function("naive_scan_10k", |b| {
+        b.iter(|| {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, m) in machines.iter().enumerate() {
+                if let Some(s) = m.fit_score(req, Tier::Production) {
+                    if best.is_none_or(|(_, bs)| s < bs) {
+                        best = Some((i, s));
+                    }
+                }
+            }
+            best
+        });
+    });
+    group.bench_function("indexed_miss_10k", |b| {
+        // Cycling through more shapes than the cache holds evicts every
+        // entry before it is asked again, so each query pays the full
+        // mirror scan plus a cache store: the cold path.
+        let mut index = PlacementIndex::new(&machines, 7);
+        let shapes: Vec<Resources> = (0..8192)
+            .map(|i| Resources::new(0.06 + (i % 97) as f64 * 1e-6, 0.05 + (i / 97) as f64 * 1e-6))
+            .collect();
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % shapes.len();
+            index.best_fit(&machines, shapes[k], Tier::Production)
+        });
+    });
+    group.bench_function("indexed_churn_10k", |b| {
+        // Steady churn: the winner mutates between queries, so each
+        // lookup revalidates the entry against a one-record tail instead
+        // of rescanning the fleet.
+        let mut index = PlacementIndex::new(&machines, 7);
+        b.iter(|| {
+            let hit = index.best_fit(&machines, req, Tier::Production);
+            if let Some((mi, _)) = hit {
+                index.on_machine_changed(mi, &machines[mi]);
+            }
+            hit
+        });
+    });
+    group.bench_function("indexed_cached_10k", |b| {
+        // Steady state: an unchanged fleet answers from the score cache.
+        let mut index = PlacementIndex::new(&machines, 7);
+        index.best_fit(&machines, req, Tier::Production);
+        b.iter(|| index.best_fit(&machines, req, Tier::Production));
+    });
+    group.finish();
+}
+
 /// One named configuration tweak.
 type Variant = (&'static str, fn(&mut SimConfig));
 
@@ -114,6 +199,7 @@ criterion_group!(
     bench_cell_day,
     bench_2011_vs_2019,
     bench_machine_fit,
+    bench_placement_path,
     bench_ablations
 );
 criterion_main!(benches);

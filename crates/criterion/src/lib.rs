@@ -13,6 +13,13 @@
 //! iteration count targets a fixed wall-clock budget; the report prints
 //! min / median / max per-iteration times, which is enough for the
 //! before/after comparisons recorded in CHANGES.md.
+//!
+//! Setting the `CRITERION_SMOKE` environment variable (any value)
+//! replaces the timing budgets with minimal ones, so every benchmark
+//! executes a couple of iterations and exits: a CI smoke pass that
+//! proves the benches still build and run, driven by
+//! `scripts/check.sh --bench`. Numbers printed in smoke mode are
+//! meaningless.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -46,6 +53,15 @@ pub struct Bencher<'a> {
 impl Bencher<'_> {
     /// Times `routine`, recording per-iteration durations.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if smoke_mode() {
+            // No warm-up, one iteration per sample: just prove it runs.
+            for _ in 0..self.sample_size {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            return;
+        }
         // Warm-up: also estimates a single iteration's cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -101,6 +117,11 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// True when the run only needs to prove the benches execute.
+fn smoke_mode() -> bool {
+    std::env::var_os("CRITERION_SMOKE").is_some()
+}
+
 fn run_one(
     name: &str,
     sample_size: usize,
@@ -108,6 +129,11 @@ fn run_one(
     measurement_time: Duration,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    let (sample_size, warm_up_time, measurement_time) = if smoke_mode() {
+        (2, Duration::from_millis(1), Duration::from_millis(2))
+    } else {
+        (sample_size, warm_up_time, measurement_time)
+    };
     let mut samples = Vec::with_capacity(sample_size);
     let mut b = Bencher {
         samples: &mut samples,

@@ -3,6 +3,8 @@
 use crate::autopilot::Autopilot;
 use crate::config::SimConfig;
 use crate::event::{Ev, EventQueue};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::index::PlacementIndex;
 use crate::machine::{Machine, Occupant};
 use crate::metrics::{tier_key, MachineSnapshot, SimMetrics};
 use crate::pending::PendingQueue;
@@ -23,7 +25,7 @@ use borg_workload::jobgen::{GenParams, JobGenerator, JobSpec, TerminationIntent,
 use borg_workload::usage_model::splitmix64;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Everything a simulated cell-month produces.
 #[derive(Debug)]
@@ -105,15 +107,19 @@ pub struct CellSim<'a> {
     profile: &'a CellProfile,
     cfg: &'a SimConfig,
     machines: Vec<Machine>,
+    /// Placement index kept in lock-step with every machine mutation
+    /// (only consulted when `cfg.use_placement_index`).
+    index: PlacementIndex,
     jobs: Vec<JobRt>,
     allocs: Vec<AllocRt>,
     job_by_id: std::collections::BTreeMap<u64, usize>,
+    alloc_by_id: std::collections::BTreeMap<u64, usize>,
     queue: EventQueue,
     pending: PendingQueue,
     batch_queue: VecDeque<(usize, Micros)>,
     /// Tasks whose last placement attempt failed, awaiting the retry tick.
     stalled: VecDeque<(usize, usize)>,
-    running: HashSet<(usize, usize)>,
+    running: FxHashSet<(usize, usize)>,
     dispatch_active: bool,
     in_flight: Option<(usize, usize)>,
     last_dispatched_job: Option<usize>,
@@ -175,18 +181,21 @@ impl<'a> CellSim<'a> {
         let reporting_tiers: Vec<Tier> = profile.tiers.iter().map(|t| tier_key(t.tier)).collect();
         let metrics = SimMetrics::new(&profile.name, cfg.horizon, capacity, &reporting_tiers);
 
+        let index = PlacementIndex::new(&machines, cfg.seed ^ INDEX_SEED_SALT);
         let mut sim = CellSim {
             profile,
             cfg,
             machines,
+            index,
             jobs: Vec::new(),
             allocs: Vec::new(),
             job_by_id: Default::default(),
+            alloc_by_id: Default::default(),
             queue: EventQueue::new(),
             pending: PendingQueue::new(),
             batch_queue: VecDeque::new(),
             stalled: VecDeque::new(),
-            running: HashSet::new(),
+            running: FxHashSet::default(),
             dispatch_active: false,
             in_flight: None,
             last_dispatched_job: None,
@@ -281,6 +290,72 @@ impl<'a> CellSim<'a> {
                 spec,
             })
             .collect();
+        self.alloc_by_id = self
+            .allocs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.spec.id, i))
+            .collect();
+    }
+
+    // ----- placement machinery ----------------------------------------
+
+    /// Adds an occupant to a machine, keeping the placement index
+    /// current. Every machine mutation must flow through this or
+    /// [`CellSim::release_occupant`].
+    fn commit_occupant(&mut self, machine: usize, occ: Occupant) {
+        self.machines[machine].add(occ);
+        if self.cfg.use_placement_index {
+            self.index
+                .on_machine_changed(machine, &self.machines[machine]);
+        }
+    }
+
+    /// Removes an occupant from a machine, keeping the placement index
+    /// current.
+    fn release_occupant(&mut self, machine: usize, owner: usize, index: usize) {
+        if self.machines[machine].remove(owner, index).is_some() && self.cfg.use_placement_index {
+            self.index
+                .on_machine_changed(machine, &self.machines[machine]);
+        }
+    }
+
+    /// Best-fit winner across the fleet: indexed (exact or bounded) or
+    /// the naive reference scan, per the config.
+    fn best_fit_machine(&mut self, request: Resources, tier: Tier) -> Option<(usize, f64)> {
+        if self.cfg.use_placement_index {
+            return match self.cfg.candidate_cap {
+                None => self.index.best_fit(&self.machines, request, tier),
+                Some(cap) => self
+                    .index
+                    .best_fit_bounded(&self.machines, request, tier, cap),
+            };
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, m) in self.machines.iter().enumerate() {
+            if let Some(score) = m.fit_score(request, tier) {
+                if best.is_none_or(|(_, s)| score < s) {
+                    best = Some((i, score));
+                }
+            }
+        }
+        best
+    }
+
+    /// First machine (lowest index) where preempting lower tiers frees
+    /// room for `request`, with the victim list.
+    fn find_preemption(
+        &mut self,
+        request: Resources,
+        tier: Tier,
+    ) -> Option<(usize, Vec<(usize, usize)>)> {
+        if self.cfg.use_placement_index {
+            return self.index.first_preemptible(&self.machines, request, tier);
+        }
+        self.machines
+            .iter()
+            .enumerate()
+            .find_map(|(i, m)| m.preemption_victims(request, tier).map(|v| (i, v)))
     }
 
     fn prime_events(&mut self) {
@@ -530,9 +605,18 @@ impl<'a> CellSim<'a> {
     }
 
     /// Gang placement (§10 research direction #3): dry-run a greedy
-    /// best-fit of *all* the job's pending tasks against a scratch copy of
-    /// the machines' commitments; commit only when every task fits. The
-    /// popped task triggers the whole gang.
+    /// best-fit of *all* the job's pending tasks against scratch
+    /// commitments; commit only when every task fits. The popped task
+    /// triggers the whole gang.
+    ///
+    /// With the placement index enabled, the dry run keeps an *overlay*
+    /// of effective commitments for the few machines the gang touches
+    /// (instead of cloning every machine's state) and a per-shape
+    /// min-heap of `(score, index)` keys. Keys never go stale: only the
+    /// machine just committed to changes, and it is re-scored and
+    /// re-pushed immediately — so each task placement is O(log M)
+    /// instead of O(M), while choosing the exact machine the full scan
+    /// would.
     fn try_place_gang(&mut self, job: usize) {
         let tier = self.jobs[job].spec.tier;
         let pending: Vec<usize> = self.jobs[job]
@@ -545,53 +629,136 @@ impl<'a> CellSim<'a> {
         if pending.is_empty() {
             return;
         }
-        // Dry run on scratch commitments (no preemption, no alloc space).
+        let chosen = if self.cfg.use_placement_index {
+            self.gang_dry_run_indexed(job, tier, &pending)
+        } else {
+            self.gang_dry_run_naive(job, tier, &pending)
+        };
+        match chosen {
+            Some(chosen) => {
+                for (t, mi) in chosen {
+                    self.commit_occupant(
+                        mi,
+                        Occupant {
+                            owner: job,
+                            index: t,
+                            is_alloc_instance: false,
+                            tier,
+                            request: self.jobs[job].tasks[t].limit,
+                        },
+                    );
+                    self.start_task(job, t, mi, None);
+                }
+            }
+            None => {
+                // The gang does not fit; stall every pending task.
+                for &t in &pending {
+                    *self
+                        .metrics
+                        .stalls_by_tier
+                        .entry(tier_key(tier))
+                        .or_insert(0) += 1;
+                    self.jobs[job].tasks[t].stalled = true;
+                    self.stalled.push_back((job, t));
+                }
+            }
+        }
+    }
+
+    /// The reference gang dry run: full scratch clone, O(M) per task.
+    fn gang_dry_run_naive(
+        &self,
+        job: usize,
+        tier: Tier,
+        pending: &[usize],
+    ) -> Option<Vec<(usize, usize)>> {
         let mut scratch: Vec<Resources> = self.machines.iter().map(|m| m.committed).collect();
         let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
-        for &t in &pending {
+        for &t in pending {
             let request = self.jobs[job].tasks[t].limit;
             let d = crate::machine::discount(request, tier);
             let mut best: Option<(usize, f64)> = None;
             for (mi, m) in self.machines.iter().enumerate() {
-                let after = scratch[mi] + d;
-                if after.fits_in(&m.capacity) && request.fits_in(&m.capacity) {
-                    let score = 1.0 - after.dominant_fraction_of(&m.capacity);
+                if let Some(score) = m.fit_score_at(scratch[mi], request, tier) {
                     if best.is_none_or(|(_, s)| score < s) {
                         best = Some((mi, score));
                     }
                 }
             }
-            match best {
-                Some((mi, _)) => {
-                    scratch[mi] += d;
-                    chosen.push((t, mi));
-                }
-                None => {
-                    // The gang does not fit; stall every pending task.
-                    for &t in &pending {
-                        *self
-                            .metrics
-                            .stalls_by_tier
-                            .entry(tier_key(tier))
-                            .or_insert(0) += 1;
-                        self.jobs[job].tasks[t].stalled = true;
-                        self.stalled.push_back((job, t));
-                    }
-                    return;
-                }
+            let (mi, _) = best?;
+            scratch[mi] += d;
+            chosen.push((t, mi));
+        }
+        Some(chosen)
+    }
+
+    /// The indexed gang dry run: overlay of touched machines + per-shape
+    /// heap. Bit-identical to [`CellSim::gang_dry_run_naive`]: the
+    /// overlay applies the same `+= d` accumulation to the same starting
+    /// value, and the heap pops the lexicographic `(score, index)`
+    /// minimum — the machine the naive scan keeps.
+    fn gang_dry_run_indexed(
+        &self,
+        job: usize,
+        tier: Tier,
+        pending: &[usize],
+    ) -> Option<Vec<(usize, usize)>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// Total-ordered heap key; scores of feasible machines are finite.
+        #[derive(PartialEq)]
+        struct Key {
+            score: f64,
+            mi: usize,
+        }
+        impl Eq for Key {}
+        impl PartialOrd for Key {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
             }
         }
-        // Commit.
-        for (t, mi) in chosen {
-            self.machines[mi].add(Occupant {
-                owner: job,
-                index: t,
-                is_alloc_instance: false,
-                tier,
-                request: self.jobs[job].tasks[t].limit,
-            });
-            self.start_task(job, t, mi, None);
+        impl Ord for Key {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.score
+                    .partial_cmp(&other.score)
+                    .expect("finite score")
+                    .then(self.mi.cmp(&other.mi))
+            }
         }
+
+        // Effective commitments for machines the gang has touched.
+        let mut overlay: FxHashMap<usize, Resources> = Default::default();
+        let mut chosen: Vec<(usize, usize)> = Vec::with_capacity(pending.len());
+        let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
+        let mut heap_shape: Option<(u64, u64)> = None;
+        for &t in pending {
+            let request = self.jobs[job].tasks[t].limit;
+            let d = crate::machine::discount(request, tier);
+            let shape = (request.cpu.to_bits(), request.mem.to_bits());
+            if heap_shape != Some(shape) {
+                // New equivalence class: rebuild the heap (once per run
+                // of identical shapes; a job's tasks share one shape).
+                heap_shape = Some(shape);
+                heap.clear();
+                for (mi, m) in self.machines.iter().enumerate() {
+                    let committed = overlay.get(&mi).copied().unwrap_or(m.committed);
+                    if let Some(score) = m.fit_score_at(committed, request, tier) {
+                        heap.push(Reverse(Key { score, mi }));
+                    }
+                }
+            }
+            let Reverse(Key { mi, .. }) = heap.pop()?;
+            let slot = overlay.entry(mi).or_insert(self.machines[mi].committed);
+            *slot += d;
+            chosen.push((t, mi));
+            // Re-score the machine we just tightened; all other keys are
+            // still exact because no other machine changed.
+            if let Some(score) = self.machines[mi].fit_score_at(*slot, request, tier) {
+                heap.push(Reverse(Key { score, mi }));
+            }
+        }
+        Some(chosen)
     }
 
     fn try_place(&mut self, job: usize, task: usize) {
@@ -600,7 +767,7 @@ impl<'a> CellSim<'a> {
 
         // 1. Inside the job's alloc set when possible (§5.1).
         if let Some(aid) = self.jobs[job].spec.alloc_set {
-            if let Some(alloc_idx) = self.allocs.iter().position(|a| a.spec.id == aid) {
+            if let Some(alloc_idx) = self.alloc_by_id.get(&aid).copied() {
                 if self.allocs[alloc_idx].active && !self.allocs[alloc_idx].draining {
                     let size = self.allocs[alloc_idx].spec.instance_size;
                     let found = self.allocs[alloc_idx].instances.iter().position(|inst| {
@@ -620,45 +787,38 @@ impl<'a> CellSim<'a> {
 
         // 2. Best fit across machines (tight packing preserves the large
         // holes that big tasks need).
-        let mut best: Option<(usize, f64)> = None;
-        for (i, m) in self.machines.iter().enumerate() {
-            if let Some(score) = m.fit_score(request, tier) {
-                if best.is_none_or(|(_, s)| score < s) {
-                    best = Some((i, score));
-                }
-            }
-        }
-        if let Some((machine, _)) = best {
-            self.machines[machine].add(Occupant {
-                owner: job,
-                index: task,
-                is_alloc_instance: false,
-                tier,
-                request,
-            });
+        if let Some((machine, _)) = self.best_fit_machine(request, tier) {
+            self.commit_occupant(
+                machine,
+                Occupant {
+                    owner: job,
+                    index: task,
+                    is_alloc_instance: false,
+                    tier,
+                    request,
+                },
+            );
             self.start_task(job, task, machine, None);
             return;
         }
 
         // 3. Production preempts lower tiers (§2, §5.2).
         if matches!(tier, Tier::Production | Tier::Monitoring) {
-            let found = self
-                .machines
-                .iter()
-                .enumerate()
-                .find_map(|(i, m)| m.preemption_victims(request, tier).map(|v| (i, v)));
-            if let Some((machine, victims)) = found {
+            if let Some((machine, victims)) = self.find_preemption(request, tier) {
                 self.metrics.preemptions += 1;
                 for (vj, vt) in victims {
                     self.evict_task_cause(vj, vt, "preemption");
                 }
-                self.machines[machine].add(Occupant {
-                    owner: job,
-                    index: task,
-                    is_alloc_instance: false,
-                    tier,
-                    request,
-                });
+                self.commit_occupant(
+                    machine,
+                    Occupant {
+                        owner: job,
+                        index: task,
+                        is_alloc_instance: false,
+                        tier,
+                        request,
+                    },
+                );
                 self.start_task(job, task, machine, None);
                 return;
             }
@@ -745,7 +905,7 @@ impl<'a> CellSim<'a> {
             let used = &mut self.allocs[alloc_idx].instances[inst].used;
             *used = (*used - limit).clamp_non_negative();
         } else {
-            self.machines[machine].remove(job, task);
+            self.release_occupant(machine, job, task);
             // In-alloc tasks live inside the alloc set's reservation, so
             // only free-standing tasks add to the tier's allocation
             // series (Figures 4/5 chart requested limits).
@@ -881,22 +1041,17 @@ impl<'a> CellSim<'a> {
             self.emit_alloc_instance(alloc, i, EventType::Submit);
             // Alloc instances place like production tasks (they back
             // production workloads).
-            let mut best: Option<(usize, f64)> = None;
-            for (mi, m) in self.machines.iter().enumerate() {
-                if let Some(score) = m.fit_score(size, Tier::Production) {
-                    if best.is_none_or(|(_, s)| score < s) {
-                        best = Some((mi, score));
-                    }
-                }
-            }
-            if let Some((mi, _)) = best {
-                self.machines[mi].add(Occupant {
-                    owner: usize::MAX - alloc, // distinct owner space
-                    index: i,
-                    is_alloc_instance: true,
-                    tier: Tier::Production,
-                    request: size,
-                });
+            if let Some((mi, _)) = self.best_fit_machine(size, Tier::Production) {
+                self.commit_occupant(
+                    mi,
+                    Occupant {
+                        owner: usize::MAX - alloc, // distinct owner space
+                        index: i,
+                        is_alloc_instance: true,
+                        tier: Tier::Production,
+                        request: size,
+                    },
+                );
                 self.allocs[alloc].instances[i].machine = Some(mi);
                 self.allocs[alloc].instances[i].placed_at = self.now;
                 self.emit_alloc_instance(alloc, i, EventType::Schedule);
@@ -922,7 +1077,9 @@ impl<'a> CellSim<'a> {
         // Reservations are torn down gracefully: while production members
         // are still running inside, the teardown is deferred (Borg's
         // eviction SLOs protect production work, §5.2).
-        let members: Vec<(usize, usize)> = self
+        // Sorted so teardown order (and thus the trace) does not depend
+        // on `running`'s hash order.
+        let mut members: Vec<(usize, usize)> = self
             .running
             .iter()
             .copied()
@@ -932,6 +1089,7 @@ impl<'a> CellSim<'a> {
                     .is_some_and(|(a, _)| a == alloc)
             })
             .collect();
+        members.sort_unstable();
         let prod_members = members
             .iter()
             .any(|&(j, _)| matches!(self.jobs[j].spec.tier, Tier::Production | Tier::Monitoring));
@@ -950,7 +1108,7 @@ impl<'a> CellSim<'a> {
         let n = self.allocs[alloc].instances.len();
         for i in 0..n {
             if let Some(mi) = self.allocs[alloc].instances[i].machine.take() {
-                self.machines[mi].remove(usize::MAX - alloc, i);
+                self.release_occupant(mi, usize::MAX - alloc, i);
                 let placed = self.allocs[alloc].instances[i].placed_at;
                 let hours = (self.now - placed).as_hours_f64();
                 let size = self.allocs[alloc].spec.instance_size;
@@ -1096,24 +1254,37 @@ impl<'a> CellSim<'a> {
 
         // Pass 2: record throttled usage, slack, autopilot, and samples.
         let mut machine_usage: Vec<Resources> = vec![Resources::ZERO; self.machines.len()];
-        for (k, &(j, t)) in running.clone().iter().enumerate() {
+        for (k, &(j, t)) in running.iter().enumerate() {
             let TaskState::Running { machine, .. } = self.jobs[j].tasks[t].state else {
                 continue;
             };
             let tier = self.jobs[j].spec.tier;
             let usage_proc = self.jobs[j].spec.tasks[t].usage;
             let limit = self.jobs[j].tasks[t].limit;
+            // Pass 1 kept the window average's CPU raw (only memory is
+            // clamped), so the window peak derives from it without
+            // re-evaluating the usage process: `peak_cpu_over(ws, we)`
+            // is literally `average_over(ws, we).cpu * peak_factor`.
+            let raw_cpu = demand[k].cpu;
             let mut avg = demand[k];
             avg.cpu *= throttle[machine];
-            let peak_cpu = usage_proc.peak_cpu_over(window_start, window_end) * throttle[machine];
+            let peak_cpu = raw_cpu * usage_proc.peak_factor * throttle[machine];
 
             // Charge usage from where the last tick (or the task's start)
-            // left off, so partial windows are counted exactly once.
+            // left off, so partial windows are counted exactly once. For
+            // the common full-window case the charge equals the pass-1
+            // average (same clamp, same limit — bit-identical); only
+            // tasks that started mid-window re-evaluate the process.
             let acc = self.jobs[j].tasks[t].accounted_until.max(window_start);
             if window_end > acc {
-                let mut charge = usage_proc.average_over(acc, window_end);
-                charge.cpu *= throttle[machine];
-                charge.mem = charge.mem.min(limit.mem);
+                let charge = if acc == window_start {
+                    Resources::new(raw_cpu * throttle[machine], demand[k].mem)
+                } else {
+                    let mut charge = usage_proc.average_over(acc, window_end);
+                    charge.cpu *= throttle[machine];
+                    charge.mem = charge.mem.min(limit.mem);
+                    charge
+                };
                 self.metrics.add_usage(tier, acc, window_end, charge);
             }
             self.jobs[j].tasks[t].accounted_until = window_end;
@@ -1215,6 +1386,7 @@ impl<'a> CellSim<'a> {
 
     fn finalize(&mut self) {
         self.now = self.cfg.horizon;
+        self.metrics.index = self.index.stats;
         // Close allocation intervals for still-running tasks (alive at
         // trace end, like real long-running services).
         let mut running: Vec<(usize, usize)> = self.running.iter().copied().collect();
@@ -1265,3 +1437,7 @@ impl JobRt {
 /// Salt mixed into the config seed to derive the workload seed, so the
 /// fleet sampling and the workload use independent streams.
 const WORKLOAD_SEED_SALT: u64 = 0xB0B6_2019;
+
+/// Salt for the placement index's bounded-probe permutation, independent
+/// of both the fleet and workload streams.
+const INDEX_SEED_SALT: u64 = 0x1D_0CE5;

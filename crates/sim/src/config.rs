@@ -47,6 +47,17 @@ pub struct SimConfig {
     /// job's tasks start only when the whole job fits, placed atomically.
     /// Borg itself starts a job as soon as *any* task runs.
     pub gang_scheduling: bool,
+    /// Route placements through the feasibility-tree + score-cache index
+    /// (`crate::index`). In exact mode (`candidate_cap == None`) the
+    /// index is bit-identical to the naive full scan; `false` keeps the
+    /// O(machines) reference scan, for baselines and equivalence tests.
+    pub use_placement_index: bool,
+    /// Relaxed randomization (Borg's production scheduler, Verma et al.
+    /// §3.4): stop each best-fit search after this many feasible
+    /// candidates, probed in a seeded-deterministic order. `None` (the
+    /// default) keeps the exact best-fit. Requires
+    /// `use_placement_index`; *not* bit-identical to the exact scan.
+    pub candidate_cap: Option<usize>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -67,6 +78,8 @@ impl SimConfig {
             disable_batch_queue: false,
             disable_autopilot: false,
             gang_scheduling: false,
+            use_placement_index: true,
+            candidate_cap: None,
             seed,
         }
     }
@@ -87,6 +100,8 @@ impl SimConfig {
             disable_batch_queue: false,
             disable_autopilot: false,
             gang_scheduling: false,
+            use_placement_index: true,
+            candidate_cap: None,
             seed,
         }
     }
@@ -137,6 +152,13 @@ impl SimConfig {
             self.equivalence_class_speedup >= 1.0,
             "equivalence-class speedup must be >= 1"
         );
+        if let Some(cap) = self.candidate_cap {
+            assert!(cap >= 1, "candidate cap must be >= 1");
+            assert!(
+                self.use_placement_index,
+                "candidate_cap requires the placement index"
+            );
+        }
     }
 }
 

@@ -32,6 +32,8 @@ pub mod autopilot;
 pub mod cell;
 pub mod config;
 pub mod event;
+pub mod fxhash;
+pub mod index;
 pub mod machine;
 pub mod metrics;
 pub mod multi;
@@ -39,5 +41,6 @@ pub mod pending;
 
 pub use cell::{CellOutcome, CellSim};
 pub use config::SimConfig;
+pub use index::PlacementIndex;
 pub use metrics::SimMetrics;
 pub use multi::run_cells_parallel;

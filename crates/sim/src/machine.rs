@@ -7,6 +7,7 @@
 //! above 100% of capacity (Figures 4/5) while usage stays below it
 //! (Figure 2).
 
+use crate::fxhash::FxHashMap;
 use borg_trace::machine::MachineId;
 use borg_trace::priority::Tier;
 use borg_trace::resources::Resources;
@@ -69,6 +70,9 @@ pub struct Machine {
     pub occupants: Vec<Occupant>,
     /// Sum of discounted requests (kept incrementally).
     pub committed: Resources,
+    /// Occupant slot map: `(owner, index)` → position in `occupants`,
+    /// kept in lock-step across `swap_remove` so removal is O(1).
+    slots: FxHashMap<(usize, usize), usize>,
 }
 
 impl Machine {
@@ -79,6 +83,7 @@ impl Machine {
             capacity,
             occupants: Vec::new(),
             committed: Resources::ZERO,
+            slots: FxHashMap::default(),
         }
     }
 
@@ -98,16 +103,26 @@ impl Machine {
     /// when the policy discounts requests).
     pub fn add(&mut self, occ: Occupant) {
         self.committed += occ.discounted();
+        let prev = self
+            .slots
+            .insert((occ.owner, occ.index), self.occupants.len());
+        debug_assert!(
+            prev.is_none(),
+            "duplicate occupant ({}, {})",
+            occ.owner,
+            occ.index
+        );
         self.occupants.push(occ);
     }
 
     /// Removes the occupant with the given owner and index, returning it.
+    /// O(1) via the slot map.
     pub fn remove(&mut self, owner: usize, index: usize) -> Option<Occupant> {
-        let pos = self
-            .occupants
-            .iter()
-            .position(|o| o.owner == owner && o.index == index)?;
+        let pos = self.slots.remove(&(owner, index))?;
         let occ = self.occupants.swap_remove(pos);
+        if let Some(moved) = self.occupants.get(pos) {
+            self.slots.insert((moved.owner, moved.index), pos);
+        }
         self.committed -= occ.discounted();
         // Guard against float drift on empty machines.
         if self.occupants.is_empty() {
@@ -120,10 +135,24 @@ impl Machine {
     /// dominant-share headroom after placement (smaller is tighter).
     /// `None` when it does not fit.
     pub fn fit_score(&self, request: Resources, tier: Tier) -> Option<f64> {
-        if !self.fits(request, tier) {
+        self.fit_score_at(self.committed, request, tier)
+    }
+
+    /// [`Machine::fit_score`] evaluated against an overridden commitment
+    /// level — the gang dry-run scores machines under scratch
+    /// commitments without cloning the fleet. Uses the identical float
+    /// operations as the committed-state path, so scores are
+    /// bit-identical when `committed == self.committed`.
+    pub fn fit_score_at(
+        &self,
+        committed: Resources,
+        request: Resources,
+        tier: Tier,
+    ) -> Option<f64> {
+        let after = committed + discount(request, tier);
+        if !(after.fits_in(&self.capacity) && request.fits_in(&self.capacity)) {
             return None;
         }
-        let after = self.committed + discount(request, tier);
         Some(1.0 - after.dominant_fraction_of(&self.capacity))
     }
 

@@ -142,6 +142,9 @@ pub struct SimMetrics {
     pub alloc_set_cpu_hours: f64,
     /// Alloc-set reserved memory·hours.
     pub alloc_set_mem_hours: f64,
+    /// Placement-index hit/miss/scan counters (zero when the index is
+    /// disabled).
+    pub index: crate::index::IndexStats,
 }
 
 /// Cap on stored slack samples (reservoir; deterministic thinning).
@@ -179,6 +182,7 @@ impl SimMetrics {
             evictions_by_cause: BTreeMap::new(),
             alloc_set_cpu_hours: 0.0,
             alloc_set_mem_hours: 0.0,
+            index: crate::index::IndexStats::default(),
         }
     }
 
@@ -284,6 +288,21 @@ impl SimMetrics {
         }
         let affected = self.evictions_by_collection.len();
         writeln!(out, "  collections touched by eviction: {affected}").ok();
+        let ix = &self.index;
+        let answered = ix.cache_hits + ix.negative_hits + ix.cache_misses;
+        if answered > 0 {
+            writeln!(
+                out,
+                "  placement index: {} hits / {} negative hits / {} misses \
+                 ({} machines scored, {} preemption probes)",
+                ix.cache_hits,
+                ix.negative_hits,
+                ix.cache_misses,
+                ix.leaves_scanned,
+                ix.preempt_probes
+            )
+            .ok();
+        }
         out
     }
 }

@@ -2,10 +2,25 @@
 # Repo-wide sanity gate: formatting, lints, build, tests.
 #
 # Everything runs with --offline: the container has no crates.io access and
-# all dependencies are workspace-local (see DESIGN.md §7).
+# all dependencies are workspace-local (see DESIGN.md §8).
+#
+# With --bench, also smoke-runs every criterion benchmark once
+# (CRITERION_SMOKE=1): proves the bench suite builds and executes without
+# paying for real measurements.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+    --bench) run_bench=1 ;;
+    *)
+        echo "usage: $0 [--bench]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -18,5 +33,10 @@ cargo build --release --workspace --offline
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
+
+if [ "$run_bench" -eq 1 ]; then
+    echo "==> cargo bench (smoke: one pass per benchmark)"
+    CRITERION_SMOKE=1 cargo bench --workspace --offline
+fi
 
 echo "All checks passed."
