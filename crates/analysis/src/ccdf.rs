@@ -27,7 +27,7 @@ impl Ccdf {
     /// Builds a CCDF from samples; non-finite values are dropped.
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ccdf { sorted }
     }
 
@@ -82,6 +82,9 @@ impl Ccdf {
 
     /// The full step series `(x_i, P(X > x_i))`, one point per distinct
     /// sample value, suitable for plotting.
+    // Exact equality groups runs of identical samples in the sorted array;
+    // an epsilon would merge distinct values and misplace step points.
+    #[allow(clippy::float_cmp)]
     pub fn steps(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
         let mut out = Vec::new();
@@ -142,6 +145,9 @@ pub fn log_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
 }
 
 #[cfg(test)]
+// Exact equality below asserts deterministically-computed values reproduce
+// bit-for-bit; approximate comparison would mask a determinism regression.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -27,7 +27,7 @@ impl Lorenz {
         if sorted.is_empty() || resolution == 0 {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let total: f64 = sorted.iter().sum();
         if total <= 0.0 {
             return None;
@@ -100,7 +100,7 @@ pub fn gini(xs: &[f64]) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();
     if total <= 0.0 {

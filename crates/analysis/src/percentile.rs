@@ -27,7 +27,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() || !(0.0..=100.0).contains(&p) {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(percentile_of_sorted(&sorted, p))
 }
 
@@ -40,7 +40,7 @@ pub fn percentiles(xs: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
     if sorted.is_empty() || ps.iter().any(|p| !(0.0..=100.0).contains(p)) {
         return None;
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(
         ps.iter()
             .map(|&p| percentile_of_sorted(&sorted, p))
@@ -98,7 +98,7 @@ pub fn top_share(xs: &[f64], top_percent: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return None;

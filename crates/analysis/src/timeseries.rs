@@ -187,6 +187,9 @@ pub fn periodic_component(series: &[f64], period: usize) -> Option<(f64, f64)> {
 }
 
 #[cfg(test)]
+// Exact equality below asserts deterministically-computed values reproduce
+// bit-for-bit; approximate comparison would mask a determinism regression.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -25,7 +25,7 @@ pub struct QueueingRow {
 pub fn queueing_rows(samples: &[f64], loads: &[f64]) -> Option<Vec<QueueingRow>> {
     let full: Moments = samples.iter().copied().collect();
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let cut = (sorted.len() as f64 * 0.99) as usize;
     let mice: Moments = sorted[..cut.max(1)].iter().copied().collect();
     let c2_full = full.c_squared();

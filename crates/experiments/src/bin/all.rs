@@ -16,6 +16,7 @@ fn main() {
     let opts = parse_opts();
     banner("ALL", "complete evaluation battery", &opts);
     let scale = opts.scale.config(opts.seed).scale;
+    // lint: nondeterministic-source-ok (wall-clock progress display only; no result depends on it)
     let t0 = std::time::Instant::now();
     let (y2011, y2019) = simulate_both_eras(opts.scale, opts.seed);
     println!(

@@ -1,0 +1,266 @@
+//! `borg-lint` — workspace determinism & soundness lint pass.
+//!
+//! An offline, dependency-free static-analysis tool enforcing the
+//! project invariants that the bit-identity contracts (parallel ==
+//! sequential query scans, indexed == naive placement) and the paper's
+//! figure-reproducibility rest on. It lexes every `.rs` file in the
+//! workspace with its own token-level lexer ([`lexer`]) and runs six
+//! named, individually-suppressable rules ([`rules`]) over the stream.
+//! DESIGN.md §10 has the rule catalogue and the rationale.
+//!
+//! Scope, by construction:
+//!
+//! - **Deterministic crates** — `sim`, `workload`, `query`, `analysis`,
+//!   `core`, `trace`, and the root `borg2019` façade — get the
+//!   determinism rules (D1–D3) and the library-panic rule (S2) on
+//!   their library code.
+//! - `bench` and `criterion` are exempt from D2 (timing is their job).
+//! - Tests, benches and examples are exempt from D1–D3/S2: they may
+//!   iterate maps and unwrap freely. `#[cfg(test)]` modules inside
+//!   library files are recognised and skipped the same way.
+//! - S1 (`unsafe` needs `// SAFETY:`) applies to every scanned file.
+//! - The vendored shim crates (`rand`, `proptest`, `criterion`) are
+//!   scanned (S1/D2 where applicable); `borg-lint` itself is not — its
+//!   sources quote the very patterns it hunts.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{Diagnostic, RuleId};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose outputs must be reproducible bit-for-bit run to run.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim", "workload", "query", "analysis", "core", "trace", "borg2019",
+];
+
+/// Which cargo target kind a file belongs to; rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    Lib,
+    Bin,
+    Test,
+    Bench,
+    Example,
+}
+
+/// Lint-relevant classification of one workspace file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Directory name under `crates/` (or `borg2019` for the root
+    /// package).
+    pub krate: String,
+    pub target: Target,
+    /// True for [`DETERMINISTIC_CRATES`].
+    pub deterministic: bool,
+}
+
+/// Classifies a repo-relative, `/`-separated path. `None` means the
+/// file is out of scope entirely (the linter itself, its fixtures,
+/// build artifacts).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") || rel.starts_with("target/") || rel.starts_with("crates/lint/") {
+        return None;
+    }
+    let (krate, rest) = match rel.strip_prefix("crates/") {
+        Some(r) => {
+            let (k, rest) = r.split_once('/')?;
+            (k.to_string(), rest)
+        }
+        None => ("borg2019".to_string(), rel),
+    };
+    let target = if rest.starts_with("src/bin/") || rest == "src/main.rs" {
+        Target::Bin
+    } else if rest.starts_with("src/") {
+        Target::Lib
+    } else if rest.starts_with("tests/") {
+        Target::Test
+    } else if rest.starts_with("benches/") {
+        Target::Bench
+    } else if rest.starts_with("examples/") {
+        Target::Example
+    } else {
+        return None;
+    };
+    let deterministic = DETERMINISTIC_CRATES.contains(&krate.as_str());
+    Some(FileClass {
+        krate,
+        target,
+        deterministic,
+    })
+}
+
+/// Lints one source text under its repo-relative path. Out-of-scope
+/// paths return no diagnostics.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    match classify(rel) {
+        Some(fc) => rules::lint_file(rel, src, &fc),
+        None => Vec::new(),
+    }
+}
+
+/// An allowlist/baseline: `path:line:RULE` or `path:*:RULE` entries,
+/// one per line, `#` comments and blank lines ignored. Paths are
+/// repo-relative with `/` separators.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, Option<u32>, String)>,
+}
+
+impl Allowlist {
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses the allowlist format; returns a line-numbered error for
+    /// malformed entries.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Split from the right: paths contain no ':', but be strict.
+            let mut parts = line.rsplitn(3, ':');
+            let (rule, lineno, path) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(l), Some(p)) => (r.trim(), l.trim(), p.trim()),
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `path:line:RULE`, got `{line}`",
+                        no + 1
+                    ))
+                }
+            };
+            let lineno = if lineno == "*" {
+                None
+            } else {
+                Some(lineno.parse::<u32>().map_err(|_| {
+                    format!("allowlist line {}: bad line number `{lineno}`", no + 1)
+                })?)
+            };
+            entries.push((path.to_string(), lineno, rule.to_string()));
+        }
+        Ok(Self { entries })
+    }
+
+    /// True when `d` is covered by an entry.
+    pub fn allows(&self, d: &Diagnostic) -> bool {
+        self.entries.iter().any(|(path, line, rule)| {
+            path == &d.file && rule == d.rule.id() && line.map(|l| l == d.line).unwrap_or(true)
+        })
+    }
+}
+
+/// Renders diagnostics in allowlist format, for `--write-baseline`.
+pub fn render_baseline(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# borg-lint baseline: pre-existing diagnostics tolerated during incremental\n\
+         # adoption. Format: path:line:RULE (line may be `*`). Shrink me over time.\n",
+    );
+    for d in diags {
+        out.push_str(&format!("{}:{}:{}\n", d.file, d.line, d.rule.id()));
+    }
+    out
+}
+
+/// Collects every in-scope `.rs` file under `root` (sorted, so runs
+/// are deterministic) and lints it. `allow` filters the result.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        out.extend(
+            lint_source(&rel, &src)
+                .into_iter()
+                .filter(|d| !allow.allows(d)),
+        );
+    }
+    Ok(out)
+}
+
+/// Recursive walk gathering `.rs` paths relative to `root`, skipping
+/// VCS metadata, build output, and the linter's own sources.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == ".git" || name == "target" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative_unix(root, &path) {
+                if classify(&rel).is_some() {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated; `None` if not under root.
+fn relative_unix(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_scopes() {
+        let fc = classify("crates/sim/src/cell.rs").unwrap();
+        assert!(fc.deterministic);
+        assert_eq!(fc.target, Target::Lib);
+
+        let fc = classify("crates/sim/tests/behavior.rs").unwrap();
+        assert_eq!(fc.target, Target::Test);
+
+        let fc = classify("crates/experiments/src/bin/all.rs").unwrap();
+        assert!(!fc.deterministic);
+        assert_eq!(fc.target, Target::Bin);
+
+        let fc = classify("src/lib.rs").unwrap();
+        assert_eq!(fc.krate, "borg2019");
+        assert!(fc.deterministic);
+
+        assert!(classify("crates/lint/src/lib.rs").is_none());
+        assert!(classify("target/debug/build/foo.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn allowlist_round_trip() {
+        let d = Diagnostic {
+            file: "crates/sim/src/cell.rs".into(),
+            line: 42,
+            rule: RuleId::D1,
+            message: String::new(),
+        };
+        let text = render_baseline(std::slice::from_ref(&d));
+        let allow = Allowlist::parse(&text).unwrap();
+        assert!(allow.allows(&d));
+
+        let wildcard = Allowlist::parse("crates/sim/src/cell.rs:*:D1\n").unwrap();
+        assert!(wildcard.allows(&d));
+        let other = Allowlist::parse("crates/sim/src/cell.rs:41:D1\n").unwrap();
+        assert!(!other.allows(&d));
+        assert!(Allowlist::parse("nonsense").is_err());
+    }
+}

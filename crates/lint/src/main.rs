@@ -1,0 +1,122 @@
+//! CLI for `borg-lint`; see `--help`. Exit codes: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use borg_lint::{lint_workspace, render_baseline, Allowlist, RuleId};
+
+const USAGE: &str = "\
+borg-lint: workspace determinism & soundness lint (see DESIGN.md §10)
+
+usage: borg-lint [options]
+  --root DIR             workspace root to scan (default: .)
+  --baseline FILE        suppress diagnostics listed in FILE
+                         (also read from $LINT_BASELINE when unset)
+  --write-baseline FILE  write current diagnostics to FILE and exit 0
+  --list-rules           print the rule catalogue and exit
+  -q, --quiet            print only the summary line
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(v) => write_baseline = Some(PathBuf::from(v)),
+                None => return usage_error("--write-baseline needs a value"),
+            },
+            "--list-rules" => {
+                for r in RuleId::ALL {
+                    println!("{} {}: {}", r.id(), r.slug(), r.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if baseline.is_none() {
+        if let Ok(env) = std::env::var("LINT_BASELINE") {
+            if !env.is_empty() {
+                baseline = Some(PathBuf::from(env));
+            }
+        }
+    }
+    let allow = match &baseline {
+        None => Allowlist::empty(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return io_error(&format!("reading {}: {e}", path.display())),
+            };
+            match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => return io_error(&e),
+            }
+        }
+    };
+
+    let diags = match lint_workspace(&root, &allow) {
+        Ok(d) => d,
+        Err(e) => return io_error(&format!("scanning {}: {e}", root.display())),
+    };
+
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, render_baseline(&diags)) {
+            return io_error(&format!("writing {}: {e}", path.display()));
+        }
+        println!(
+            "borg-lint: wrote {} entries to {}",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if !quiet {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+    }
+    if diags.is_empty() {
+        println!("borg-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "borg-lint: {} diagnostic{} (suppress at the site with `// lint: <rule>-ok (reason)` \
+             or run with --write-baseline)",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("borg-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn io_error(msg: &str) -> ExitCode {
+    eprintln!("borg-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,732 @@
+//! The rule engine: six named rules pattern-matched over the token
+//! stream from [`crate::lexer`].
+//!
+//! | ID | slug                        | hazard                                          |
+//! |----|-----------------------------|-------------------------------------------------|
+//! | D1 | nondeterministic-iteration  | iterating hash maps/sets in deterministic crates|
+//! | D2 | nondeterministic-source     | wall clock, entropy, thread identity            |
+//! | D3 | float-reduction             | partial-order float compares; re-associable sums|
+//! | S1 | undocumented-unsafe         | `unsafe` without a `// SAFETY:` comment         |
+//! | S2 | library-panic               | `unwrap`/`expect`/`panic!` in library code      |
+//! | S3 | truncating-cast             | `as u32` in the query crate's code paths        |
+//!
+//! Every diagnostic is suppressable at the site with
+//! `// lint: <slug>-ok (reason)` (or `// lint: <ID>-ok (reason)`) on
+//! the same line or the line above; the reason is mandatory. The rules
+//! are heuristic by design — they run on tokens, not types — and the
+//! scoping that keeps them honest lives in [`crate::FileClass`].
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::{FileClass, Target};
+
+/// Stable identifiers for the rule catalogue (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    D1,
+    D2,
+    D3,
+    S1,
+    S2,
+    S3,
+}
+
+impl RuleId {
+    /// All rules, in catalogue order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::S1,
+        RuleId::S2,
+        RuleId::S3,
+    ];
+
+    /// Short ID as printed in diagnostics and allowlists.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::S1 => "S1",
+            RuleId::S2 => "S2",
+            RuleId::S3 => "S3",
+        }
+    }
+
+    /// Human slug used in suppression comments: `// lint: <slug>-ok (…)`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::D1 => "nondeterministic-iteration",
+            RuleId::D2 => "nondeterministic-source",
+            RuleId::D3 => "float-reduction",
+            RuleId::S1 => "undocumented-unsafe",
+            RuleId::S2 => "library-panic",
+            RuleId::S3 => "truncating-cast",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "iteration over HashMap/HashSet/FxHashMap/FxHashSet in a deterministic crate; \
+                 route through a sorted-iteration helper (fxhash::sorted_*) or annotate"
+            }
+            RuleId::D2 => {
+                "wall-clock/entropy/thread-identity source (SystemTime::now, Instant::now, \
+                 thread::current, thread_rng, from_entropy) outside bench/criterion"
+            }
+            RuleId::D3 => {
+                "float reduction hazard: partial_cmp().unwrap()/expect() comparators (use \
+                 total_cmp or handle None), or sum/fold over floats in bit-identity files \
+                 (use the sequential helpers)"
+            }
+            RuleId::S1 => "`unsafe` without a `// SAFETY:` comment in the preceding three lines",
+            RuleId::S2 => "unwrap()/expect()/panic! in deterministic-crate library code",
+            RuleId::S3 => {
+                "truncating `as u32` cast in borg-query library code; use cast::code32 / \
+                 u32::try_from"
+            }
+        }
+    }
+}
+
+/// One finding: file, 1-based line, rule, free-text message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders in the `file:line: ID slug: message` shape check.sh greps.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {}: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.rule.slug(),
+            self.message
+        )
+    }
+}
+
+/// Hash-container type names whose iteration order is arbitrary.
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Methods on those containers that yield (or consume in) arbitrary
+/// order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Files under the bit-identity contract (parallel == sequential query,
+/// indexed == naive placement): D3 additionally polices re-associable
+/// float accumulation here.
+const BIT_IDENTITY_FILES: &[&str] = &[
+    "crates/query/src/parallel.rs",
+    "crates/query/src/groupby.rs",
+    "crates/sim/src/index.rs",
+];
+
+/// Lints one file. `rel` is the repo-relative, `/`-separated path; it
+/// selects rule scope via `fc` (see [`crate::classify`]).
+pub fn lint_file(rel: &str, src: &str, fc: &FileClass) -> Vec<Diagnostic> {
+    let all = lex(src);
+    let mut comments: Vec<(u32, String)> = Vec::new();
+    let mut toks: Vec<Tok> = Vec::with_capacity(all.len());
+    for t in all {
+        if t.kind == TokKind::Comment {
+            // A block comment spanning lines suppresses/justifies only
+            // at its start line; good enough for `// …` style markers.
+            comments.push((t.line, t.text));
+        } else {
+            toks.push(t);
+        }
+    }
+    let in_test = test_regions(&toks);
+
+    let mut ctx = Ctx {
+        rel,
+        toks: &toks,
+        comments: &comments,
+        in_test: &in_test,
+        out: Vec::new(),
+    };
+
+    let deterministic_lib = fc.deterministic && fc.target == Target::Lib;
+    if deterministic_lib {
+        rule_d1(&mut ctx);
+        rule_d3(&mut ctx);
+        rule_s2(&mut ctx);
+    }
+    if !matches!(fc.krate.as_str(), "criterion" | "bench")
+        && matches!(fc.target, Target::Lib | Target::Bin)
+    {
+        rule_d2(&mut ctx);
+    }
+    rule_s1(&mut ctx);
+    if fc.krate == "query" && fc.target == Target::Lib {
+        rule_s3(&mut ctx);
+    }
+
+    ctx.out.sort_by_key(|d| (d.line, d.rule));
+    ctx.out
+}
+
+/// Shared per-file state threaded through the rule passes.
+struct Ctx<'a> {
+    rel: &'a str,
+    toks: &'a [Tok],
+    comments: &'a [(u32, String)],
+    in_test: &'a [bool],
+    out: Vec<Diagnostic>,
+}
+
+impl Ctx<'_> {
+    /// Emits unless a `// lint: <slug|ID>-ok (reason)` comment covers
+    /// `line` (same line or the line above, reason required).
+    fn emit(&mut self, line: u32, rule: RuleId, message: String) {
+        if self.suppressed(line, rule) {
+            return;
+        }
+        self.out.push(Diagnostic {
+            file: self.rel.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn suppressed(&self, line: u32, rule: RuleId) -> bool {
+        self.comments
+            .iter()
+            .filter(|(l, _)| *l == line || *l + 1 == line)
+            .any(|(_, text)| has_suppression(text, rule))
+    }
+
+    /// True when a `// SAFETY:` comment sits on `line` or within the
+    /// three lines above it.
+    fn has_safety_comment(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .filter(|(l, _)| *l <= line && *l + 3 >= line)
+            .any(|(_, text)| text.contains("SAFETY:"))
+    }
+}
+
+/// Parses `lint: <marker>-ok (reason)` out of a comment; the reason
+/// must be non-empty. Both the slug and the short ID (any case) work
+/// as markers, and one comment may carry several markers.
+fn has_suppression(comment: &str, rule: RuleId) -> bool {
+    let lower = comment.to_ascii_lowercase();
+    let Some(pos) = lower.find("lint:") else {
+        return false;
+    };
+    let body = &lower[pos + "lint:".len()..];
+    for marker in [rule.slug().to_string(), rule.id().to_ascii_lowercase()] {
+        let needle = format!("{marker}-ok");
+        let mut search = body;
+        while let Some(at) = search.find(&needle) {
+            let after = search[at + needle.len()..].trim_start();
+            if let Some(rest) = after.strip_prefix('(') {
+                if let Some(close) = rest.find(')') {
+                    if !rest[..close].trim().is_empty() {
+                        return true;
+                    }
+                }
+            }
+            search = &search[at + needle.len()..];
+        }
+    }
+    false
+}
+
+/// Marks tokens covered by `#[test]`-like or `#[cfg(test)]`-gated
+/// items (including the attribute itself). `#[cfg(not(test))]` does
+/// not count.
+fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && i + 1 < toks.len()
+            && toks[i + 1].text == "[")
+        {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's idents up to the matching `]`.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < toks.len() {
+            match (toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                (TokKind::Ident, "test") => has_test = true,
+                (TokKind::Ident, "not") => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            let mut d = 0usize;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // The item body: first top-level `{`..matching `}`, or a `;`.
+        let mut bracket = 0isize; // (, [, < are NOT tracked; braces/parens suffice
+        let mut end = j;
+        while end < toks.len() {
+            if toks[end].kind == TokKind::Punct {
+                match toks[end].text.as_str() {
+                    "(" | "[" => bracket += 1,
+                    ")" | "]" => bracket -= 1,
+                    ";" if bracket == 0 => break,
+                    "{" if bracket == 0 => {
+                        let mut braces = 0usize;
+                        while end < toks.len() {
+                            if toks[end].kind == TokKind::Punct {
+                                match toks[end].text.as_str() {
+                                    "{" => braces += 1,
+                                    "}" => {
+                                        braces -= 1;
+                                        if braces == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            end += 1;
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        for m in mask
+            .iter_mut()
+            .take((end + 1).min(toks.len()))
+            .skip(attr_start)
+        {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Where a hash container name was introduced; decides which receiver
+/// shapes count as uses of *that* container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeclKind {
+    /// `let`-bound local: bare `name.iter()` / `for _ in &name` match.
+    Local,
+    /// Struct field (or parameter): only `self.name.iter()` matches,
+    /// so a same-named local `Vec` does not false-positive.
+    Field,
+}
+
+/// D1: iteration over hash maps/sets. Tracks names declared with a
+/// hash-container type in this file, then flags order-producing method
+/// calls and `for … in` loops over them.
+fn rule_d1(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    let mut names: Vec<(String, DeclKind)> = Vec::new();
+    let add = |name: &str, kind: DeclKind, names: &mut Vec<(String, DeclKind)>| {
+        if !names.iter().any(|(n, k)| n == name && *k == kind) {
+            names.push((name.to_string(), kind));
+        }
+    };
+
+    // Pass 1: declarations. Two shapes:
+    //   `name: [path::]MapType<…>`          (field, param, or typed let)
+    //   `[let [mut]] name = MapType::ctor(` (inferred let)
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !MAP_TYPES.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        if next == Some("<") {
+            // Walk back over a path prefix (`std :: collections ::`).
+            let mut k = i;
+            while k >= 2 && toks[k - 1].text == "::" && toks[k - 2].kind == TokKind::Ident {
+                k -= 2;
+            }
+            if k >= 2 && toks[k - 1].text == ":" && toks[k - 2].kind == TokKind::Ident {
+                let name_idx = k - 2;
+                let mut kind = DeclKind::Field;
+                let lookback = name_idx.saturating_sub(2);
+                if toks[lookback..name_idx].iter().any(|t| t.text == "let") {
+                    kind = DeclKind::Local;
+                }
+                let name = toks[name_idx].text.clone();
+                add(&name, kind, &mut names);
+            }
+        } else if next == Some("::")
+            && toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Ident)
+            && i >= 2
+            && toks[i - 1].text == "="
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            let name_idx = i - 2;
+            let lookback = name_idx.saturating_sub(2);
+            if toks[lookback..name_idx].iter().any(|t| t.text == "let") {
+                let name = toks[name_idx].text.clone();
+                add(&name, DeclKind::Local, &mut names);
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    let kind_of = |name: &str, field: bool| -> Option<DeclKind> {
+        let want = if field {
+            DeclKind::Field
+        } else {
+            DeclKind::Local
+        };
+        names
+            .iter()
+            .find(|(n, k)| n == name && *k == want)
+            .map(|(_, k)| *k)
+    };
+
+    // Pass 2: uses.
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+
+        // `recv.name.iter()` / `name.iter()` method-call shape.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            let recv = &toks[i - 2];
+            let via_self = i >= 4 && toks[i - 3].text == "." && toks[i - 4].text == "self";
+            let hit = kind_of(&recv.text, via_self).is_some()
+                // A bare local is `name.iter()` with nothing (or non-dot)
+                // before it.
+                && (via_self || i < 4 || toks[i - 3].text != ".");
+            if hit {
+                let method = t.text.clone();
+                let name = recv.text.clone();
+                ctx.emit(
+                    t.line,
+                    RuleId::D1,
+                    format!(
+                        "`{name}.{method}()` iterates a hash container in arbitrary order; \
+                         collect+sort via fxhash::sorted_* (or switch to BTreeMap) or annotate \
+                         `// lint: nondeterministic-iteration-ok (reason)`"
+                    ),
+                );
+            }
+        }
+
+        // `for pat in [&[mut]] [self.]name {` loop shape.
+        if t.text == "for" {
+            // Find `in` before the loop body opens.
+            let mut j = i + 1;
+            let mut depth = 0isize;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    "in" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].text != "in" {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < toks.len() && (toks[k].text == "&" || toks[k].text == "mut") {
+                k += 1;
+            }
+            let via_self = toks.get(k).map(|t| t.text.as_str()) == Some("self")
+                && toks.get(k + 1).map(|t| t.text.as_str()) == Some(".");
+            if via_self {
+                k += 2;
+            }
+            let (Some(name_tok), Some(open)) = (toks.get(k), toks.get(k + 1)) else {
+                continue;
+            };
+            if name_tok.kind == TokKind::Ident
+                && open.text == "{"
+                && kind_of(&name_tok.text, via_self).is_some()
+            {
+                let name = name_tok.text.clone();
+                ctx.emit(
+                    name_tok.line,
+                    RuleId::D1,
+                    format!(
+                        "`for … in {name}` iterates a hash container in arbitrary order; \
+                         collect+sort via fxhash::sorted_* (or switch to BTreeMap) or annotate \
+                         `// lint: nondeterministic-iteration-ok (reason)`"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// D2: ambient nondeterminism sources.
+fn rule_d2(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let path_call = |head: &str, tail: &str| {
+            toks[i].text == head
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+                && toks.get(i + 2).map(|t| t.text.as_str()) == Some(tail)
+        };
+        let found: Option<&str> = if path_call("SystemTime", "now") {
+            Some("SystemTime::now")
+        } else if path_call("Instant", "now") {
+            Some("Instant::now")
+        } else if path_call("thread", "current") {
+            Some("thread::current")
+        } else if path_call("RandomState", "new") {
+            Some("RandomState::new")
+        } else if toks[i].text == "thread_rng" || toks[i].text == "from_entropy" {
+            Some(if toks[i].text == "thread_rng" {
+                "thread_rng"
+            } else {
+                "from_entropy"
+            })
+        } else {
+            None
+        };
+        if let Some(src) = found {
+            ctx.emit(
+                toks[i].line,
+                RuleId::D2,
+                format!(
+                    "`{src}` injects wall-clock/entropy/thread identity into a reproducible \
+                     path; thread config/seeds through explicitly or annotate \
+                     `// lint: nondeterministic-source-ok (reason)`"
+                ),
+            );
+        }
+    }
+}
+
+/// D3: float-reduction hazards. Everywhere in scope:
+/// `partial_cmp(…).unwrap()/.expect(…)`. In bit-identity files
+/// additionally: `.sum::<f64|f32>()` and `fold(<float literal>`.
+fn rule_d3(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    let contract_file = BIT_IDENTITY_FILES.contains(&ctx.rel);
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+
+        if t.text == "partial_cmp" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+            // Skip to the matching `)` and look for `.unwrap(`/`.expect(`.
+            let mut depth = 0isize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let unwrapped = toks.get(j + 1).map(|t| t.text.as_str()) == Some(".")
+                && matches!(
+                    toks.get(j + 2).map(|t| t.text.as_str()),
+                    Some("unwrap") | Some("expect")
+                );
+            if unwrapped {
+                ctx.emit(
+                    t.line,
+                    RuleId::D3,
+                    "`partial_cmp().unwrap()` treats a partial order as total and panics on \
+                     NaN; use `total_cmp` (or handle the None arm explicitly, e.g. \
+                     `unwrap_or(Ordering::Equal)` where IEEE tie semantics are load-bearing)"
+                        .to_string(),
+                );
+            }
+        }
+
+        if contract_file {
+            if t.text == "sum"
+                && toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) == Some(".")
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+                && toks.get(i + 2).map(|t| t.text.as_str()) == Some("<")
+                && matches!(
+                    toks.get(i + 3).map(|t| t.text.as_str()),
+                    Some("f64") | Some("f32")
+                )
+            {
+                ctx.emit(
+                    t.line,
+                    RuleId::D3,
+                    "float `.sum()` in a bit-identity file: re-associating this reduction \
+                     changes results; use the blessed sequential helper (sum_seq) or annotate \
+                     `// lint: float-reduction-ok (reason)`"
+                        .to_string(),
+                );
+            }
+            if t.text == "fold" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+                if let Some(seed) = toks.get(i + 2) {
+                    let is_float = seed.kind == TokKind::Num
+                        && (seed.text.contains('.')
+                            || seed.text.ends_with("f32")
+                            || seed.text.ends_with("f64"));
+                    if is_float {
+                        ctx.emit(
+                            t.line,
+                            RuleId::D3,
+                            "float `fold` in a bit-identity file: re-associating this \
+                             reduction changes results; use the blessed sequential helper \
+                             (sum_seq) or annotate `// lint: float-reduction-ok (reason)`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// S1: every `unsafe` needs a `// SAFETY:` comment within three lines.
+fn rule_s1(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe` inside an attr (`#[allow(unsafe_code)]`) is not a
+        // block; require the next meaningful token to open something.
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        if !matches!(next, Some("{") | Some("fn") | Some("impl") | Some("trait")) {
+            continue;
+        }
+        if !ctx.has_safety_comment(t.line) {
+            ctx.emit(
+                t.line,
+                RuleId::S1,
+                "`unsafe` without a `// SAFETY:` comment in the preceding three lines; \
+                 document the invariant that makes this sound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// S2: no unwrap/expect/panic! in deterministic-crate library code.
+fn rule_s2(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        let method_call = |name: &str| {
+            t.text == name
+                && i >= 1
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        };
+        if method_call("unwrap") || method_call("expect") {
+            let what = t.text.clone();
+            ctx.emit(
+                t.line,
+                RuleId::S2,
+                format!(
+                    "`.{what}()` in library code can panic at runtime; return an error, \
+                     restructure so the invariant is type-checked, or annotate \
+                     `// lint: library-panic-ok (reason)`"
+                ),
+            );
+        }
+        if t.text == "panic" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!") {
+            ctx.emit(
+                t.line,
+                RuleId::S2,
+                "`panic!` in library code; return an error or annotate \
+                 `// lint: library-panic-ok (reason)`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// S3: truncating `as u32` in borg-query library code.
+fn rule_s3(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident || toks[i].text != "as" {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text.as_str()) == Some("u32") {
+            ctx.emit(
+                toks[i].line,
+                RuleId::S3,
+                "`as u32` silently truncates row counts/dictionary codes past 2^32; use \
+                 cast::code32 (checked) or annotate `// lint: truncating-cast-ok (reason)`"
+                    .to_string(),
+            );
+        }
+    }
+}

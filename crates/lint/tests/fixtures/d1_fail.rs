@@ -1,0 +1,28 @@
+//! D1 failing fixture: hash-container iteration feeding output order.
+use std::collections::HashMap;
+
+pub struct Metrics {
+    by_job: HashMap<u64, u64>,
+}
+
+impl Metrics {
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (k, v) in self.by_job.iter() {
+            out.push((*k, *v));
+        }
+        out
+    }
+}
+
+pub fn histogram(xs: &[u64]) -> Vec<u64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for kv in &counts {
+        out.push(*kv.1);
+    }
+    out
+}

@@ -1,0 +1,25 @@
+//! D1 passing fixture: iteration routed through a sorted-snapshot
+//! helper, or annotated where order provably cannot leak.
+use std::collections::HashMap;
+
+fn sorted_entries(m: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    // lint: nondeterministic-iteration-ok (sorted before being observed)
+    let mut v: Vec<(u64, u64)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    v.sort_unstable();
+    v
+}
+
+pub struct Metrics {
+    by_job: HashMap<u64, u64>,
+}
+
+impl Metrics {
+    pub fn report(&self) -> Vec<(u64, u64)> {
+        sorted_entries(&self.by_job)
+    }
+
+    pub fn total(&self) -> u64 {
+        // lint: nondeterministic-iteration-ok (integer sum is order-independent)
+        self.by_job.values().sum()
+    }
+}

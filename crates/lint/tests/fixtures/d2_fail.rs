@@ -1,0 +1,15 @@
+//! D2 failing fixture: ambient time and thread identity.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let _ = t.elapsed();
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_nanos(),
+        Err(_) => 0,
+    }
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

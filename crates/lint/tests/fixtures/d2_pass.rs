@@ -1,0 +1,14 @@
+//! D2 passing fixture: explicit seeds/config; wall clock only behind an
+//! annotation that explains why results cannot depend on it.
+use std::time::Instant;
+
+pub fn mix(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+pub fn log_progress(done: usize, total: usize) -> f64 {
+    // lint: nondeterministic-source-ok (progress display only; no result depends on it)
+    let t = Instant::now();
+    let _ = (done, total);
+    t.elapsed().as_secs_f64()
+}

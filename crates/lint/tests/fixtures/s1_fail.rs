@@ -1,0 +1,5 @@
+//! S1 failing fixture: `unsafe` without a SAFETY comment.
+
+pub fn first_unchecked(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

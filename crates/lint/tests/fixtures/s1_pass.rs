@@ -1,0 +1,8 @@
+//! S1 passing fixture: the invariant making the block sound is written
+//! down where the `unsafe` is.
+
+pub fn first_checked(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

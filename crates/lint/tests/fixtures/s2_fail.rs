@@ -1,0 +1,16 @@
+//! S2 failing fixture: ad-hoc panics in library code.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn named(xs: &[u64]) -> u64 {
+    *xs.first().expect("non-empty")
+}
+
+pub fn guarded(x: u64) -> u64 {
+    if x == 0 {
+        panic!("zero not allowed");
+    }
+    x
+}

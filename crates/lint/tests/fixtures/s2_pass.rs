@@ -1,0 +1,23 @@
+//! S2 passing fixture: errors surface as values; the one deliberate
+//! panic carries its justification; tests may unwrap freely.
+
+pub fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn head_invariant(xs: &[u64]) -> u64 {
+    // lint: library-panic-ok (callers construct xs non-empty; checked at the two call sites)
+    *xs.first().expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(head(&[7]).unwrap(), 7);
+        let parsed: u64 = "42".parse().expect("tests may expect");
+        assert_eq!(parsed, 42);
+    }
+}

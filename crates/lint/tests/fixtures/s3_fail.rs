@@ -1,0 +1,5 @@
+//! S3 failing fixture: silent narrowing of a row count.
+
+pub fn encode_rows(num_rows: usize) -> Vec<u32> {
+    (0..num_rows as u32).collect()
+}

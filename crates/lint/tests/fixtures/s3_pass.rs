@@ -1,0 +1,18 @@
+//! S3 passing fixture: narrowing routes through a checked helper; a
+//! deliberate low-bits extraction is annotated.
+
+fn code32(n: usize) -> u32 {
+    match u32::try_from(n) {
+        Ok(code) => code,
+        // lint: library-panic-ok (engine capacity limit, panics loudly instead of wrapping)
+        Err(_) => panic!("row/code space exceeded: {n}"),
+    }
+}
+
+pub fn encode_rows(num_rows: usize) -> Vec<u32> {
+    (0..code32(num_rows)).collect()
+}
+
+pub fn low_bits(x: u64) -> u32 {
+    (x & 0xffff_ffff) as u32 // lint: truncating-cast-ok (intentional low-32 extraction)
+}

@@ -1,0 +1,286 @@
+//! Per-rule fixture tests: every rule ID has a failing and a passing
+//! fixture, and mutating a passing fixture (deleting the blessed
+//! helper route or the suppression annotation) flips its verdict —
+//! proving the rules fire for real rather than vacuously passing.
+
+use borg_lint::{lint_source, RuleId};
+
+/// Paths that put fixtures in the scope each rule polices.
+const SIM_LIB: &str = "crates/sim/src/fixture.rs";
+const QUERY_LIB: &str = "crates/query/src/fixture.rs";
+/// D3's reduction arm only fires in bit-identity contract files.
+const CONTRACT: &str = "crates/query/src/parallel.rs";
+const TRACE_LIB: &str = "crates/trace/src/fixture.rs";
+const ANALYSIS_LIB: &str = "crates/analysis/src/fixture.rs";
+
+fn rules_hit(rel: &str, src: &str) -> Vec<RuleId> {
+    let mut rules: Vec<RuleId> = lint_source(rel, src).into_iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+fn assert_clean(rel: &str, src: &str) {
+    let diags = lint_source(rel, src);
+    assert!(
+        diags.is_empty(),
+        "expected clean fixture, got:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Removes every line carrying a `// lint: …-ok (…)` suppression.
+fn strip_suppressions(src: &str) -> String {
+    src.lines()
+        .filter_map(|l| {
+            if l.trim_start().starts_with("// lint:") {
+                None // whole-line suppression: drop the line
+            } else if let Some(at) = l.find("// lint:") {
+                Some(&l[..at]) // trailing suppression: keep the code
+            } else {
+                Some(l)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fail_fixture_fires() {
+    let hits = rules_hit(SIM_LIB, include_str!("fixtures/d1_fail.rs"));
+    assert_eq!(hits, vec![RuleId::D1], "both iteration shapes must flag");
+    let count = lint_source(SIM_LIB, include_str!("fixtures/d1_fail.rs")).len();
+    assert_eq!(count, 2, "method-call shape and for-loop shape");
+}
+
+#[test]
+fn d1_pass_fixture_is_clean() {
+    assert_clean(SIM_LIB, include_str!("fixtures/d1_pass.rs"));
+}
+
+#[test]
+fn d1_deleting_blessed_helper_flips_verdict() {
+    let mutated = include_str!("fixtures/d1_pass.rs").replace(
+        "sorted_entries(&self.by_job)",
+        "self.by_job.iter().map(|(k, v)| (*k, *v)).collect()",
+    );
+    assert!(rules_hit(SIM_LIB, &mutated).contains(&RuleId::D1));
+}
+
+#[test]
+fn d1_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/d1_pass.rs"));
+    assert!(rules_hit(SIM_LIB, &mutated).contains(&RuleId::D1));
+}
+
+#[test]
+fn d1_out_of_scope_crates_are_exempt() {
+    // Non-deterministic crate: free to iterate maps.
+    assert_clean(
+        "crates/experiments/src/bin/fixture.rs",
+        include_str!("fixtures/d1_fail.rs"),
+    );
+    // Tests of deterministic crates too.
+    assert_clean(
+        "crates/sim/tests/fixture.rs",
+        include_str!("fixtures/d1_fail.rs"),
+    );
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fail_fixture_fires() {
+    let hits = rules_hit(SIM_LIB, include_str!("fixtures/d2_fail.rs"));
+    assert_eq!(hits, vec![RuleId::D2]);
+    let count = lint_source(SIM_LIB, include_str!("fixtures/d2_fail.rs")).len();
+    assert_eq!(count, 3, "Instant::now, SystemTime::now, thread::current");
+}
+
+#[test]
+fn d2_pass_fixture_is_clean() {
+    assert_clean(SIM_LIB, include_str!("fixtures/d2_pass.rs"));
+}
+
+#[test]
+fn d2_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/d2_pass.rs"));
+    assert!(rules_hit(SIM_LIB, &mutated).contains(&RuleId::D2));
+}
+
+#[test]
+fn d2_bench_and_criterion_are_exempt() {
+    assert_clean(
+        "crates/criterion/src/lib.rs",
+        include_str!("fixtures/d2_fail.rs"),
+    );
+    assert_clean(
+        "crates/bench/src/lib.rs",
+        include_str!("fixtures/d2_fail.rs"),
+    );
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_fail_fixture_fires() {
+    // The partial_cmp().unwrap() site is also an S2 library panic, so
+    // count D3 diagnostics specifically.
+    let d3 = lint_source(CONTRACT, include_str!("fixtures/d3_fail.rs"))
+        .into_iter()
+        .filter(|d| d.rule == RuleId::D3)
+        .count();
+    assert_eq!(d3, 3, "partial_cmp().unwrap(), sum::<f64>, float fold");
+}
+
+#[test]
+fn d3_pass_fixture_is_clean() {
+    assert_clean(CONTRACT, include_str!("fixtures/d3_pass.rs"));
+}
+
+#[test]
+fn d3_deleting_blessed_helper_flips_verdict() {
+    let mutated = include_str!("fixtures/d3_pass.rs")
+        .replace("sum_seq(xs.iter().copied())", "xs.iter().sum::<f64>()");
+    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::D3));
+}
+
+#[test]
+fn d3_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/d3_pass.rs"));
+    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::D3));
+}
+
+#[test]
+fn d3_reduction_arm_only_polices_contract_files() {
+    // Outside bit-identity files the comparator arm still fires but the
+    // sequential-`.sum()` arm does not.
+    let d3 = lint_source(ANALYSIS_LIB, include_str!("fixtures/d3_fail.rs"))
+        .into_iter()
+        .filter(|d| d.rule == RuleId::D3)
+        .count();
+    assert_eq!(d3, 1, "only partial_cmp().unwrap() outside contract files");
+}
+
+// ---------------------------------------------------------------- S1
+
+#[test]
+fn s1_fail_fixture_fires() {
+    let hits = rules_hit(TRACE_LIB, include_str!("fixtures/s1_fail.rs"));
+    assert_eq!(hits, vec![RuleId::S1]);
+}
+
+#[test]
+fn s1_pass_fixture_is_clean() {
+    assert_clean(TRACE_LIB, include_str!("fixtures/s1_pass.rs"));
+}
+
+#[test]
+fn s1_deleting_safety_comment_flips_verdict() {
+    let mutated: String = include_str!("fixtures/s1_pass.rs")
+        .lines()
+        .filter(|l| !l.contains("SAFETY:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(rules_hit(TRACE_LIB, &mutated).contains(&RuleId::S1));
+}
+
+#[test]
+fn s1_applies_even_in_tests_and_benches() {
+    let hits = rules_hit(
+        "crates/sim/tests/fixture.rs",
+        include_str!("fixtures/s1_fail.rs"),
+    );
+    assert_eq!(hits, vec![RuleId::S1]);
+}
+
+// ---------------------------------------------------------------- S2
+
+#[test]
+fn s2_fail_fixture_fires() {
+    let hits = rules_hit(ANALYSIS_LIB, include_str!("fixtures/s2_fail.rs"));
+    assert_eq!(hits, vec![RuleId::S2]);
+    let count = lint_source(ANALYSIS_LIB, include_str!("fixtures/s2_fail.rs")).len();
+    assert_eq!(count, 3, "unwrap, expect, panic!");
+}
+
+#[test]
+fn s2_pass_fixture_is_clean() {
+    assert_clean(ANALYSIS_LIB, include_str!("fixtures/s2_pass.rs"));
+}
+
+#[test]
+fn s2_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/s2_pass.rs"));
+    assert!(rules_hit(ANALYSIS_LIB, &mutated).contains(&RuleId::S2));
+}
+
+#[test]
+fn s2_cfg_test_modules_and_test_targets_are_exempt() {
+    // The #[cfg(test)] module inside s2_pass unwraps; already covered by
+    // the clean assertion. Whole test targets may panic freely too:
+    assert_clean(
+        "crates/analysis/tests/fixture.rs",
+        include_str!("fixtures/s2_fail.rs"),
+    );
+}
+
+// ---------------------------------------------------------------- S3
+
+#[test]
+fn s3_fail_fixture_fires() {
+    let hits = rules_hit(QUERY_LIB, include_str!("fixtures/s3_fail.rs"));
+    assert_eq!(hits, vec![RuleId::S3]);
+}
+
+#[test]
+fn s3_pass_fixture_is_clean() {
+    assert_clean(QUERY_LIB, include_str!("fixtures/s3_pass.rs"));
+}
+
+#[test]
+fn s3_deleting_blessed_helper_flips_verdict() {
+    let mutated = include_str!("fixtures/s3_pass.rs")
+        .replace("(0..code32(num_rows))", "(0..num_rows as u32)");
+    assert!(rules_hit(QUERY_LIB, &mutated).contains(&RuleId::S3));
+}
+
+#[test]
+fn s3_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/s3_pass.rs"));
+    assert!(rules_hit(QUERY_LIB, &mutated).contains(&RuleId::S3));
+}
+
+#[test]
+fn s3_only_polices_query() {
+    assert_clean(SIM_LIB, include_str!("fixtures/s3_fail.rs"));
+}
+
+// ------------------------------------------------- suppression syntax
+
+#[test]
+fn suppression_requires_a_reason() {
+    let src = "pub fn f(xs: &[u64]) -> u64 {\n    // lint: library-panic-ok ()\n    *xs.first().unwrap()\n}\n";
+    assert!(rules_hit(ANALYSIS_LIB, src).contains(&RuleId::S2));
+}
+
+#[test]
+fn suppression_accepts_rule_ids_too() {
+    let src = "pub fn f(xs: &[u64]) -> u64 {\n    // lint: S2-ok (demo invariant)\n    *xs.first().unwrap()\n}\n";
+    assert_clean(ANALYSIS_LIB, src);
+}
+
+#[test]
+fn suppression_for_one_rule_does_not_cover_another() {
+    let src = "pub fn f(xs: &mut [f64]) {\n    // lint: library-panic-ok (only S2 suppressed)\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let hits = rules_hit(ANALYSIS_LIB, src);
+    assert!(
+        hits.contains(&RuleId::D3),
+        "D3 must survive an S2-only suppression"
+    );
+}

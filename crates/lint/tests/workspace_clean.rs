@@ -1,0 +1,24 @@
+//! The tier-1 gate: the whole workspace must be lint-clean with no
+//! baseline. Every new diagnostic is either a fix or a reviewed,
+//! reasoned `// lint: …-ok (…)` annotation — never silent drift.
+
+use std::path::Path;
+
+use borg_lint::{lint_workspace, Allowlist};
+
+#[test]
+fn workspace_has_zero_unsuppressed_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root, &Allowlist::empty()).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "borg-lint found {} diagnostic(s):\n{}\nfix them or annotate with \
+         `// lint: <rule>-ok (reason)` — see DESIGN.md §10",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -31,7 +31,7 @@ impl Dict {
         if let Some(&code) = self.lookup.get(s) {
             return code;
         }
-        let code = u32::try_from(self.strings.len()).expect("dictionary overflow");
+        let code = crate::cast::code32(self.strings.len());
         assert!(code != NULL_CODE, "dictionary overflow");
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
@@ -191,13 +191,13 @@ impl StrVec {
     /// comparisons into integer comparisons.
     pub fn lex_ranks(&self) -> Vec<u32> {
         let n = self.dict.strings.len();
-        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut order: Vec<u32> = (0..crate::cast::code32(n)).collect();
         order.sort_unstable_by(|&a, &b| {
             self.dict.strings[a as usize].cmp(&self.dict.strings[b as usize])
         });
         let mut ranks = vec![0u32; n];
         for (rank, &code) in order.iter().enumerate() {
-            ranks[code as usize] = rank as u32;
+            ranks[code as usize] = crate::cast::code32(rank);
         }
         ranks
     }
@@ -207,7 +207,9 @@ impl StrVec {
     /// map to `None`.
     pub fn code_mapping_into(&self, other: &StrVec) -> Vec<Option<u32>> {
         if Arc::ptr_eq(&self.dict, &other.dict) {
-            return (0..self.dict.strings.len() as u32).map(Some).collect();
+            return (0..crate::cast::code32(self.dict.strings.len()))
+                .map(Some)
+                .collect();
         }
         self.dict
             .strings

@@ -449,6 +449,10 @@ fn check_bucket_width(width: f64) -> Result<(), QueryError> {
     Ok(())
 }
 
+// The f64→i64 cast deliberately truncates toward zero and is then
+// round-trip checked (`width - w as f64`) before the integer path is
+// taken; non-integral widths fall through to float bucketing.
+#[allow(clippy::cast_possible_truncation)]
 fn bucket_int(i: i64, width: f64) -> Value {
     let w = width as i64;
     if w >= 1 && (width - w as f64).abs() < 1e-9 {
@@ -497,6 +501,8 @@ fn eval_is_null(v: EvalVec) -> EvalVec {
     }
 }
 
+// Same round-trip-checked truncation as `bucket_int` above.
+#[allow(clippy::cast_possible_truncation)]
 fn eval_bucket(v: EvalVec, width: f64) -> Result<EvalVec, QueryError> {
     match v {
         EvalVec::Int(xs) => {
@@ -556,7 +562,7 @@ fn ord_matches(op: BinOp, ord: Ordering) -> bool {
 /// String column vs string literal: one `Ordering` per dictionary code,
 /// then an integer scan (`flipped` when the literal is the left operand).
 fn str_const_cmp(op: BinOp, sv: &StrVec, s: &str, flipped: bool) -> EvalVec {
-    let ords: Vec<Ordering> = (0..sv.dict_len() as u32)
+    let ords: Vec<Ordering> = (0..crate::cast::code32(sv.dict_len()))
         .map(|c| {
             let ord = sv.string_of(c).cmp(s);
             if flipped {

@@ -28,7 +28,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
@@ -69,6 +71,16 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Snapshot of a hash map's entries in key-sorted order — the blessed
+/// way (borg-lint rule D1) to iterate an [`FxHashMap`] when anything
+/// order-sensitive is derived from the traversal.
+pub fn sorted_entries<K: Ord + Clone, V: Clone>(map: &FxHashMap<K, V>) -> Vec<(K, V)> {
+    // lint: nondeterministic-iteration-ok (sorted before being observed)
+    let mut v: Vec<(K, V)> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    v
+}
 
 #[cfg(test)]
 mod tests {

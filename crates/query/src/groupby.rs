@@ -263,6 +263,9 @@ impl AggState {
         }
     }
 
+    // Percentile rank indices floor/ceil into [0, len-1], so the
+    // f64→usize casts cannot truncate a meaningful value.
+    #[allow(clippy::cast_possible_truncation)]
     fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c as i64),
@@ -286,7 +289,7 @@ impl AggState {
                 if xs.is_empty() {
                     Value::Null
                 } else {
-                    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+                    xs.sort_by(|a, b| a.total_cmp(b));
                     let rank = p / 100.0 * (xs.len() - 1) as f64;
                     let lo = rank.floor() as usize;
                     let hi = rank.ceil() as usize;
@@ -350,7 +353,7 @@ impl Partial {
         }
         let boxed: Box<[u64]> = key.into();
         let i = self.keys.len();
-        self.lookup.insert(boxed.clone(), i as u32);
+        self.lookup.insert(boxed.clone(), crate::cast::code32(i));
         self.keys.push(boxed);
         self.first_rows.push(row);
         self.states
@@ -429,6 +432,7 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, Que
             if a.kind == AggKind::CountAll {
                 return AggInput::NoInput;
             }
+            // lint: library-panic-ok (agg inputs resolved against the table earlier in this fn)
             let c = table.column(&a.input).expect("validated above");
             match a.kind {
                 AggKind::Count => AggInput::NullCheck(encode_column(c)),
@@ -463,7 +467,7 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, Que
                 }
                 None => {
                     let g = merged.keys.len();
-                    merged.lookup.insert(key.clone(), g as u32);
+                    merged.lookup.insert(key.clone(), crate::cast::code32(g));
                     merged.keys.push(key);
                     merged.first_rows.push(first_row);
                     merged.states.push(states);

@@ -120,9 +120,9 @@ pub fn join(
                 *slot = e.keys[row];
             }
             match index.get_mut(key_buf.as_slice()) {
-                Some(rows) => rows.push(row as u32),
+                Some(rows) => rows.push(crate::cast::code32(row)),
                 None => {
-                    index.insert(key_buf.as_slice().into(), vec![row as u32]);
+                    index.insert(key_buf.as_slice().into(), vec![crate::cast::code32(row)]);
                 }
             }
         }
@@ -166,6 +166,7 @@ pub fn join(
     let mut out_cols: Vec<(String, Column)> =
         Vec::with_capacity(left.num_columns() + right.num_columns());
     for name in left.column_names() {
+        // lint: library-panic-ok (name came from this table's own column list)
         let col = left.column(name).expect("own column");
         out_cols.push((name.clone(), col.take(&left_rows)));
     }
@@ -173,6 +174,7 @@ pub fn join(
         if right_keys.contains(&name.as_str()) {
             continue;
         }
+        // lint: library-panic-ok (name came from this table's own column list)
         let col = right.column(name).expect("own column");
         let out_name = if left.column_names().contains(name) {
             format!("right_{name}")

@@ -70,6 +70,7 @@ where
             })
             .collect();
         for w in workers {
+            // lint: library-panic-ok (re-raises a worker panic on the caller thread)
             for (b, value) in w.join().expect("query worker panicked") {
                 slots[b] = Some(value);
             }
@@ -77,6 +78,7 @@ where
     });
     slots
         .into_iter()
+        // lint: library-panic-ok (the fetch_add work loop covers 0..n_blocks exactly)
         .map(|s| s.expect("every block computed"))
         .collect()
 }

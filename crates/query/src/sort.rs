@@ -89,7 +89,7 @@ pub fn sort_by(table: &Table, keys: &[(&str, SortOrder)]) -> Result<Table, Query
         .iter()
         .map(|(name, order)| table.column(name).map(|c| sort_keys(c, *order)))
         .collect::<Result<_, _>>()?;
-    let mut indices: Vec<u32> = (0..table.num_rows() as u32).collect();
+    let mut indices: Vec<u32> = (0..crate::cast::code32(table.num_rows())).collect();
     indices.sort_unstable_by(|&a, &b| {
         for keys in &decorated {
             let ord = keys[a as usize].cmp(&keys[b as usize]);
@@ -104,6 +104,9 @@ pub fn sort_by(table: &Table, keys: &[(&str, SortOrder)]) -> Result<Table, Query
 }
 
 #[cfg(test)]
+// Exact equality below asserts deterministically-computed values reproduce
+// bit-for-bit; approximate comparison would mask a determinism regression.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::column::DataType;

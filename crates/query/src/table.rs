@@ -137,6 +137,7 @@ impl Table {
             let name = &self.names[i];
             self.columns[i]
                 .push(value, name)
+                // lint: library-panic-ok (the loop above type-checked every cell)
                 .expect("row pre-validated");
         }
         Ok(())

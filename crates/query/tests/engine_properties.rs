@@ -9,6 +9,10 @@
 //! order matches the references exactly; cross-block determinism is
 //! checked separately by `parallel_pipeline_matches_sequential`.
 
+// The reference percentile oracle mirrors the engine's bounded
+// floor/ceil rank indexing.
+#![allow(clippy::cast_possible_truncation)]
+
 use borg_query::join::{join, JoinKind};
 use borg_query::prelude::*;
 use borg_query::value::GroupKey;

@@ -720,9 +720,14 @@ impl<'a> CellSim<'a> {
         }
         impl Ord for Key {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // IEEE equality (not total_cmp) is load-bearing: the
+                // naive scan ties ±0.0 together and keeps the lower
+                // machine index, and this heap must pop the same
+                // machine. Scores of feasible machines are finite, so
+                // the None (NaN) arm is unreachable.
                 self.score
                     .partial_cmp(&other.score)
-                    .expect("finite score")
+                    .unwrap_or(std::cmp::Ordering::Equal)
                     .then(self.mi.cmp(&other.mi))
             }
         }
@@ -776,6 +781,7 @@ impl<'a> CellSim<'a> {
                     if let Some(inst) = found {
                         let machine = self.allocs[alloc_idx].instances[inst]
                             .machine
+                            // lint: library-panic-ok (position() above required machine.is_some())
                             .expect("checked placed");
                         self.allocs[alloc_idx].instances[inst].used += request;
                         self.start_task(job, task, machine, Some((alloc_idx, inst)));
@@ -1079,17 +1085,14 @@ impl<'a> CellSim<'a> {
         // eviction SLOs protect production work, §5.2).
         // Sorted so teardown order (and thus the trace) does not depend
         // on `running`'s hash order.
-        let mut members: Vec<(usize, usize)> = self
-            .running
-            .iter()
-            .copied()
+        let members: Vec<(usize, usize)> = crate::fxhash::sorted_set(&self.running)
+            .into_iter()
             .filter(|&(j, t)| {
                 self.jobs[j].tasks[t]
                     .in_alloc
                     .is_some_and(|(a, _)| a == alloc)
             })
             .collect();
-        members.sort_unstable();
         let prod_members = members
             .iter()
             .any(|&(j, _)| matches!(self.jobs[j].spec.tier, Tier::Production | Tier::Monitoring));
@@ -1223,8 +1226,7 @@ impl<'a> CellSim<'a> {
         // hard (§2); CPU is work-conserving, but a machine's total CPU
         // consumption is physically capped at its capacity, so over-
         // subscribed machines throttle every occupant proportionally.
-        let mut running: Vec<(usize, usize)> = self.running.iter().copied().collect();
-        running.sort_unstable();
+        let running: Vec<(usize, usize)> = crate::fxhash::sorted_set(&self.running);
         let mut demand: Vec<Resources> = Vec::with_capacity(running.len());
         let mut machine_demand: Vec<Resources> = vec![Resources::ZERO; self.machines.len()];
         for &(j, t) in &running {
@@ -1389,9 +1391,7 @@ impl<'a> CellSim<'a> {
         self.metrics.index = self.index.stats;
         // Close allocation intervals for still-running tasks (alive at
         // trace end, like real long-running services).
-        let mut running: Vec<(usize, usize)> = self.running.iter().copied().collect();
-        running.sort_unstable();
-        for (j, t) in running {
+        for (j, t) in crate::fxhash::sorted_set(&self.running) {
             if let TaskState::Running { since, .. } = self.jobs[j].tasks[t].state {
                 let tier = self.jobs[j].spec.tier;
                 let limit = self.jobs[j].tasks[t].limit;

@@ -395,6 +395,10 @@ impl Lex {
     };
 
     #[inline]
+    // IEEE equality (not total_cmp) is load-bearing: the naive scan ties
+    // -0.0 with +0.0 and keeps the lower machine index, and the index must
+    // reproduce that ordering bit-for-bit.
+    #[allow(clippy::float_cmp)]
     fn lt(self, other: Lex) -> bool {
         self.score < other.score || (self.score == other.score && self.mi < other.mi)
     }

@@ -176,9 +176,15 @@ impl Machine {
         // Lowest tier first; bigger victims first within a tier so we
         // evict few tasks.
         candidates.sort_by(|a, b| {
-            a.tier
-                .cmp(&b.tier)
-                .then_with(|| b.request.cpu.partial_cmp(&a.request.cpu).expect("finite"))
+            // Requests are finite and non-negative; IEEE equality keeps
+            // the stable sort's occupant order on ties, which the
+            // eviction trace depends on.
+            a.tier.cmp(&b.tier).then_with(|| {
+                b.request
+                    .cpu
+                    .partial_cmp(&a.request.cpu)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
         });
         let mut freed = Resources::ZERO;
         let mut victims = Vec::new();

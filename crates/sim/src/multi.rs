@@ -24,6 +24,7 @@ pub fn run_cells_parallel(profiles: &[CellProfile], cfg: &SimConfig) -> Vec<Cell
     });
     slots
         .into_iter()
+        // lint: library-panic-ok (scope joined every spawned cell; each filled its slot)
         .map(|s| s.expect("every cell produced an outcome"))
         .collect()
 }

@@ -36,7 +36,7 @@ impl CpuHistogram {
         if sorted.is_empty() {
             return CpuHistogram([0.0; 21]);
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut out = [0.0f32; 21];
         for (i, &p) in CPU_HISTOGRAM_PERCENTILES.iter().enumerate() {
             let rank = p / 100.0 * (sorted.len() - 1) as f64;
@@ -110,6 +110,9 @@ impl UsageRecord {
 }
 
 #[cfg(test)]
+// Exact equality below asserts deterministically-computed values reproduce
+// bit-for-bit; approximate comparison would mask a determinism regression.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::collection::CollectionId;

@@ -280,6 +280,9 @@ impl CellProfile {
 }
 
 #[cfg(test)]
+// Exact equality below asserts deterministically-computed values reproduce
+// bit-for-bit; approximate comparison would mask a determinism regression.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

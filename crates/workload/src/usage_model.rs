@@ -138,6 +138,9 @@ impl UsageProcess {
 }
 
 #[cfg(test)]
+// Exact equality below asserts deterministically-computed values reproduce
+// bit-for-bit; approximate comparison would mask a determinism regression.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -4,6 +4,10 @@
 # Everything runs with --offline: the container has no crates.io access and
 # all dependencies are workspace-local (see DESIGN.md §8).
 #
+# With --lint, runs only the borg-lint stage (fast pre-commit loop).
+# Set LINT_BASELINE=<file> to grandfather known findings during an
+# incremental cleanup; `borg-lint --write-baseline <file>` creates one.
+#
 # With --bench, also smoke-runs every criterion benchmark once
 # (CRITERION_SMOKE=1): proves the bench suite builds and executes without
 # paying for real measurements.
@@ -12,15 +16,33 @@ set -eu
 cd "$(dirname "$0")/.."
 
 run_bench=0
+lint_only=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
+    --lint) lint_only=1 ;;
     *)
-        echo "usage: $0 [--bench]" >&2
+        echo "usage: $0 [--lint] [--bench]" >&2
         exit 2
         ;;
     esac
 done
+
+# borg-lint: workspace determinism & soundness rules (DESIGN.md §10).
+# Runs first — it needs only `cargo build -p borg-lint`, so it reports
+# before the full workspace compiles. Honors $LINT_BASELINE if set.
+run_lint() {
+    echo "==> borg-lint (determinism & soundness rules)"
+    cargo run -q --release -p borg-lint --offline -- --root .
+}
+
+if [ "$lint_only" -eq 1 ]; then
+    run_lint
+    echo "Lint check passed."
+    exit 0
+fi
+
+run_lint
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -4,6 +4,10 @@
 //! trace state machines, CSV round-trips, query-engine semantics versus
 //! naive reference implementations, and distribution support bounds.
 
+// Exact float assertions are deliberate: deterministic code must
+// reproduce values bit-for-bit, so approximate checks would hide bugs.
+#![allow(clippy::float_cmp)]
+
 use borg2019::analysis::ccdf::Ccdf;
 use borg2019::analysis::moments::Moments;
 use borg2019::analysis::percentile::{percentile, top_share};
