@@ -1,7 +1,11 @@
-//! Trace-generation pipeline: profiles → simulated cell-months.
+//! Trace-generation pipeline: profiles → simulated cell-months, plus the
+//! repairing ingestion path for reading traces back from disk.
 
-use borg_sim::{CellOutcome, CellSim, SimConfig};
+use borg_sim::{CellOutcome, CellSim, FaultConfig, SimConfig};
+use borg_trace::csv::Quarantine;
+use borg_trace::repair::{repair, RepairReport};
 use borg_trace::time::Micros;
+use borg_trace::trace::Trace;
 use borg_workload::cells::CellProfile;
 
 /// Named simulation scales, wrapping [`SimConfig`] presets.
@@ -60,6 +64,91 @@ pub fn simulate_both_eras(scale: SimScale, seed: u64) -> (CellOutcome, Vec<CellO
     (y2011, y2019)
 }
 
+/// Simulates one cell with its profile's failure model switched on.
+///
+/// Identical to [`simulate_cell`] except `cfg.faults` is populated from
+/// the profile's [`borg_workload::cells::FailureModel`], so machines
+/// fail, tasks are evicted or lost, and the emitted trace carries the
+/// corresponding `Remove`/`Add` machine events.
+pub fn simulate_cell_faulty(profile: &CellProfile, scale: SimScale, seed: u64) -> CellOutcome {
+    let cfg = SimConfig {
+        faults: Some(FaultConfig::from_model(&profile.failure_model)),
+        ..scale.config(seed)
+    };
+    CellSim::run_cell(profile, &cfg)
+}
+
+/// What the ingestion pipeline had to do to a trace read from disk:
+/// everything the lenient reader quarantined plus everything
+/// [`repair`] changed, against the total row count actually ingested.
+///
+/// Analyses that consume a loaded trace attach [`DataQuality::annotation`]
+/// to their reports so a repaired trace is never mistaken for a clean one.
+#[derive(Debug, Clone, Default)]
+pub struct DataQuality {
+    /// Lines and tables the lenient reader refused to ingest.
+    pub quarantine: Quarantine,
+    /// Rows deduplicated, synthesized, or dropped by [`repair`].
+    pub repair: RepairReport,
+    /// Rows across all four tables after ingestion and repair.
+    pub rows_ingested: u64,
+}
+
+impl DataQuality {
+    /// True when nothing was quarantined and repair was a no-op.
+    pub fn is_pristine(&self) -> bool {
+        self.quarantine.is_clean() && self.repair.is_noop()
+    }
+
+    /// Fraction of the final row count that was touched by quarantine
+    /// or repair (0.0 for a pristine load; can exceed 1.0 only for a
+    /// pathologically small trace).
+    pub fn fraction_affected(&self) -> f64 {
+        if self.rows_ingested == 0 {
+            return if self.is_pristine() { 0.0 } else { 1.0 };
+        }
+        let touched = self.quarantine.total_lines() + self.repair.total_actions();
+        touched as f64 / self.rows_ingested as f64
+    }
+
+    /// One-line annotation for reports, e.g.
+    /// `data quality: 2.3% of 14210 rows affected; quarantined 120 line(s)
+    /// [...]; repaired: ...`.
+    pub fn annotation(&self) -> String {
+        if self.is_pristine() {
+            return "data quality: pristine (no quarantine, no repairs)".to_string();
+        }
+        format!(
+            "data quality: {:.1}% of {} rows affected; {}; {}",
+            self.fraction_affected() * 100.0,
+            self.rows_ingested,
+            self.quarantine.summary(),
+            self.repair.summary()
+        )
+    }
+}
+
+/// Loads a trace directory through the repairing ingestion pipeline:
+/// lenient per-line reads (malformed lines quarantined, not fatal),
+/// then [`repair`] to restore lifecycle invariants, returning the
+/// repaired trace alongside its [`DataQuality`] record.
+pub fn load_trace_dir(dir: &std::path::Path) -> (Trace, DataQuality) {
+    let (mut trace, quarantine) = borg_trace::csv::read_trace_dir_lenient(dir);
+    let report = repair(&mut trace);
+    let rows = trace.machine_events.len()
+        + trace.collection_events.len()
+        + trace.instance_events.len()
+        + trace.usage.len();
+    (
+        trace,
+        DataQuality {
+            quarantine,
+            repair: report,
+            rows_ingested: rows as u64,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +172,59 @@ mod tests {
     fn era_2011_runs() {
         let outcome = simulate_2011(SimScale::Tiny, 3);
         assert_eq!(outcome.metrics.cell_name, "2011");
+    }
+
+    #[test]
+    fn faulty_simulation_emits_machine_removes() {
+        let outcome = simulate_cell_faulty(&CellProfile::cell_2019('a'), SimScale::Tiny, 13);
+        assert!(outcome.metrics.machine_failures > 0, "no failures injected");
+        let removes = outcome
+            .trace
+            .machine_events
+            .iter()
+            .filter(|e| e.event_type == borg_trace::machine::MachineEventType::Remove)
+            .count();
+        assert!(removes > 0, "failures left no Remove events in the trace");
+    }
+
+    #[test]
+    fn load_trace_dir_round_trips_clean_traces() {
+        let outcome = simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 5);
+        let dir = std::env::temp_dir().join(format!("borg_load_clean_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        borg_trace::csv::write_trace_dir(&outcome.trace, &dir).expect("write");
+        let (trace, quality) = load_trace_dir(&dir);
+        assert!(quality.is_pristine(), "{}", quality.annotation());
+        assert!(quality.fraction_affected().abs() < f64::EPSILON);
+        assert_eq!(
+            trace.instance_events.len(),
+            outcome.trace.instance_events.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_trace_dir_annotates_garbled_input() {
+        let outcome = simulate_cell(&CellProfile::cell_2019('c'), SimScale::Tiny, 6);
+        let dir = std::env::temp_dir().join(format!("borg_load_garbled_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        borg_trace::csv::write_trace_dir(&outcome.trace, &dir).expect("write");
+        // Garble one data line of the instance-events table.
+        let path = dir.join(borg_trace::csv::FILE_INSTANCE);
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2, "need at least one data line");
+        let garbled = format!("##corrupt##{}", lines[1]);
+        lines[1] = &garbled;
+        std::fs::write(&path, lines.join("\n")).expect("rewrite");
+        let (_, quality) = load_trace_dir(&dir);
+        assert!(!quality.is_pristine());
+        assert_eq!(
+            quality.quarantine.count_for(borg_trace::csv::FILE_INSTANCE),
+            1
+        );
+        assert!(quality.annotation().contains("data quality:"));
+        assert!(quality.fraction_affected() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -2,9 +2,11 @@
 //!
 //! Reads a trace previously exported with
 //! `borg_trace::csv::write_trace_dir` (or produced externally in the same
-//! layout), validates it against the §9 invariants, and prints a
-//! Table-1-style summary plus headline workload statistics — no
-//! simulation involved.
+//! layout) through the repairing ingestion pipeline — malformed lines
+//! are quarantined and lifecycle gaps repaired, not fatal — validates
+//! the result against the §9 invariants, and prints a Table-1-style
+//! summary plus headline workload statistics, annotated with the data
+//! quality of the load. No simulation involved.
 //!
 //! ```sh
 //! cargo run --release -p borg-experiments --bin summarize -- <trace-dir>
@@ -13,9 +15,10 @@
 //! ```
 
 use borg_analysis::ccdf::Ccdf;
+use borg_core::pipeline::{load_trace_dir, DataQuality};
 use borg_trace::collection::CollectionType;
-use borg_trace::csv::{read_trace_dir, write_trace_dir};
-use borg_trace::machine::count_shapes;
+use borg_trace::csv::write_trace_dir;
+use borg_trace::machine::shape_census;
 use borg_trace::state::EventType;
 use borg_trace::trace::Trace;
 use borg_trace::validate::validate;
@@ -40,34 +43,43 @@ fn main() {
         }
     };
 
-    let trace = match read_trace_dir(&dir) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read trace at {}: {e}", dir.display());
-            std::process::exit(1);
-        }
-    };
-    summarize(&trace);
+    let (trace, quality) = load_trace_dir(&dir);
+    if trace.machine_events.is_empty() && trace.instance_events.is_empty() {
+        eprintln!(
+            "no usable rows in trace at {}: {}",
+            dir.display(),
+            quality.quarantine.summary()
+        );
+        std::process::exit(1);
+    }
+    summarize(&trace, &quality);
 }
 
-fn summarize(trace: &Trace) {
+fn summarize(trace: &Trace, quality: &DataQuality) {
     println!("=== trace summary: cell {} ===", trace.cell_name);
     println!(
         "schema: {}   window: {:.1} days",
         trace.schema.map_or("unknown", |s| s.name()),
         trace.horizon.as_days_f64()
     );
+    println!("{}", quality.annotation());
 
     // Fleet.
-    let shapes = count_shapes(&trace.machine_events);
+    let census = shape_census(&trace.machine_events);
     let cap = trace.nominal_capacity();
     println!(
         "\nfleet: {} machines, {} shapes, capacity {:.1} NCU / {:.1} NMU",
         trace.machine_count(),
-        shapes.len(),
+        census.shapes.len(),
         cap.cpu,
         cap.mem
     );
+    if census.ignored() > 0 {
+        println!(
+            "  (shape census counted {} Add rows; skipped {} Remove, {} Update)",
+            census.adds, census.ignored_removes, census.ignored_updates
+        );
+    }
 
     // Collections.
     let infos = trace.collections();

@@ -3,6 +3,7 @@
 use crate::autopilot::Autopilot;
 use crate::config::SimConfig;
 use crate::event::{Ev, EventQueue};
+use crate::faults::FaultInjector;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::index::PlacementIndex;
 use crate::machine::{Machine, Occupant};
@@ -12,7 +13,7 @@ use borg_trace::collection::{
     CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
 };
 use borg_trace::instance::{InstanceEvent, InstanceId};
-use borg_trace::machine::{MachineEvent, MachineId};
+use borg_trace::machine::{MachineEvent, MachineEventType, MachineId, Platform};
 use borg_trace::priority::Tier;
 use borg_trace::resources::Resources;
 use borg_trace::state::{EventType, StateMachine};
@@ -129,6 +130,9 @@ pub struct CellSim<'a> {
     trace: Trace,
     metrics: SimMetrics,
     rng: StdRng,
+    /// Machine-failure injector; `None` keeps the simulation bit-identical
+    /// to a build without fault injection.
+    faults: Option<FaultInjector>,
     now: Micros,
     snapshot_done: bool,
     usage_seq: u64,
@@ -182,6 +186,17 @@ impl<'a> CellSim<'a> {
         let metrics = SimMetrics::new(&profile.name, cfg.horizon, capacity, &reporting_tiers);
 
         let index = PlacementIndex::new(&machines, cfg.seed ^ INDEX_SEED_SALT);
+        // The injector owns an independent RNG stream: enabling faults
+        // never perturbs the fleet, workload, or placement draws.
+        let faults = cfg.faults.as_ref().map(|fc| {
+            let platforms: Vec<Platform> =
+                trace.machine_events.iter().map(|e| e.platform).collect();
+            FaultInjector::new(
+                fc.clone(),
+                platforms,
+                splitmix64(cfg.seed ^ FAULT_SEED_SALT),
+            )
+        });
         let mut sim = CellSim {
             profile,
             cfg,
@@ -203,6 +218,7 @@ impl<'a> CellSim<'a> {
             trace,
             metrics,
             rng,
+            faults,
             now: Micros::ZERO,
             snapshot_done: false,
             usage_seq: 0,
@@ -377,6 +393,15 @@ impl<'a> CellSim<'a> {
             let at = Micros((self.rng.random::<f64>() * interval as f64) as u64);
             self.queue.push(at, Ev::Maintenance { machine: m });
         }
+        // One failure clock per machine, drawn from the injector's own
+        // stream (the main RNG is untouched when faults are disabled).
+        if let Some(inj) = self.faults.as_mut() {
+            for m in 0..inj.machine_count() {
+                let at = inj.sample_failure_gap();
+                let epoch = inj.epoch(m);
+                self.queue.push(at, Ev::MachineFail { machine: m, epoch });
+            }
+        }
     }
 
     fn run_loop(&mut self) {
@@ -398,6 +423,8 @@ impl<'a> CellSim<'a> {
                 Ev::BatchTick => self.on_batch_tick(),
                 Ev::RetryTick => self.on_retry_tick(),
                 Ev::Maintenance { machine } => self.on_maintenance(machine),
+                Ev::MachineFail { machine, epoch } => self.on_machine_fail(machine, epoch),
+                Ev::MachineRepair { machine } => self.on_machine_repair(machine),
             }
         }
     }
@@ -1215,6 +1242,130 @@ impl<'a> CellSim<'a> {
         }
     }
 
+    // ----- injected machine failures ----------------------------------
+
+    /// A failure clock fires. Stale clocks (epoch mismatch after a
+    /// correlated co-failure) and clocks for already-down machines are
+    /// ignored; otherwise the machine — or, for a correlated failure,
+    /// its whole domain — goes down.
+    fn on_machine_fail(&mut self, machine: usize, epoch: u32) {
+        // Take the injector so the fail path can borrow `self` freely;
+        // nothing below touches `self.faults`.
+        let Some(mut inj) = self.faults.take() else {
+            return;
+        };
+        if inj.is_down(machine) || inj.epoch(machine) != epoch {
+            self.faults = Some(inj);
+            return;
+        }
+        let victims: Vec<usize> = if inj.draw_correlated() {
+            inj.domain_of(machine)
+                .filter(|&v| !inj.is_down(v))
+                .collect()
+        } else {
+            vec![machine]
+        };
+        for v in victims {
+            self.fail_machine(v, &mut inj);
+        }
+        self.faults = Some(inj);
+    }
+
+    /// Takes one machine down: resident tasks are lost or evicted, alloc
+    /// reservations on it collapse, capacity drops to zero (so neither
+    /// the naive scan nor the index can place onto it), a `Remove` is
+    /// recorded, and the repair is scheduled.
+    fn fail_machine(&mut self, m: usize, inj: &mut FaultInjector) {
+        self.metrics.machine_failures += 1;
+        inj.begin_failure(m, self.machines[m].capacity);
+
+        // Resident tasks: a configured fraction vanish (`Lost` — the
+        // paper-§9 artifact repair later reconstructs); the rest are
+        // evicted and resubmitted like any other eviction (§5.2).
+        let resident: Vec<(usize, usize)> = crate::fxhash::sorted_set(&self.running)
+            .into_iter()
+            .filter(|&(j, t)| {
+                matches!(
+                    self.jobs[j].tasks[t].state,
+                    TaskState::Running { machine, .. } if machine == m
+                )
+            })
+            .collect();
+        for (j, t) in resident {
+            if inj.draw_lost() {
+                self.free_task(j, t);
+                self.emit_task(j, t, EventType::Lost, None);
+                self.jobs[j].tasks[t].state = TaskState::Dead;
+                self.metrics.tasks_lost += 1;
+            } else {
+                self.evict_task_cause(j, t, "machine-failure");
+            }
+        }
+
+        // Alloc-set reservations on the machine are lost with it (their
+        // member tasks were already handled above — in-alloc tasks run
+        // on the alloc's machine).
+        for a in 0..self.allocs.len() {
+            for i in 0..self.allocs[a].instances.len() {
+                if self.allocs[a].instances[i].machine != Some(m) {
+                    continue;
+                }
+                self.allocs[a].instances[i].machine = None;
+                self.release_occupant(m, usize::MAX - a, i);
+                let placed = self.allocs[a].instances[i].placed_at;
+                let size = self.allocs[a].spec.instance_size;
+                let hours = (self.now - placed).as_hours_f64();
+                self.metrics.alloc_set_cpu_hours += size.cpu * hours;
+                self.metrics.alloc_set_mem_hours += size.mem * hours;
+                self.metrics
+                    .add_allocation(Tier::Production, placed, self.now, size);
+                self.emit_alloc_instance(a, i, EventType::Lost);
+            }
+        }
+
+        // Zero capacity makes the machine infeasible for every request in
+        // both placement paths, preserving naive == indexed bit-identity.
+        self.machines[m].capacity = Resources::ZERO;
+        if self.cfg.use_placement_index {
+            self.index.on_machine_changed(m, &self.machines[m]);
+        }
+        self.trace.machine_events.push(MachineEvent {
+            time: self.now,
+            machine_id: self.machines[m].id,
+            event_type: MachineEventType::Remove,
+            capacity: Resources::ZERO,
+            platform: inj.platform(m),
+        });
+        let back = self.now + inj.sample_repair_gap();
+        self.queue.push(back, Ev::MachineRepair { machine: m });
+    }
+
+    /// A failed machine comes back: capacity is restored, an `Add` is
+    /// recorded, and the machine's next failure clock starts.
+    fn on_machine_repair(&mut self, machine: usize) {
+        let Some(mut inj) = self.faults.take() else {
+            return;
+        };
+        if let Some(cap) = inj.end_repair(machine) {
+            self.machines[machine].capacity = cap;
+            if self.cfg.use_placement_index {
+                self.index
+                    .on_machine_changed(machine, &self.machines[machine]);
+            }
+            self.trace.machine_events.push(MachineEvent::add(
+                self.now,
+                self.machines[machine].id,
+                cap,
+                inj.platform(machine),
+            ));
+            self.metrics.machine_repairs += 1;
+            let next = self.now + inj.sample_failure_gap();
+            let epoch = inj.epoch(machine);
+            self.queue.push(next, Ev::MachineFail { machine, epoch });
+        }
+        self.faults = Some(inj);
+    }
+
     fn on_usage_tick(&mut self) {
         let window_end = self.now;
         let window_start = window_end.saturating_sub(self.cfg.usage_interval);
@@ -1346,8 +1497,17 @@ impl<'a> CellSim<'a> {
                 .iter()
                 .enumerate()
                 .map(|(i, m)| MachineSnapshot {
-                    cpu_utilization: (machine_usage[i].cpu / m.capacity.cpu).min(1.0),
-                    mem_utilization: (machine_usage[i].mem / m.capacity.mem).min(1.0),
+                    // A failed (zero-capacity) machine is idle, not full.
+                    cpu_utilization: if m.capacity.cpu > 0.0 {
+                        (machine_usage[i].cpu / m.capacity.cpu).min(1.0)
+                    } else {
+                        0.0
+                    },
+                    mem_utilization: if m.capacity.mem > 0.0 {
+                        (machine_usage[i].mem / m.capacity.mem).min(1.0)
+                    } else {
+                        0.0
+                    },
                 })
                 .collect();
         }
@@ -1441,3 +1601,7 @@ const WORKLOAD_SEED_SALT: u64 = 0xB0B6_2019;
 /// Salt for the placement index's bounded-probe permutation, independent
 /// of both the fleet and workload streams.
 const INDEX_SEED_SALT: u64 = 0x1D_0CE5;
+
+/// Salt for the fault injector's stream, independent of all the above so
+/// enabling faults never shifts the workload or placement draws.
+const FAULT_SEED_SALT: u64 = 0xFA17_0B06;

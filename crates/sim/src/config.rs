@@ -58,6 +58,10 @@ pub struct SimConfig {
     /// default) keeps the exact best-fit. Requires
     /// `use_placement_index`; *not* bit-identical to the exact scan.
     pub candidate_cap: Option<usize>,
+    /// Machine-failure injection (`None` disables fault injection
+    /// entirely and is bit-identical to a build without it). See
+    /// [`crate::faults::FaultConfig`].
+    pub faults: Option<crate::faults::FaultConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -80,6 +84,7 @@ impl SimConfig {
             gang_scheduling: false,
             use_placement_index: true,
             candidate_cap: None,
+            faults: None,
             seed,
         }
     }
@@ -102,6 +107,7 @@ impl SimConfig {
             gang_scheduling: false,
             use_placement_index: true,
             candidate_cap: None,
+            faults: None,
             seed,
         }
     }
@@ -158,6 +164,9 @@ impl SimConfig {
                 self.use_placement_index,
                 "candidate_cap requires the placement index"
             );
+        }
+        if let Some(f) = &self.faults {
+            f.validate();
         }
     }
 }

@@ -52,6 +52,20 @@ pub enum Ev {
         /// Machine index.
         machine: usize,
     },
+    /// Injected machine failure (only scheduled when fault injection is
+    /// enabled). Carries the failure-clock epoch so clocks invalidated by
+    /// a correlated co-failure are ignored when they fire.
+    MachineFail {
+        /// Machine index.
+        machine: usize,
+        /// Failure-clock epoch this event was scheduled under.
+        epoch: u32,
+    },
+    /// A failed machine comes back (fault injection only).
+    MachineRepair {
+        /// Machine index.
+        machine: usize,
+    },
 }
 
 /// A timestamped event with a deterministic tiebreak sequence number.

@@ -32,6 +32,7 @@ pub mod autopilot;
 pub mod cell;
 pub mod config;
 pub mod event;
+pub mod faults;
 pub mod fxhash;
 pub mod index;
 pub mod machine;
@@ -41,6 +42,10 @@ pub mod pending;
 
 pub use cell::{CellOutcome, CellSim};
 pub use config::SimConfig;
+pub use faults::{
+    corrupt_trace, write_trace_dir_lossy, CorruptionConfig, FaultConfig, FaultInjector,
+    FaultLedger, TableFaults,
+};
 pub use index::PlacementIndex;
 pub use metrics::SimMetrics;
 pub use multi::run_cells_parallel;

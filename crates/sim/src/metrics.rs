@@ -142,6 +142,13 @@ pub struct SimMetrics {
     pub alloc_set_cpu_hours: f64,
     /// Alloc-set reserved memory·hours.
     pub alloc_set_mem_hours: f64,
+    /// Injected machine failures (zero unless fault injection is on).
+    pub machine_failures: u64,
+    /// Machine repairs completed within the horizon.
+    pub machine_repairs: u64,
+    /// Tasks that vanished (`Lost`) with their machine and were never
+    /// resubmitted.
+    pub tasks_lost: u64,
     /// Placement-index hit/miss/scan counters (zero when the index is
     /// disabled).
     pub index: crate::index::IndexStats,
@@ -182,6 +189,9 @@ impl SimMetrics {
             evictions_by_cause: BTreeMap::new(),
             alloc_set_cpu_hours: 0.0,
             alloc_set_mem_hours: 0.0,
+            machine_failures: 0,
+            machine_repairs: 0,
+            tasks_lost: 0,
             index: crate::index::IndexStats::default(),
         }
     }
@@ -288,6 +298,14 @@ impl SimMetrics {
         }
         let affected = self.evictions_by_collection.len();
         writeln!(out, "  collections touched by eviction: {affected}").ok();
+        if self.machine_failures > 0 {
+            writeln!(
+                out,
+                "  machine failures: {} ({} repaired in-window, {} tasks lost)",
+                self.machine_failures, self.machine_repairs, self.tasks_lost
+            )
+            .ok();
+        }
         let ix = &self.index;
         let answered = ix.cache_hits + ix.negative_hits + ix.cache_misses;
         if answered > 0 {

@@ -16,6 +16,7 @@ use crate::state::EventType;
 use crate::time::Micros;
 use crate::trace::{SchemaVersion, Trace};
 use crate::usage::{CpuHistogram, UsageRecord};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -31,6 +32,14 @@ pub enum CsvError {
         /// What was wrong.
         message: String,
     },
+    /// An error attributed to one of the per-table files of a trace
+    /// directory, so `line 17: bad integer` says which CSV it came from.
+    Table {
+        /// File name within the trace directory (e.g. `instance_events.csv`).
+        file: String,
+        /// The underlying error.
+        source: Box<CsvError>,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -38,6 +47,7 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
             CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Table { file, source } => write!(f, "{file}: {source}"),
         }
     }
 }
@@ -54,6 +64,13 @@ fn parse_err(line: usize, message: impl Into<String>) -> CsvError {
     CsvError::Parse {
         line,
         message: message.into(),
+    }
+}
+
+fn in_file(file: &str, e: CsvError) -> CsvError {
+    CsvError::Table {
+        file: file.to_string(),
+        source: Box::new(e),
     }
 }
 
@@ -109,34 +126,31 @@ pub fn write_machine_events(w: &mut impl Write, events: &[MachineEvent]) -> io::
     Ok(())
 }
 
+/// Parses one data row of the machine-events table (`n` is its 1-based
+/// line number, used in error messages only).
+pub fn parse_machine_line(line: &str, n: usize) -> Result<MachineEvent, CsvError> {
+    let parts: Vec<&str> = line.split(',').collect();
+    let ty = match field(&parts, 2, n)? {
+        "add" => MachineEventType::Add,
+        "remove" => MachineEventType::Remove,
+        "update" => MachineEventType::Update,
+        other => return Err(parse_err(n, format!("bad machine event {other:?}"))),
+    };
+    Ok(MachineEvent {
+        time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+        machine_id: MachineId(parse_u64(field(&parts, 1, n)?, n)? as u32),
+        event_type: ty,
+        capacity: Resources::new(
+            parse_f64(field(&parts, 3, n)?, n)?,
+            parse_f64(field(&parts, 4, n)?, n)?,
+        ),
+        platform: Platform(parse_u64(field(&parts, 5, n)?, n)? as u8),
+    })
+}
+
 /// Reads the machine-events table.
 pub fn read_machine_events(r: impl BufRead) -> Result<Vec<MachineEvent>, CsvError> {
-    let mut out = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        if i == 0 || line.is_empty() {
-            continue;
-        }
-        let n = i + 1;
-        let parts: Vec<&str> = line.split(',').collect();
-        let ty = match field(&parts, 2, n)? {
-            "add" => MachineEventType::Add,
-            "remove" => MachineEventType::Remove,
-            "update" => MachineEventType::Update,
-            other => return Err(parse_err(n, format!("bad machine event {other:?}"))),
-        };
-        out.push(MachineEvent {
-            time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
-            machine_id: MachineId(parse_u64(field(&parts, 1, n)?, n)? as u32),
-            event_type: ty,
-            capacity: Resources::new(
-                parse_f64(field(&parts, 3, n)?, n)?,
-                parse_f64(field(&parts, 4, n)?, n)?,
-            ),
-            platform: Platform(parse_u64(field(&parts, 5, n)?, n)? as u8),
-        });
-    }
-    Ok(out)
+    read_table_strict(r, parse_machine_line)
 }
 
 fn scheduler_name(s: SchedulerKind) -> &'static str {
@@ -172,46 +186,42 @@ pub fn write_collection_events(w: &mut impl Write, events: &[CollectionEvent]) -
     Ok(())
 }
 
+/// Parses one data row of the collection-events table.
+pub fn parse_collection_line(line: &str, n: usize) -> Result<CollectionEvent, CsvError> {
+    let parts: Vec<&str> = line.split(',').collect();
+    let ctype = match field(&parts, 3, n)? {
+        "job" => CollectionType::Job,
+        "alloc_set" => CollectionType::AllocSet,
+        other => return Err(parse_err(n, format!("bad collection type {other:?}"))),
+    };
+    let sched = match field(&parts, 5, n)? {
+        "default" => SchedulerKind::Default,
+        "batch" => SchedulerKind::Batch,
+        other => return Err(parse_err(n, format!("bad scheduler {other:?}"))),
+    };
+    let vs = match field(&parts, 6, n)? {
+        "off" => VerticalScalingMode::Off,
+        "constrained" => VerticalScalingMode::Constrained,
+        "full" => VerticalScalingMode::Full,
+        other => return Err(parse_err(n, format!("bad scaling mode {other:?}"))),
+    };
+    Ok(CollectionEvent {
+        time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+        collection_id: CollectionId(parse_u64(field(&parts, 1, n)?, n)?),
+        event_type: parse_event(field(&parts, 2, n)?, n)?,
+        collection_type: ctype,
+        priority: Priority::new(parse_u64(field(&parts, 4, n)?, n)? as u16),
+        scheduler: sched,
+        vertical_scaling: vs,
+        parent_id: opt_u64(field(&parts, 7, n)?, n)?.map(CollectionId),
+        alloc_collection_id: opt_u64(field(&parts, 8, n)?, n)?.map(CollectionId),
+        user_id: UserId(parse_u64(field(&parts, 9, n)?, n)? as u32),
+    })
+}
+
 /// Reads the collection-events table.
 pub fn read_collection_events(r: impl BufRead) -> Result<Vec<CollectionEvent>, CsvError> {
-    let mut out = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        if i == 0 || line.is_empty() {
-            continue;
-        }
-        let n = i + 1;
-        let parts: Vec<&str> = line.split(',').collect();
-        let ctype = match field(&parts, 3, n)? {
-            "job" => CollectionType::Job,
-            "alloc_set" => CollectionType::AllocSet,
-            other => return Err(parse_err(n, format!("bad collection type {other:?}"))),
-        };
-        let sched = match field(&parts, 5, n)? {
-            "default" => SchedulerKind::Default,
-            "batch" => SchedulerKind::Batch,
-            other => return Err(parse_err(n, format!("bad scheduler {other:?}"))),
-        };
-        let vs = match field(&parts, 6, n)? {
-            "off" => VerticalScalingMode::Off,
-            "constrained" => VerticalScalingMode::Constrained,
-            "full" => VerticalScalingMode::Full,
-            other => return Err(parse_err(n, format!("bad scaling mode {other:?}"))),
-        };
-        out.push(CollectionEvent {
-            time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
-            collection_id: CollectionId(parse_u64(field(&parts, 1, n)?, n)?),
-            event_type: parse_event(field(&parts, 2, n)?, n)?,
-            collection_type: ctype,
-            priority: Priority::new(parse_u64(field(&parts, 4, n)?, n)? as u16),
-            scheduler: sched,
-            vertical_scaling: vs,
-            parent_id: opt_u64(field(&parts, 7, n)?, n)?.map(CollectionId),
-            alloc_collection_id: opt_u64(field(&parts, 8, n)?, n)?.map(CollectionId),
-            user_id: UserId(parse_u64(field(&parts, 9, n)?, n)? as u32),
-        });
-    }
-    Ok(out)
+    read_table_strict(r, parse_collection_line)
 }
 
 /// Writes the instance-events table.
@@ -241,40 +251,36 @@ pub fn write_instance_events(w: &mut impl Write, events: &[InstanceEvent]) -> io
     Ok(())
 }
 
+/// Parses one data row of the instance-events table.
+pub fn parse_instance_line(line: &str, n: usize) -> Result<InstanceEvent, CsvError> {
+    let parts: Vec<&str> = line.split(',').collect();
+    let alloc_col = opt_u64(field(&parts, 8, n)?, n)?;
+    let alloc_idx = opt_u64(field(&parts, 9, n)?, n)?;
+    let alloc_instance = match (alloc_col, alloc_idx) {
+        (Some(c), Some(x)) => Some(InstanceId::new(CollectionId(c), x as u32)),
+        (None, None) => None,
+        _ => return Err(parse_err(n, "half-specified alloc instance")),
+    };
+    Ok(InstanceEvent {
+        time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+        instance_id: InstanceId::new(
+            CollectionId(parse_u64(field(&parts, 1, n)?, n)?),
+            parse_u64(field(&parts, 2, n)?, n)? as u32,
+        ),
+        event_type: parse_event(field(&parts, 3, n)?, n)?,
+        machine_id: opt_u64(field(&parts, 4, n)?, n)?.map(|m| MachineId(m as u32)),
+        request: Resources::new(
+            parse_f64(field(&parts, 5, n)?, n)?,
+            parse_f64(field(&parts, 6, n)?, n)?,
+        ),
+        priority: Priority::new(parse_u64(field(&parts, 7, n)?, n)? as u16),
+        alloc_instance,
+    })
+}
+
 /// Reads the instance-events table.
 pub fn read_instance_events(r: impl BufRead) -> Result<Vec<InstanceEvent>, CsvError> {
-    let mut out = Vec::new();
-    for (i, line) in r.lines().enumerate() {
-        let line = line?;
-        if i == 0 || line.is_empty() {
-            continue;
-        }
-        let n = i + 1;
-        let parts: Vec<&str> = line.split(',').collect();
-        let alloc_col = opt_u64(field(&parts, 8, n)?, n)?;
-        let alloc_idx = opt_u64(field(&parts, 9, n)?, n)?;
-        let alloc_instance = match (alloc_col, alloc_idx) {
-            (Some(c), Some(x)) => Some(InstanceId::new(CollectionId(c), x as u32)),
-            (None, None) => None,
-            _ => return Err(parse_err(n, "half-specified alloc instance")),
-        };
-        out.push(InstanceEvent {
-            time: Micros(parse_u64(field(&parts, 0, n)?, n)?),
-            instance_id: InstanceId::new(
-                CollectionId(parse_u64(field(&parts, 1, n)?, n)?),
-                parse_u64(field(&parts, 2, n)?, n)? as u32,
-            ),
-            event_type: parse_event(field(&parts, 3, n)?, n)?,
-            machine_id: opt_u64(field(&parts, 4, n)?, n)?.map(|m| MachineId(m as u32)),
-            request: Resources::new(
-                parse_f64(field(&parts, 5, n)?, n)?,
-                parse_f64(field(&parts, 6, n)?, n)?,
-            ),
-            priority: Priority::new(parse_u64(field(&parts, 7, n)?, n)? as u16),
-            alloc_instance,
-        });
-    }
-    Ok(out)
+    read_table_strict(r, parse_instance_line)
 }
 
 /// Writes the usage table (histogram inlined as 21 extra columns).
@@ -311,42 +317,55 @@ pub fn write_usage(w: &mut impl Write, records: &[UsageRecord]) -> io::Result<()
     Ok(())
 }
 
+/// Parses one data row of the usage table.
+pub fn parse_usage_line(line: &str, n: usize) -> Result<UsageRecord, CsvError> {
+    let parts: Vec<&str> = line.split(',').collect();
+    let mut hist = [0.0f32; 21];
+    for (k, h) in hist.iter_mut().enumerate() {
+        *h = parse_f64(field(&parts, 11 + k, n)?, n)? as f32;
+    }
+    Ok(UsageRecord {
+        start: Micros(parse_u64(field(&parts, 0, n)?, n)?),
+        end: Micros(parse_u64(field(&parts, 1, n)?, n)?),
+        instance_id: InstanceId::new(
+            CollectionId(parse_u64(field(&parts, 2, n)?, n)?),
+            parse_u64(field(&parts, 3, n)?, n)? as u32,
+        ),
+        machine_id: MachineId(parse_u64(field(&parts, 4, n)?, n)? as u32),
+        avg_usage: Resources::new(
+            parse_f64(field(&parts, 5, n)?, n)?,
+            parse_f64(field(&parts, 6, n)?, n)?,
+        ),
+        max_usage: Resources::new(
+            parse_f64(field(&parts, 7, n)?, n)?,
+            parse_f64(field(&parts, 8, n)?, n)?,
+        ),
+        limit: Resources::new(
+            parse_f64(field(&parts, 9, n)?, n)?,
+            parse_f64(field(&parts, 10, n)?, n)?,
+        ),
+        cpu_histogram: CpuHistogram(hist),
+    })
+}
+
 /// Reads the usage table.
 pub fn read_usage(r: impl BufRead) -> Result<Vec<UsageRecord>, CsvError> {
+    read_table_strict(r, parse_usage_line)
+}
+
+/// Shared strict table loop: header skipped, blank lines skipped, the
+/// first malformed line aborts the read.
+fn read_table_strict<T>(
+    r: impl BufRead,
+    parse: impl Fn(&str, usize) -> Result<T, CsvError>,
+) -> Result<Vec<T>, CsvError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
         let line = line?;
         if i == 0 || line.is_empty() {
             continue;
         }
-        let n = i + 1;
-        let parts: Vec<&str> = line.split(',').collect();
-        let mut hist = [0.0f32; 21];
-        for (k, h) in hist.iter_mut().enumerate() {
-            *h = parse_f64(field(&parts, 11 + k, n)?, n)? as f32;
-        }
-        out.push(UsageRecord {
-            start: Micros(parse_u64(field(&parts, 0, n)?, n)?),
-            end: Micros(parse_u64(field(&parts, 1, n)?, n)?),
-            instance_id: InstanceId::new(
-                CollectionId(parse_u64(field(&parts, 2, n)?, n)?),
-                parse_u64(field(&parts, 3, n)?, n)? as u32,
-            ),
-            machine_id: MachineId(parse_u64(field(&parts, 4, n)?, n)? as u32),
-            avg_usage: Resources::new(
-                parse_f64(field(&parts, 5, n)?, n)?,
-                parse_f64(field(&parts, 6, n)?, n)?,
-            ),
-            max_usage: Resources::new(
-                parse_f64(field(&parts, 7, n)?, n)?,
-                parse_f64(field(&parts, 8, n)?, n)?,
-            ),
-            limit: Resources::new(
-                parse_f64(field(&parts, 9, n)?, n)?,
-                parse_f64(field(&parts, 10, n)?, n)?,
-            ),
-            cpu_histogram: CpuHistogram(hist),
-        });
+        out.push(parse(&line, i + 1)?);
     }
     Ok(out)
 }
@@ -374,14 +393,45 @@ pub fn write_trace_dir(trace: &Trace, dir: &std::path::Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a trace previously written by [`write_trace_dir`].
+/// Reads a trace previously written by [`write_trace_dir`]. Errors are
+/// wrapped as [`CsvError::Table`] naming the offending file.
 pub fn read_trace_dir(dir: &std::path::Path) -> Result<Trace, CsvError> {
     let open = |name: &str| -> Result<std::io::BufReader<std::fs::File>, CsvError> {
-        Ok(std::io::BufReader::new(std::fs::File::open(
-            dir.join(name),
-        )?))
+        std::fs::File::open(dir.join(name))
+            .map(std::io::BufReader::new)
+            .map_err(|e| in_file(name, CsvError::Io(e)))
     };
-    let meta = std::fs::read_to_string(dir.join("metadata.csv"))?;
+    let (cell_name, schema, horizon) = std::fs::read_to_string(dir.join(FILE_METADATA))
+        .map_err(|e| in_file(FILE_METADATA, CsvError::Io(e)))
+        .and_then(|meta| parse_metadata(&meta).map_err(|e| in_file(FILE_METADATA, e)))?;
+    Ok(Trace {
+        cell_name,
+        schema,
+        horizon,
+        machine_events: read_machine_events(open(FILE_MACHINE)?)
+            .map_err(|e| in_file(FILE_MACHINE, e))?,
+        collection_events: read_collection_events(open(FILE_COLLECTION)?)
+            .map_err(|e| in_file(FILE_COLLECTION, e))?,
+        instance_events: read_instance_events(open(FILE_INSTANCE)?)
+            .map_err(|e| in_file(FILE_INSTANCE, e))?,
+        usage: read_usage(open(FILE_USAGE)?).map_err(|e| in_file(FILE_USAGE, e))?,
+    })
+}
+
+/// The five file names of a trace directory.
+pub const FILE_MACHINE: &str = "machine_events.csv";
+/// Collection-events table file name.
+pub const FILE_COLLECTION: &str = "collection_events.csv";
+/// Instance-events table file name.
+pub const FILE_INSTANCE: &str = "instance_events.csv";
+/// Usage table file name.
+pub const FILE_USAGE: &str = "instance_usage.csv";
+/// Metadata file name.
+pub const FILE_METADATA: &str = "metadata.csv";
+
+type Metadata = (String, Option<SchemaVersion>, Micros);
+
+fn parse_metadata(meta: &str) -> Result<Metadata, CsvError> {
     let line = meta
         .lines()
         .nth(1)
@@ -394,15 +444,191 @@ pub fn read_trace_dir(dir: &std::path::Path) -> Result<Trace, CsvError> {
         _ => None,
     };
     let horizon = Micros(parse_u64(field(&parts, 2, 2)?, 2)?);
-    Ok(Trace {
+    Ok((cell_name, schema, horizon))
+}
+
+/// Cap on per-line diagnostic details retained in a [`Quarantine`];
+/// per-table counts keep accumulating past it.
+pub const QUARANTINE_DETAIL_CAP: usize = 256;
+
+/// One rejected CSV line, with enough context to find it again.
+#[derive(Debug, Clone)]
+pub struct QuarantinedLine {
+    /// Table file the line came from.
+    pub file: &'static str,
+    /// 1-based line number within that file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// Everything the lenient reader refused to ingest: per-line parse
+/// failures (detail capped at [`QUARANTINE_DETAIL_CAP`], counts exact)
+/// and whole-table failures (missing or unreadable files).
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    /// Detailed per-line rejections (first [`QUARANTINE_DETAIL_CAP`]).
+    pub lines: Vec<QuarantinedLine>,
+    /// Exact rejected-line count per table file.
+    pub line_counts: BTreeMap<&'static str, u64>,
+    /// Whole-table failures: `(file, error)`.
+    pub table_errors: Vec<(String, String)>,
+}
+
+impl Quarantine {
+    /// Total rejected lines across all tables.
+    pub fn total_lines(&self) -> u64 {
+        self.line_counts.values().sum()
+    }
+
+    /// Rejected-line count for one table file.
+    pub fn count_for(&self, file: &str) -> u64 {
+        self.line_counts.get(file).copied().unwrap_or(0)
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.line_counts.is_empty() && self.table_errors.is_empty()
+    }
+
+    /// One-line human summary, e.g. for report annotations.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return "clean ingest: no lines quarantined".to_string();
+        }
+        let per_table: Vec<String> = self
+            .line_counts
+            .iter()
+            .map(|(f, c)| format!("{f}: {c}"))
+            .collect();
+        let mut s = format!(
+            "quarantined {} line(s) [{}]",
+            self.total_lines(),
+            per_table.join(", ")
+        );
+        if !self.table_errors.is_empty() {
+            let files: Vec<&str> = self.table_errors.iter().map(|(f, _)| f.as_str()).collect();
+            s.push_str(&format!(
+                "; {} table error(s) [{}]",
+                self.table_errors.len(),
+                files.join(", ")
+            ));
+        }
+        s
+    }
+
+    fn reject_line(&mut self, file: &'static str, line: usize, message: String) {
+        if self.lines.len() < QUARANTINE_DETAIL_CAP {
+            self.lines.push(QuarantinedLine {
+                file,
+                line,
+                message,
+            });
+        }
+        *self.line_counts.entry(file).or_insert(0) += 1;
+    }
+
+    fn table_error(&mut self, file: &str, message: String) {
+        self.table_errors.push((file.to_string(), message));
+    }
+}
+
+/// Lenient table loop: malformed lines are quarantined instead of
+/// aborting; a mid-file I/O failure records a table error and keeps
+/// what was read so far.
+fn read_table_lenient<T>(
+    r: impl BufRead,
+    file: &'static str,
+    q: &mut Quarantine,
+    parse: impl Fn(&str, usize) -> Result<T, CsvError>,
+) -> Vec<T> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                q.table_error(file, format!("io error near line {}: {e}", i + 1));
+                break;
+            }
+        };
+        if i == 0 || line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        match parse(&line, n) {
+            Ok(v) => out.push(v),
+            Err(e) => q.reject_line(file, n, e.to_string()),
+        }
+    }
+    out
+}
+
+/// Reads a trace directory, quarantining damage instead of failing
+/// fast: per-line parse errors are collected per table, missing or
+/// unreadable files yield empty tables with a table-level error, and a
+/// missing horizon is inferred from the data. Always returns a trace;
+/// callers inspect the [`Quarantine`] to learn what was lost.
+pub fn read_trace_dir_lenient(dir: &std::path::Path) -> (Trace, Quarantine) {
+    let mut q = Quarantine::default();
+    let (cell_name, schema, horizon) = match std::fs::read_to_string(dir.join(FILE_METADATA)) {
+        Ok(meta) => match parse_metadata(&meta) {
+            Ok(m) => m,
+            Err(e) => {
+                q.table_error(FILE_METADATA, e.to_string());
+                ("unknown".to_string(), None, Micros::ZERO)
+            }
+        },
+        Err(e) => {
+            q.table_error(FILE_METADATA, format!("io error: {e}"));
+            ("unknown".to_string(), None, Micros::ZERO)
+        }
+    };
+    fn load<T>(
+        dir: &std::path::Path,
+        file: &'static str,
+        q: &mut Quarantine,
+        parse: impl Fn(&str, usize) -> Result<T, CsvError>,
+    ) -> Vec<T> {
+        match std::fs::File::open(dir.join(file)) {
+            Ok(f) => read_table_lenient(std::io::BufReader::new(f), file, q, parse),
+            Err(e) => {
+                q.table_error(file, format!("io error: {e}"));
+                Vec::new()
+            }
+        }
+    }
+    let mut trace = Trace {
         cell_name,
         schema,
         horizon,
-        machine_events: read_machine_events(open("machine_events.csv")?)?,
-        collection_events: read_collection_events(open("collection_events.csv")?)?,
-        instance_events: read_instance_events(open("instance_events.csv")?)?,
-        usage: read_usage(open("instance_usage.csv")?)?,
-    })
+        machine_events: load(dir, FILE_MACHINE, &mut q, parse_machine_line),
+        collection_events: load(dir, FILE_COLLECTION, &mut q, parse_collection_line),
+        instance_events: load(dir, FILE_INSTANCE, &mut q, parse_instance_line),
+        usage: load(dir, FILE_USAGE, &mut q, parse_usage_line),
+    };
+    if trace.horizon == Micros::ZERO {
+        trace.horizon = observed_horizon(&trace);
+    }
+    (trace, q)
+}
+
+/// Largest timestamp present in any table — the fallback horizon when
+/// metadata is missing or damaged.
+fn observed_horizon(t: &Trace) -> Micros {
+    let mut h = Micros::ZERO;
+    for e in &t.machine_events {
+        h = h.max(e.time);
+    }
+    for e in &t.collection_events {
+        h = h.max(e.time);
+    }
+    for e in &t.instance_events {
+        h = h.max(e.time);
+    }
+    for u in &t.usage {
+        h = h.max(u.end);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -527,5 +753,61 @@ mod tests {
     fn half_specified_alloc_rejected() {
         let bad = b"header\n1,2,submit,,0.1,0.1,200,5,\n";
         assert!(read_instance_events(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn directory_errors_name_the_table_file() {
+        let dir = std::env::temp_dir().join(format!("borg_csv_tbl_{}", std::process::id()));
+        write_trace_dir(&sample_trace(), &dir).unwrap();
+        // Damage one line of the instance table.
+        let path = dir.join(FILE_INSTANCE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("x,oops\n");
+        std::fs::write(&path, text).unwrap();
+        let err = read_trace_dir(&dir).unwrap_err();
+        match &err {
+            CsvError::Table { file, source } => {
+                assert_eq!(file, FILE_INSTANCE);
+                assert!(matches!(**source, CsvError::Parse { .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains(FILE_INSTANCE));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_read_quarantines_bad_lines() {
+        let dir = std::env::temp_dir().join(format!("borg_csv_len_{}", std::process::id()));
+        write_trace_dir(&sample_trace(), &dir).unwrap();
+        let path = dir.join(FILE_INSTANCE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("garbage line\nx,2,submit,,0.1,0.1,200,5,,\n");
+        std::fs::write(&path, text).unwrap();
+        let (t, q) = read_trace_dir_lenient(&dir);
+        assert_eq!(t.instance_events.len(), 1, "good line survives");
+        assert_eq!(q.count_for(FILE_INSTANCE), 2);
+        assert_eq!(q.total_lines(), 2);
+        assert!(!q.is_clean());
+        assert!(q.summary().contains(FILE_INSTANCE));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_read_survives_missing_files() {
+        let dir = std::env::temp_dir().join(format!("borg_csv_missing_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Only the instance table exists; no metadata at all.
+        let mut buf = Vec::new();
+        write_instance_events(&mut buf, &sample_trace().instance_events).unwrap();
+        std::fs::write(dir.join(FILE_INSTANCE), &buf).unwrap();
+        let (t, q) = read_trace_dir_lenient(&dir);
+        assert_eq!(t.cell_name, "unknown");
+        assert_eq!(t.instance_events.len(), 1);
+        assert!(t.machine_events.is_empty());
+        // Horizon inferred from the surviving data.
+        assert_eq!(t.horizon, Micros::from_secs(6));
+        assert_eq!(q.table_errors.len(), 4, "metadata + three tables");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

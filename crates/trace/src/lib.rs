@@ -29,6 +29,7 @@ pub mod csv;
 pub mod instance;
 pub mod machine;
 pub mod priority;
+pub mod repair;
 pub mod resources;
 pub mod schema_2011;
 pub mod state;
@@ -40,9 +41,11 @@ pub mod validate;
 pub use collection::{
     CollectionEvent, CollectionId, CollectionType, SchedulerKind, VerticalScalingMode,
 };
+pub use csv::{Quarantine, QuarantinedLine};
 pub use instance::{InstanceEvent, InstanceId};
 pub use machine::{MachineEvent, MachineEventType, MachineId, Platform};
 pub use priority::{Priority, PriorityBand2011, Tier};
+pub use repair::{repair, RepairReport, TableRepair};
 pub use resources::Resources;
 pub use state::{EventType, InstanceState, StateMachine, TransitionCounts};
 pub use time::{Micros, MICROS_PER_HOUR};

@@ -96,26 +96,67 @@ impl MachineShape {
     }
 }
 
-/// Counts distinct machine shapes among `Add` events — the Figure 1 /
-/// Table 1 "machine shapes" statistic.
-pub fn count_shapes(events: &[MachineEvent]) -> Vec<(MachineShape, usize)> {
-    let mut shapes: Vec<(MachineShape, usize)> = Vec::new();
+/// Shape statistics plus an exact account of what the census skipped.
+///
+/// `count_shapes` historically ignored `Remove`/`Update` rows without a
+/// trace, so capacity series derived from the shape table silently
+/// overstated fleets that shrank or were rebalanced. The census keeps the
+/// same `Add`-only shape counting but reports how many rows it ignored.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeCensus {
+    /// Distinct `(shape, add-count)` pairs, most common first.
+    pub shapes: Vec<(MachineShape, usize)>,
+    /// `Add` rows counted into `shapes`.
+    pub adds: usize,
+    /// `Remove` rows skipped by the census.
+    pub ignored_removes: usize,
+    /// `Update` rows skipped by the census.
+    pub ignored_updates: usize,
+}
+
+impl ShapeCensus {
+    /// Total rows the census skipped (`Remove` + `Update`).
+    pub fn ignored(&self) -> usize {
+        self.ignored_removes + self.ignored_updates
+    }
+}
+
+/// Full shape census over the machine-events table: `Add` rows are
+/// grouped into shapes, non-`Add` rows are counted rather than silently
+/// dropped.
+pub fn shape_census(events: &[MachineEvent]) -> ShapeCensus {
+    let mut census = ShapeCensus::default();
     for ev in events {
-        if ev.event_type != MachineEventType::Add {
-            continue;
+        match ev.event_type {
+            MachineEventType::Remove => {
+                census.ignored_removes += 1;
+                continue;
+            }
+            MachineEventType::Update => {
+                census.ignored_updates += 1;
+                continue;
+            }
+            MachineEventType::Add => census.adds += 1,
         }
         let shape = MachineShape {
             platform: ev.platform,
             capacity: ev.capacity,
         };
-        if let Some(entry) = shapes.iter_mut().find(|(s, _)| s.matches(&shape)) {
+        if let Some(entry) = census.shapes.iter_mut().find(|(s, _)| s.matches(&shape)) {
             entry.1 += 1;
         } else {
-            shapes.push((shape, 1));
+            census.shapes.push((shape, 1));
         }
     }
-    shapes.sort_by_key(|s| std::cmp::Reverse(s.1));
-    shapes
+    census.shapes.sort_by_key(|s| std::cmp::Reverse(s.1));
+    census
+}
+
+/// Counts distinct machine shapes among `Add` events — the Figure 1 /
+/// Table 1 "machine shapes" statistic. See [`shape_census`] for the
+/// variant that also reports ignored `Remove`/`Update` rows.
+pub fn count_shapes(events: &[MachineEvent]) -> Vec<(MachineShape, usize)> {
+    shape_census(events).shapes
 }
 
 #[cfg(test)]
@@ -144,6 +185,24 @@ mod tests {
         let shapes = count_shapes(&events);
         assert_eq!(shapes.len(), 3);
         assert_eq!(shapes[0].1, 2); // most common first
+    }
+
+    #[test]
+    fn census_counts_ignored_rows() {
+        let events = vec![
+            ev(0, MachineEventType::Add, 1.0, 0),
+            ev(0, MachineEventType::Remove, 1.0, 0),
+            ev(0, MachineEventType::Update, 0.5, 0),
+            ev(1, MachineEventType::Add, 1.0, 0),
+            ev(1, MachineEventType::Remove, 1.0, 0),
+        ];
+        let census = shape_census(&events);
+        assert_eq!(census.adds, 2);
+        assert_eq!(census.ignored_removes, 2);
+        assert_eq!(census.ignored_updates, 1);
+        assert_eq!(census.ignored(), 3);
+        assert_eq!(census.shapes.len(), 1);
+        assert_eq!(census.shapes[0].1, 2);
     }
 
     #[test]

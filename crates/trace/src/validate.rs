@@ -371,6 +371,23 @@ mod tests {
     }
 
     #[test]
+    fn detects_illegal_collection_sequence() {
+        let mut t = base_trace();
+        t.collection_events.push(cev(1, 0, EventType::Submit));
+        t.collection_events.push(cev(1, 2, EventType::Schedule));
+        t.collection_events.push(cev(1, 5, EventType::Finish));
+        t.collection_events.push(cev(1, 9, EventType::Schedule)); // after death
+        let v = validate(&t);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::IllegalCollectionTransition {
+                event: EventType::Schedule,
+                ..
+            }
+        )));
+    }
+
+    #[test]
     fn detects_termination_before_submit() {
         let mut t = base_trace();
         // A kill recorded before the submit (clock skew in collection).

@@ -1,0 +1,201 @@
+//! Satellite coverage: `validate` against deliberately corrupted traces.
+//!
+//! One fixture per `Violation` variant, each proving (a) the corruption
+//! is detected, and (b) `repair` clears it — the detection/repair pair
+//! the chaos round-trip relies on, exercised variant by variant.
+
+use borg_trace::collection::{
+    CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
+};
+use borg_trace::instance::{InstanceEvent, InstanceId};
+use borg_trace::machine::{MachineEvent, MachineId, Platform};
+use borg_trace::priority::Priority;
+use borg_trace::repair::repair;
+use borg_trace::resources::Resources;
+use borg_trace::state::EventType;
+use borg_trace::time::Micros;
+use borg_trace::trace::{SchemaVersion, Trace};
+use borg_trace::usage::{CpuHistogram, UsageRecord};
+use borg_trace::validate::{validate, Violation};
+
+fn base() -> Trace {
+    let mut t = Trace::new("fixture", SchemaVersion::V3Trace2019, Micros::from_days(1));
+    t.machine_events.push(MachineEvent::add(
+        Micros::ZERO,
+        MachineId(0),
+        Resources::new(1.0, 1.0),
+        Platform(0),
+    ));
+    t
+}
+
+fn cev(id: u64, time_s: u64, ty: EventType) -> CollectionEvent {
+    CollectionEvent {
+        time: Micros::from_secs(time_s),
+        collection_id: CollectionId(id),
+        event_type: ty,
+        collection_type: CollectionType::Job,
+        priority: Priority::new(200),
+        scheduler: SchedulerKind::Default,
+        vertical_scaling: VerticalScalingMode::Off,
+        parent_id: None,
+        alloc_collection_id: None,
+        user_id: UserId(0),
+    }
+}
+
+fn iev(id: u64, idx: u32, time_s: u64, ty: EventType) -> InstanceEvent {
+    InstanceEvent {
+        time: Micros::from_secs(time_s),
+        instance_id: InstanceId::new(CollectionId(id), idx),
+        event_type: ty,
+        machine_id: Some(MachineId(0)),
+        request: Resources::new(0.1, 0.1),
+        priority: Priority::new(200),
+        alloc_instance: None,
+    }
+}
+
+fn usage_rec(id: u64, machine: u32, avg_cpu: f64) -> UsageRecord {
+    UsageRecord {
+        start: Micros::ZERO,
+        end: Micros::from_minutes(5),
+        instance_id: InstanceId::new(CollectionId(id), 0),
+        machine_id: MachineId(machine),
+        avg_usage: Resources::new(avg_cpu, 0.1),
+        max_usage: Resources::new(avg_cpu, 0.1),
+        limit: Resources::new(0.5, 0.2),
+        cpu_histogram: CpuHistogram([0.1; 21]),
+    }
+}
+
+/// Asserts the corruption is detected as `variant`, then that `repair`
+/// clears every violation from the trace.
+fn detect_then_repair(mut t: Trace, matches_variant: impl Fn(&Violation) -> bool, label: &str) {
+    let before = validate(&t);
+    assert!(
+        before.iter().any(&matches_variant),
+        "{label}: expected violation not detected; got {before:?}"
+    );
+    let report = repair(&mut t);
+    assert!(!report.is_noop(), "{label}: repair took no action");
+    let after = validate(&t);
+    assert!(
+        after.is_empty(),
+        "{label}: {} violation(s) survive repair: {after:?}",
+        after.len()
+    );
+}
+
+#[test]
+fn illegal_instance_transition_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(1, 0, EventType::Submit));
+    // Schedule with no submit: the classic dropped-prefix hole.
+    t.instance_events.push(iev(1, 0, 10, EventType::Schedule));
+    t.instance_events.push(iev(1, 0, 90, EventType::Finish));
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::IllegalInstanceTransition { .. }),
+        "illegal instance transition",
+    );
+}
+
+#[test]
+fn illegal_collection_transition_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(1, 0, EventType::Submit));
+    t.collection_events.push(cev(1, 2, EventType::Schedule));
+    t.collection_events.push(cev(1, 50, EventType::Finish));
+    // A stale resubmit after a successful finish: unrecoverable, dropped.
+    t.collection_events.push(cev(1, 60, EventType::Submit));
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::IllegalCollectionTransition { .. }),
+        "illegal collection transition",
+    );
+}
+
+#[test]
+fn termination_before_submit_detected_and_repaired() {
+    let mut t = base();
+    // Clock skew put the kill before the submit it terminates.
+    t.collection_events.push(cev(1, 5, EventType::Submit));
+    t.collection_events.push(cev(1, 2, EventType::Kill));
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::TerminationBeforeSubmit { .. }),
+        "termination before submit",
+    );
+}
+
+#[test]
+fn usage_on_unknown_machine_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(1, 0, EventType::Submit));
+    t.usage.push(usage_rec(1, 99, 0.3)); // machine 99 never added
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::UsageOnUnknownMachine { .. }),
+        "usage on unknown machine",
+    );
+}
+
+#[test]
+fn over_capacity_from_duplicated_usage_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(1, 0, EventType::Submit));
+    // One legitimate record duplicated by a lossy writer: the window sum
+    // doubles and blows past capacity * tolerance.
+    let rec = usage_rec(1, 0, 0.8);
+    t.usage.push(rec);
+    t.usage.push(rec);
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::MachineOverCapacity { .. }),
+        "over capacity via duplicate usage",
+    );
+}
+
+#[test]
+fn bad_usage_window_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(1, 0, EventType::Submit));
+    let mut rec = usage_rec(1, 0, 0.1);
+    std::mem::swap(&mut rec.start, &mut rec.end); // inverted window
+    t.usage.push(rec);
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::BadUsageWindow { .. }),
+        "bad usage window",
+    );
+}
+
+#[test]
+fn orphan_instance_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(9, 0, EventType::Submit));
+    // Collection 1's events were all lost; its instance survives.
+    t.instance_events.push(iev(1, 0, 5, EventType::Submit));
+    t.instance_events.push(iev(1, 0, 6, EventType::Schedule));
+    t.instance_events.push(iev(1, 0, 90, EventType::Finish));
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::OrphanInstance { .. }),
+        "orphan instance",
+    );
+}
+
+#[test]
+fn non_monotone_histogram_detected_and_repaired() {
+    let mut t = base();
+    t.collection_events.push(cev(1, 0, EventType::Submit));
+    let mut rec = usage_rec(1, 0, 0.1);
+    rec.cpu_histogram.0[20] = 0.0; // max below the lower percentiles
+    t.usage.push(rec);
+    detect_then_repair(
+        t,
+        |v| matches!(v, Violation::NonMonotoneHistogram { .. }),
+        "non-monotone histogram",
+    );
+}

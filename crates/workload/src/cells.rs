@@ -87,6 +87,44 @@ pub struct CellProfile {
     pub flaky_job_fraction: f64,
     /// Mean interruptions per task-hour for flaky jobs.
     pub flaky_interrupts_per_hour: f64,
+    /// Whole-machine failure model for the fault injector.
+    pub failure_model: FailureModel,
+}
+
+/// Machine-failure parameters of a cell — how often machines drop out
+/// of the cell (beyond the planned §5.2 maintenance sweeps), how long
+/// repairs take, and how correlated the failures are. Consumed by the
+/// simulator's fault injector (`borg_sim::faults`).
+#[derive(Debug, Clone, Copy)]
+pub struct FailureModel {
+    /// Mean unplanned machine failures per machine per 30-day month.
+    /// §5.2 pegs *planned* removals (OS upgrades) at roughly monthly;
+    /// unplanned hardware/kernel failures are rarer.
+    pub failures_per_machine_month: f64,
+    /// Mean time to repair and re-add a failed machine, in hours.
+    pub mean_repair_hours: f64,
+    /// Machines per failure domain (rack / power bus); a correlated
+    /// failure takes out the whole domain at once.
+    pub domain_size: usize,
+    /// Probability a failure is correlated (domain-wide) rather than a
+    /// single machine.
+    pub correlated_fraction: f64,
+    /// Fraction of tasks on a failed machine whose termination is never
+    /// observed — they go `Lost` instead of `Evict` (the §9 monitoring
+    /// artifact).
+    pub lost_fraction: f64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        FailureModel {
+            failures_per_machine_month: 0.3,
+            mean_repair_hours: 4.0,
+            domain_size: 8,
+            correlated_fraction: 0.1,
+            lost_fraction: 0.05,
+        }
+    }
 }
 
 impl CellProfile {
@@ -145,6 +183,14 @@ impl CellProfile {
             batch_queue_for_beb: false,
             flaky_job_fraction: 0.45,
             flaky_interrupts_per_hour: 1.05,
+            // Older fleet hardware, longer manual repair turnaround.
+            failure_model: FailureModel {
+                failures_per_machine_month: 0.4,
+                mean_repair_hours: 6.0,
+                domain_size: 4,
+                correlated_fraction: 0.08,
+                lost_fraction: 0.08,
+            },
         }
     }
 
@@ -243,6 +289,7 @@ impl CellProfile {
             batch_queue_for_beb: true,
             flaky_job_fraction: 0.42,
             flaky_interrupts_per_hour: 1.50,
+            failure_model: FailureModel::default(),
         }
     }
 

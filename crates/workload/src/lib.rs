@@ -24,7 +24,7 @@ pub mod machines;
 pub mod usage_model;
 
 pub use arrival::{DiurnalRate, PoissonProcess};
-pub use cells::{CellProfile, Era, TierProfile};
+pub use cells::{CellProfile, Era, FailureModel, TierProfile};
 pub use dist::{BodyTail, BoundedPareto, Discrete, Exponential, LogNormal, Pareto, Uniform};
 pub use integral::{IntegralModel, JobIntegral};
 pub use jobgen::{JobGenerator, JobSpec, TaskSpec, TerminationIntent};

@@ -11,22 +11,35 @@
 # With --bench, also smoke-runs every criterion benchmark once
 # (CRITERION_SMOKE=1): proves the bench suite builds and executes without
 # paying for real measurements.
+#
+# With --chaos, runs only the chaos roundtrip suite (fault injection →
+# lossy write → lenient read → repair → validate), the fast loop when
+# working on the fault subsystem.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_bench=0
 lint_only=0
+chaos_only=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
     --lint) lint_only=1 ;;
+    --chaos) chaos_only=1 ;;
     *)
-        echo "usage: $0 [--lint] [--bench]" >&2
+        echo "usage: $0 [--lint] [--bench] [--chaos]" >&2
         exit 2
         ;;
     esac
 done
+
+if [ "$chaos_only" -eq 1 ]; then
+    echo "==> chaos roundtrip (fault injection & trace repair)"
+    cargo test -p borg2019 --test chaos_roundtrip --offline -q
+    echo "Chaos check passed."
+    exit 0
+fi
 
 # borg-lint: workspace determinism & soundness rules (DESIGN.md §10).
 # Runs first — it needs only `cargo build -p borg-lint`, so it reports
