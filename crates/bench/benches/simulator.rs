@@ -25,6 +25,20 @@ fn bench_cell_day(c: &mut Criterion) {
             b.iter(|| CellSim::run_cell(&profile, &cfg));
         });
     }
+    // Telemetry overhead at the profiling scale: same cell-day with
+    // span/counter/timing recording on (one blessed-clock read per
+    // event). BENCH_simulator.json tracks enabled-vs-disabled; disabled
+    // is the default `512_machines` row above (a single branch per
+    // event).
+    group.bench_function("512_machines_telemetry", |b| {
+        let profile = CellProfile::cell_2019('d');
+        let mut cfg = SimConfig::tiny_for_tests(1);
+        cfg.scale = 512.0 / 12000.0;
+        cfg.horizon = Micros::from_days(1);
+        cfg.snapshot_at = Micros::from_hours(12);
+        cfg.telemetry = true;
+        b.iter(|| CellSim::run_cell(&profile, &cfg));
+    });
     // The pre-index placement path at the ≥5x acceptance scale, for the
     // before/after numbers in BENCH_simulator.json.
     group.bench_function("512_machines_naive_scan", |b| {

@@ -2,6 +2,7 @@
 //! repairing ingestion path for reading traces back from disk.
 
 use borg_sim::{CellOutcome, CellSim, FaultConfig, SimConfig};
+use borg_telemetry::{Plane, Telemetry};
 use borg_trace::csv::Quarantine;
 use borg_trace::repair::{repair, RepairReport};
 use borg_trace::time::Micros;
@@ -44,6 +45,17 @@ impl SimScale {
 /// Simulates one cell at the given scale.
 pub fn simulate_cell(profile: &CellProfile, scale: SimScale, seed: u64) -> CellOutcome {
     CellSim::run_cell(profile, &scale.config(seed))
+}
+
+/// [`simulate_cell`] with telemetry recording switched on: identical
+/// trace and metrics (telemetry reads nothing back into the
+/// simulation), plus a populated `CellOutcome::telemetry` snapshot.
+pub fn simulate_cell_profiled(profile: &CellProfile, scale: SimScale, seed: u64) -> CellOutcome {
+    let cfg = SimConfig {
+        telemetry: true,
+        ..scale.config(seed)
+    };
+    CellSim::run_cell(profile, &cfg)
 }
 
 /// Simulates the 2011 cell.
@@ -126,6 +138,69 @@ impl DataQuality {
             self.repair.summary()
         )
     }
+
+    /// Re-exports the quarantine and repair tallies as telemetry
+    /// counters (`ingest.quarantine.*`, `ingest.repair.*`).
+    /// Deterministic plane: both are pure functions of the bytes read.
+    /// Zero tallies are skipped, so a pristine load contributes only
+    /// `ingest.rows`.
+    pub fn export_metrics(&self, tel: &mut Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.count("ingest.rows", Plane::Deterministic, self.rows_ingested);
+        for (file, &n) in &self.quarantine.line_counts {
+            tel.count(
+                &format!("ingest.quarantine.{}", file_slug(file)),
+                Plane::Deterministic,
+                n,
+            );
+        }
+        if !self.quarantine.table_errors.is_empty() {
+            tel.count(
+                "ingest.quarantine.table_errors",
+                Plane::Deterministic,
+                self.quarantine.table_errors.len() as u64,
+            );
+        }
+        let tables = [
+            ("machine_events", &self.repair.machine_events),
+            ("collection_events", &self.repair.collection_events),
+            ("instance_events", &self.repair.instance_events),
+            ("usage", &self.repair.usage),
+        ];
+        for (table, r) in tables {
+            for (kind, v) in [
+                ("deduped", r.deduped),
+                ("synthesized", r.synthesized),
+                ("dropped", r.dropped),
+            ] {
+                if v > 0 {
+                    tel.count(
+                        &format!("ingest.repair.{table}.{kind}"),
+                        Plane::Deterministic,
+                        v,
+                    );
+                }
+            }
+        }
+        for (name, v) in [
+            ("lost_inserted", self.repair.lost_inserted),
+            ("submits_backfilled", self.repair.submits_backfilled),
+            ("machines_backfilled", self.repair.machines_backfilled),
+            ("windows_swapped", self.repair.windows_swapped),
+            ("histograms_sorted", self.repair.histograms_sorted),
+        ] {
+            if v > 0 {
+                tel.count(&format!("ingest.repair.{name}"), Plane::Deterministic, v);
+            }
+        }
+    }
+}
+
+/// `machine_events.csv` → `machine_events`, for metric-name embedding.
+fn file_slug(file: &str) -> &str {
+    file.strip_suffix(".csv").unwrap_or(file)
 }
 
 /// Loads a trace directory through the repairing ingestion pipeline:
@@ -133,20 +208,32 @@ impl DataQuality {
 /// then [`repair`] to restore lifecycle invariants, returning the
 /// repaired trace alongside its [`DataQuality`] record.
 pub fn load_trace_dir(dir: &std::path::Path) -> (Trace, DataQuality) {
+    load_trace_dir_with(dir, &mut Telemetry::disabled())
+}
+
+/// [`load_trace_dir`] with per-stage telemetry: `ingest` (lenient
+/// reads) and `repair` spans under `core.load_trace_dir`, plus the
+/// [`DataQuality`] tallies re-exported as counters.
+pub fn load_trace_dir_with(dir: &std::path::Path, tel: &mut Telemetry) -> (Trace, DataQuality) {
+    let load_span = tel.span_enter("core.load_trace_dir");
+    let ingest_span = tel.span_enter("ingest");
     let (mut trace, quarantine) = borg_trace::csv::read_trace_dir_lenient(dir);
+    tel.span_exit(ingest_span);
+    let repair_span = tel.span_enter("repair");
     let report = repair(&mut trace);
+    tel.span_exit(repair_span);
     let rows = trace.machine_events.len()
         + trace.collection_events.len()
         + trace.instance_events.len()
         + trace.usage.len();
-    (
-        trace,
-        DataQuality {
-            quarantine,
-            repair: report,
-            rows_ingested: rows as u64,
-        },
-    )
+    let quality = DataQuality {
+        quarantine,
+        repair: report,
+        rows_ingested: rows as u64,
+    };
+    quality.export_metrics(tel);
+    tel.span_exit(load_span);
+    (trace, quality)
 }
 
 #[cfg(test)]
@@ -200,6 +287,51 @@ mod tests {
             trace.instance_events.len(),
             outcome.trace.instance_events.len()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profiled_simulation_matches_and_snapshots() {
+        let profile = CellProfile::cell_2019('a');
+        let plain = simulate_cell(&profile, SimScale::Tiny, 1);
+        let profiled = simulate_cell_profiled(&profile, SimScale::Tiny, 1);
+        // Telemetry never perturbs the simulation.
+        assert_eq!(
+            plain.trace.instance_events.len(),
+            profiled.trace.instance_events.len()
+        );
+        assert!(plain.telemetry.is_empty());
+        assert!(!profiled.telemetry.is_empty());
+        assert!(profiled
+            .telemetry
+            .spans
+            .iter()
+            .any(|s| s.path == "sim.run_cell/run_loop"));
+    }
+
+    #[test]
+    fn instrumented_load_records_quality_metrics() {
+        let outcome = simulate_cell(&CellProfile::cell_2019('b'), SimScale::Tiny, 5);
+        let dir = std::env::temp_dir().join(format!("borg_load_tel_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        borg_trace::csv::write_trace_dir(&outcome.trace, &dir).expect("write");
+        let mut tel = Telemetry::enabled();
+        let (_, quality) = load_trace_dir_with(&dir, &mut tel);
+        let snap = tel.snapshot();
+        let rows = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "ingest.rows")
+            .expect("ingest.rows counter");
+        assert_eq!(rows.value, quality.rows_ingested);
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path == "core.load_trace_dir/ingest"));
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path == "core.load_trace_dir/repair"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,8 +24,10 @@ use borg_trace::trace::Trace;
 use borg_trace::validate::validate;
 
 fn main() {
-    let dir = match std::env::args().nth(1) {
-        Some(d) => std::path::PathBuf::from(d),
+    // Demo mode keeps the simulator's end-of-run metrics so the sim run
+    // and the ingested trace print comparable summaries side by side.
+    let (dir, sim_metrics) = match std::env::args().nth(1) {
+        Some(d) => (std::path::PathBuf::from(d), None),
         None => {
             // Demo mode: export a simulated trace, then summarize it.
             let dir = std::env::temp_dir().join("borg2019_demo_trace");
@@ -39,7 +41,7 @@ fn main() {
                 1,
             );
             write_trace_dir(&outcome.trace, &dir).expect("demo trace written");
-            dir
+            (dir, Some(outcome.metrics))
         }
     };
 
@@ -53,6 +55,28 @@ fn main() {
         std::process::exit(1);
     }
     summarize(&trace, &quality);
+    if let Some(metrics) = &sim_metrics {
+        print_sim_metrics(metrics);
+    }
+}
+
+/// The simulator-side account of the same cell: what the trace above
+/// was distilled from (only available when this binary also ran the
+/// simulation).
+fn print_sim_metrics(m: &borg_sim::SimMetrics) {
+    println!("\n=== sim-end metrics (simulator side of the same run) ===");
+    print!("{}", m.explain_scheduling());
+    println!(
+        "  samples kept: {} scheduling delays, {} slack, {} machine snapshots",
+        m.delays.len(),
+        m.slack.len(),
+        m.machine_snapshots.len()
+    );
+    println!(
+        "  transitions: {} collection, {} instance",
+        m.collection_transitions.total(),
+        m.instance_transitions.total()
+    );
 }
 
 fn summarize(trace: &Trace, quality: &DataQuality) {

@@ -11,10 +11,14 @@
 //! Scope, by construction:
 //!
 //! - **Deterministic crates** — `sim`, `workload`, `query`, `analysis`,
-//!   `core`, `trace`, and the root `borg2019` façade — get the
-//!   determinism rules (D1–D3) and the library-panic rule (S2) on
+//!   `core`, `trace`, `telemetry`, and the root `borg2019` façade — get
+//!   the determinism rules (D1–D3) and the library-panic rule (S2) on
 //!   their library code.
-//! - `bench` and `criterion` are exempt from D2 (timing is their job).
+//! - `bench` and `criterion` are exempt from D2 (timing is their job),
+//!   as is the one *blessed* wall-clock helper
+//!   (`crates/telemetry/src/clock.rs`): telemetry's timing plane routes
+//!   every duration through it, keeping clock reads auditable at a
+//!   single site.
 //! - Tests, benches and examples are exempt from D1–D3/S2: they may
 //!   iterate maps and unwrap freely. `#[cfg(test)]` modules inside
 //!   library files are recognised and skipped the same way.
@@ -33,8 +37,19 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose outputs must be reproducible bit-for-bit run to run.
+/// `telemetry` is included deliberately: its deterministic plane is part
+/// of the byte-identity contracts, and its one wall-clock site
+/// (`crates/telemetry/src/clock.rs`) is the D2 blessed helper rather
+/// than an unscanned hole.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "sim", "workload", "query", "analysis", "core", "trace", "borg2019",
+    "sim",
+    "workload",
+    "query",
+    "analysis",
+    "core",
+    "trace",
+    "telemetry",
+    "borg2019",
 ];
 
 /// Which cargo target kind a file belongs to; rules scope on this.

@@ -125,6 +125,44 @@ fn d2_bench_and_criterion_are_exempt() {
     );
 }
 
+#[test]
+fn d2_blessed_telemetry_clock_is_exempt() {
+    // The sanctioned wall-clock source: telemetry's timing plane reads
+    // `Instant::now()` inside the one blessed file (DESIGN.md §12).
+    // Only D2 is waived there — the fixture's other hits still apply,
+    // so check rule presence rather than full cleanliness.
+    let hits = rules_hit(
+        "crates/telemetry/src/clock.rs",
+        include_str!("fixtures/d2_fail.rs"),
+    );
+    assert!(
+        !hits.contains(&RuleId::D2),
+        "blessed clock file must not flag D2, got {hits:?}"
+    );
+}
+
+#[test]
+fn d2_rest_of_telemetry_crate_still_fails() {
+    // A raw `Instant::now()` anywhere else in the (deterministic-scope)
+    // telemetry crate keeps firing: the blessing is per-file, not
+    // per-crate.
+    let hits = rules_hit(
+        "crates/telemetry/src/lib.rs",
+        include_str!("fixtures/d2_fail.rs"),
+    );
+    assert!(hits.contains(&RuleId::D2));
+}
+
+#[test]
+fn d2_real_clock_source_passes_the_linter() {
+    // The actual blessed helper as committed — not just a synthetic
+    // fixture — stays clean end to end.
+    assert_clean(
+        "crates/telemetry/src/clock.rs",
+        include_str!("../../telemetry/src/clock.rs"),
+    );
+}
+
 // ---------------------------------------------------------------- D3
 
 #[test]

@@ -1,0 +1,151 @@
+//! Telemetry → [`Table`] bridge: turn a [`Snapshot`] into query-engine
+//! tables so metrics are analyzed with the same operators as trace data
+//! ("self-queryable" observability — the profile numbers round-trip
+//! through the engine they describe).
+//!
+//! Lives here rather than in `borg-telemetry` to keep that crate
+//! dependency-free (everything else depends on it).
+
+use crate::column::DataType;
+use crate::table::Table;
+use crate::value::Value;
+use borg_telemetry::Snapshot;
+
+fn int(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+fn push(t: &mut Table, row: Vec<Value>) {
+    let ok = t.push_row(row).is_ok();
+    debug_assert!(ok, "bridge rows match their schema by construction");
+}
+
+/// The snapshot's counters as a table: `name`, `plane`
+/// (`det`/`eng`/`tim`), `value`.
+pub fn counters_table(snap: &Snapshot) -> Table {
+    let mut t = Table::new(vec![
+        ("name", DataType::Str),
+        ("plane", DataType::Str),
+        ("value", DataType::Int),
+    ]);
+    for c in &snap.counters {
+        push(
+            &mut t,
+            vec![
+                Value::str(&c.name),
+                Value::str(plane_tag(c.plane)),
+                int(c.value),
+            ],
+        );
+    }
+    t
+}
+
+/// The snapshot's histograms as a table: `name`, `plane`, `count`,
+/// `sum`, and the compact bucket rendering.
+pub fn hists_table(snap: &Snapshot) -> Table {
+    let mut t = Table::new(vec![
+        ("name", DataType::Str),
+        ("plane", DataType::Str),
+        ("count", DataType::Int),
+        ("sum", DataType::Int),
+        ("buckets", DataType::Str),
+    ]);
+    for h in &snap.hists {
+        push(
+            &mut t,
+            vec![
+                Value::str(&h.name),
+                Value::str(plane_tag(h.plane)),
+                int(h.hist.count),
+                int(h.hist.sum),
+                Value::str(h.hist.render()),
+            ],
+        );
+    }
+    t
+}
+
+/// The snapshot's span tree as a table in depth-first order: `path`,
+/// `name`, `depth`, `count`, `total_ns`.
+pub fn spans_table(snap: &Snapshot) -> Table {
+    let mut t = Table::new(vec![
+        ("path", DataType::Str),
+        ("name", DataType::Str),
+        ("depth", DataType::Int),
+        ("count", DataType::Int),
+        ("total_ns", DataType::Int),
+    ]);
+    for s in &snap.spans {
+        push(
+            &mut t,
+            vec![
+                Value::str(&s.path),
+                Value::str(&s.name),
+                int(u64::from(s.depth)),
+                int(s.count),
+                int(s.total_ns),
+            ],
+        );
+    }
+    t
+}
+
+/// All three bridge tables: `[counters, hists, spans]`.
+pub fn snapshot_tables(snap: &Snapshot) -> Vec<Table> {
+    vec![counters_table(snap), hists_table(snap), spans_table(snap)]
+}
+
+fn plane_tag(p: borg_telemetry::Plane) -> &'static str {
+    match p {
+        borg_telemetry::Plane::Deterministic => "det",
+        borg_telemetry::Plane::Engine => "eng",
+        borg_telemetry::Plane::Timing => "tim",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::query::Query;
+    use borg_telemetry::{Plane, Telemetry};
+
+    #[test]
+    fn snapshot_round_trips_through_the_engine() {
+        let mut tel = Telemetry::enabled();
+        let root = tel.span_enter("root");
+        tel.count("a.hits", Plane::Deterministic, 5);
+        tel.count("a.misses", Plane::Engine, 2);
+        let h = tel.hist("a.sizes", Plane::Deterministic);
+        tel.record(h, 100);
+        tel.span_exit(root);
+        let snap = tel.snapshot();
+
+        let counters = counters_table(&snap);
+        // Query the metrics with the engine itself: deterministic-plane
+        // rows only, by value.
+        let det = Query::from(counters)
+            .filter(col("plane").eq(lit("det")))
+            .run()
+            .unwrap();
+        assert_eq!(det.num_rows(), 1);
+        assert_eq!(det.value(0, "name").unwrap(), Value::str("a.hits"));
+        assert_eq!(det.value(0, "value").unwrap(), Value::Int(5));
+
+        let spans = spans_table(&snap);
+        assert_eq!(spans.num_rows(), 1);
+        assert_eq!(spans.value(0, "path").unwrap(), Value::str("root"));
+
+        let hists = hists_table(&snap);
+        assert_eq!(hists.value(0, "count").unwrap(), Value::Int(1));
+        assert_eq!(hists.value(0, "sum").unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn empty_snapshot_gives_empty_tables() {
+        let tables = snapshot_tables(&Snapshot::default());
+        assert_eq!(tables.len(), 3);
+        assert!(tables.iter().all(|t| t.num_rows() == 0));
+    }
+}

@@ -31,6 +31,7 @@
 //! assert_eq!(result.value(0, "total").unwrap(), Value::Float(15.0));
 //! ```
 
+pub mod bridge;
 pub mod cast;
 pub mod column;
 pub mod dict;

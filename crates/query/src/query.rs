@@ -10,6 +10,7 @@ use crate::groupby::Agg;
 use crate::join::JoinKind;
 use crate::sort::SortOrder;
 use crate::table::Table;
+use borg_telemetry::{Plane, Telemetry};
 
 enum Step {
     Filter(Expr),
@@ -24,6 +25,37 @@ enum Step {
         kind: JoinKind,
     },
     Limit(usize),
+}
+
+impl Step {
+    /// Operator name for telemetry metric/span labels.
+    fn name(&self) -> &'static str {
+        match self {
+            Step::Filter(_) => "filter",
+            Step::Project(_) => "project",
+            Step::Derive(..) => "derive",
+            Step::GroupBy(..) => "group_by",
+            Step::Sort(_) => "sort",
+            Step::Join { .. } => "join",
+            Step::Limit(_) => "limit",
+        }
+    }
+
+    /// True for operators whose expression evaluation runs as parallel
+    /// block scans (`crate::parallel`).
+    fn is_scan(&self) -> bool {
+        matches!(self, Step::Filter(_) | Step::Derive(..))
+    }
+}
+
+/// Total dictionary entries across a table's string columns — the
+/// telemetry proxy for dictionary-encoding behavior (growth across a
+/// join/group_by means codes were remapped into a merged dictionary).
+fn dict_entries(t: &Table) -> u64 {
+    (0..t.num_columns())
+        .filter_map(|i| t.column_at(i).str_vec())
+        .map(|sv| sv.dict_len() as u64)
+        .sum()
 }
 
 /// A lazily executed query plan over one source table.
@@ -115,8 +147,36 @@ impl Query {
 
     /// Executes the plan.
     pub fn run(self) -> Result<Table, QueryError> {
+        self.run_with(&mut Telemetry::disabled())
+    }
+
+    /// Executes the plan, recording per-operator telemetry into `tel`:
+    /// one span per step (timing plane) nested under the caller's open
+    /// span, rows in/out and step counts (deterministic plane), and
+    /// scan-block / parallel-fan-out / dictionary-size counters
+    /// (engine plane — implementation detail, excluded from the
+    /// cross-strategy byte contract). [`Query::run`] is this with a
+    /// disabled instance.
+    pub fn run_with(self, tel: &mut Telemetry) -> Result<Table, QueryError> {
         let mut t = self.source;
         for step in self.steps {
+            let name = step.name();
+            let rows_in = t.num_rows() as u64;
+            let span = tel.span_enter(&format!("query.{name}"));
+            if tel.is_enabled() {
+                tel.count(&format!("query.op.{name}.steps"), Plane::Deterministic, 1);
+                tel.count(
+                    &format!("query.op.{name}.rows_in"),
+                    Plane::Deterministic,
+                    rows_in,
+                );
+                if step.is_scan() {
+                    let blocks = rows_in.div_ceil(crate::parallel::BLOCK_ROWS as u64).max(1);
+                    let fanout = blocks.min(crate::parallel::num_threads() as u64);
+                    tel.count(&format!("query.op.{name}.blocks"), Plane::Engine, blocks);
+                    tel.count(&format!("query.op.{name}.fanout"), Plane::Engine, fanout);
+                }
+            }
             t = match step {
                 Step::Filter(p) => crate::ops::filter(&t, &p)?,
                 Step::Project(cols) => {
@@ -148,6 +208,21 @@ impl Query {
                     t.take_rows(&keep)
                 }
             };
+            if tel.is_enabled() {
+                tel.count(
+                    &format!("query.op.{name}.rows_out"),
+                    Plane::Deterministic,
+                    t.num_rows() as u64,
+                );
+                tel.count(
+                    &format!("query.op.{name}.dict_entries_out"),
+                    Plane::Engine,
+                    dict_entries(&t),
+                );
+                let h = tel.hist("query.op.rows_out", Plane::Deterministic);
+                tel.record(h, t.num_rows() as u64);
+            }
+            tel.span_exit(span);
         }
         Ok(t)
     }
@@ -234,6 +309,35 @@ mod tests {
             .unwrap();
         let total = out.value(0, "total").unwrap().as_f64().unwrap();
         assert!((total - (0.4 + 0.1 + 0.6 + 0.02 + 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_with_records_operator_stats() {
+        let mut tel = Telemetry::enabled();
+        let out = Query::from(usage_table())
+            .filter(col("cpu").gt(lit(0.15)))
+            .select(&["cell", "cpu"])
+            .run_with(&mut tel)
+            .unwrap();
+        assert_eq!(out.num_rows(), 4);
+        let snap = tel.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(get("query.op.filter.rows_in"), Some(5));
+        assert_eq!(get("query.op.filter.rows_out"), Some(4));
+        assert_eq!(get("query.op.filter.steps"), Some(1));
+        assert_eq!(get("query.op.project.rows_out"), Some(4));
+        // Scan ops report engine-plane block/fan-out counters.
+        assert_eq!(get("query.op.filter.blocks"), Some(1));
+        assert!(snap.spans.iter().any(|s| s.path == "query.filter"));
+        assert!(snap
+            .hists
+            .iter()
+            .any(|h| h.name == "query.op.rows_out" && h.hist.count == 2));
     }
 
     #[test]

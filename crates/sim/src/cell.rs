@@ -2,13 +2,14 @@
 
 use crate::autopilot::Autopilot;
 use crate::config::SimConfig;
-use crate::event::{Ev, EventQueue};
+use crate::event::{Ev, EventQueue, KIND_NAMES};
 use crate::faults::FaultInjector;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::index::PlacementIndex;
 use crate::machine::{Machine, Occupant};
 use crate::metrics::{tier_key, MachineSnapshot, SimMetrics};
 use crate::pending::PendingQueue;
+use borg_telemetry::{clock, PhaseGrid, Plane, Snapshot, Telemetry};
 use borg_trace::collection::{
     CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
 };
@@ -35,6 +36,10 @@ pub struct CellOutcome {
     pub trace: Trace,
     /// Pre-aggregated metrics.
     pub metrics: SimMetrics,
+    /// Telemetry snapshot (empty unless `SimConfig::telemetry`): phase
+    /// spans, per-event-kind counters/timings, and the metrics/index
+    /// tallies re-exported as counters. See DESIGN.md §12.
+    pub telemetry: Snapshot,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,6 +141,12 @@ pub struct CellSim<'a> {
     now: Micros,
     snapshot_done: bool,
     usage_seq: u64,
+    /// Telemetry accumulator (a disabled instance when
+    /// `cfg.telemetry` is off: every record call is one branch).
+    tel: Telemetry,
+    /// Per-(event-kind × simulated-day) counts and wall-clock credits,
+    /// folded into `tel` after the event loop.
+    grid: PhaseGrid,
 }
 
 impl<'a> CellSim<'a> {
@@ -143,9 +154,12 @@ impl<'a> CellSim<'a> {
     /// simulation, returning the trace and metrics.
     pub fn run_cell(profile: &'a CellProfile, cfg: &'a SimConfig) -> CellOutcome {
         cfg.validate();
+        let mut tel = Telemetry::new(cfg.telemetry);
+        let root_span = tel.span_enter("sim.run_cell");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
         // Sample the machine fleet.
+        let fleet_span = tel.span_enter("sample_fleet");
         let n_machines = cfg.machine_count(profile);
         let mut machines = Vec::with_capacity(n_machines);
         let mut machine_events = Vec::with_capacity(n_machines);
@@ -162,7 +176,10 @@ impl<'a> CellSim<'a> {
             ));
         }
 
+        tel.span_exit(fleet_span);
+
         // Generate the workload.
+        let gen_span = tel.span_enter("gen_workload");
         let workload = JobGenerator::new(
             profile,
             GenParams {
@@ -174,6 +191,7 @@ impl<'a> CellSim<'a> {
             },
         )
         .generate();
+        tel.span_exit(gen_span);
 
         let schema = match profile.era {
             Era::Y2011 => SchemaVersion::V2Trace2011,
@@ -222,14 +240,26 @@ impl<'a> CellSim<'a> {
             now: Micros::ZERO,
             snapshot_done: false,
             usage_seq: 0,
+            tel,
+            grid: PhaseGrid::new(KIND_NAMES),
         };
+        let load_span = sim.tel.span_enter("load_workload");
         sim.load_workload(workload);
+        sim.tel.span_exit(load_span);
+        let prime_span = sim.tel.span_enter("prime_events");
         sim.prime_events();
+        sim.tel.span_exit(prime_span);
         sim.run_loop();
+        let fin_span = sim.tel.span_enter("finalize");
         sim.finalize();
+        sim.export_metrics_telemetry();
+        sim.tel.span_exit(fin_span);
+        sim.tel.span_exit(root_span);
+        let telemetry = sim.tel.snapshot();
         CellOutcome {
             trace: sim.trace,
             metrics: sim.metrics,
+            telemetry,
         }
     }
 
@@ -405,27 +435,78 @@ impl<'a> CellSim<'a> {
     }
 
     fn run_loop(&mut self) {
+        let span = self.tel.span_enter("run_loop");
+        if self.tel.is_enabled() {
+            self.run_loop_instrumented();
+        } else {
+            self.run_loop_plain();
+        }
+        // Fold the per-kind grid under the still-open run_loop span so
+        // `ev.*` aggregates nest where the time was actually spent.
+        self.grid.export(&mut self.tel, "sim.ev", "ev");
+        self.tel.span_exit(span);
+    }
+
+    fn run_loop_plain(&mut self) {
         while let Some((t, ev)) = self.queue.pop() {
             if t >= self.cfg.horizon {
                 break;
             }
             self.now = t;
-            match ev {
-                Ev::JobSubmit { job } => self.on_job_submit(job),
-                Ev::AllocSubmit { alloc } => self.on_alloc_submit(alloc),
-                Ev::AllocExpire { alloc } => self.on_alloc_expire(alloc),
-                Ev::Dispatch => self.on_dispatch(),
-                Ev::JobEnd { job } => self.on_job_end(job, false),
-                Ev::TaskInterrupt { job, task, attempt } => {
-                    self.on_task_interrupt(job, task, attempt)
-                }
-                Ev::UsageTick => self.on_usage_tick(),
-                Ev::BatchTick => self.on_batch_tick(),
-                Ev::RetryTick => self.on_retry_tick(),
-                Ev::Maintenance { machine } => self.on_maintenance(machine),
-                Ev::MachineFail { machine, epoch } => self.on_machine_fail(machine, epoch),
-                Ev::MachineRepair { machine } => self.on_machine_repair(machine),
+            self.handle_event(ev);
+        }
+    }
+
+    /// The instrumented twin of [`CellSim::run_loop_plain`]: identical
+    /// simulation behavior (telemetry reads nothing back), plus
+    /// per-(kind, day) counts, queue-depth histogram, and wall-clock
+    /// attribution. Timing reads the blessed clock once per event; the
+    /// gap between consecutive reads — the previous handler plus one
+    /// heap pop — is credited to the previous event's kind, which keeps
+    /// enabled-mode overhead to one clock read and three array adds per
+    /// event.
+    fn run_loop_instrumented(&mut self) {
+        let depth_hist = self.tel.hist("sim.ev.queue_depth", Plane::Deterministic);
+        let mut prev: Option<(usize, usize)> = None;
+        let mut prev_ns = clock::now_ns();
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.cfg.horizon {
+                break;
             }
+            self.now = t;
+            let day = (t.as_micros() / DAY_MICROS) as usize;
+            let kind = ev.kind_index();
+            self.grid.count(day, kind);
+            self.tel.record(depth_hist, self.queue.len() as u64);
+            let now_ns = clock::now_ns();
+            if let Some((pd, pk)) = prev {
+                self.grid.credit_ns(pd, pk, now_ns.saturating_sub(prev_ns));
+            }
+            prev = Some((day, kind));
+            prev_ns = now_ns;
+            self.handle_event(ev);
+        }
+        if let Some((pd, pk)) = prev {
+            let end_ns = clock::now_ns();
+            self.grid.credit_ns(pd, pk, end_ns.saturating_sub(prev_ns));
+        }
+    }
+
+    #[inline]
+    fn handle_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::JobSubmit { job } => self.on_job_submit(job),
+            Ev::AllocSubmit { alloc } => self.on_alloc_submit(alloc),
+            Ev::AllocExpire { alloc } => self.on_alloc_expire(alloc),
+            Ev::Dispatch => self.on_dispatch(),
+            Ev::JobEnd { job } => self.on_job_end(job, false),
+            Ev::TaskInterrupt { job, task, attempt } => self.on_task_interrupt(job, task, attempt),
+            Ev::UsageTick => self.on_usage_tick(),
+            Ev::BatchTick => self.on_batch_tick(),
+            Ev::RetryTick => self.on_retry_tick(),
+            Ev::Maintenance { machine } => self.on_maintenance(machine),
+            Ev::MachineFail { machine, epoch } => self.on_machine_fail(machine, epoch),
+            Ev::MachineRepair { machine } => self.on_machine_repair(machine),
         }
     }
 
@@ -1582,6 +1663,74 @@ impl<'a> CellSim<'a> {
         }
         self.trace.sort();
     }
+
+    /// Re-exports the end-of-run [`SimMetrics`] tallies and the
+    /// placement-index counters as telemetry counters, so a single
+    /// snapshot answers both "where did the time go" and "what did the
+    /// scheduler do". Simulation-state tallies are deterministic-plane;
+    /// index internals are engine-plane (legitimately different between
+    /// the naive scan and the indexed path, even though the traces are
+    /// bit-identical).
+    fn export_metrics_telemetry(&mut self) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let det = Plane::Deterministic;
+        let m = &self.metrics;
+        let scalars: [(&str, u64); 10] = [
+            ("sim.metrics.preemptions", m.preemptions),
+            ("sim.metrics.machine_failures", m.machine_failures),
+            ("sim.metrics.machine_repairs", m.machine_repairs),
+            ("sim.metrics.tasks_lost", m.tasks_lost),
+            (
+                "sim.metrics.transitions.collection",
+                m.collection_transitions.total(),
+            ),
+            (
+                "sim.metrics.transitions.instance",
+                m.instance_transitions.total(),
+            ),
+            ("sim.metrics.delay_samples", m.delays.len() as u64),
+            ("sim.metrics.slack_samples", m.slack.len() as u64),
+            (
+                "sim.metrics.machine_snapshots",
+                m.machine_snapshots.len() as u64,
+            ),
+            (
+                "sim.metrics.evicted_collections",
+                m.evictions_by_collection.len() as u64,
+            ),
+        ];
+        let stalls: Vec<(String, u64)> = m
+            .stalls_by_tier
+            .iter()
+            .map(|(tier, &n)| (format!("sim.metrics.stalls.{tier}"), n))
+            .collect();
+        let evictions: Vec<(String, u64)> = m
+            .evictions_by_cause
+            .iter()
+            .map(|(cause, &n)| (format!("sim.metrics.evictions.{cause}"), n))
+            .collect();
+        for (name, value) in scalars {
+            self.tel.count(name, det, value);
+        }
+        for (name, value) in stalls.into_iter().chain(evictions) {
+            self.tel.count(&name, det, value);
+        }
+        let ix = self.index.stats;
+        let eng = Plane::Engine;
+        self.tel.count("sim.index.cache_hits", eng, ix.cache_hits);
+        self.tel
+            .count("sim.index.negative_hits", eng, ix.negative_hits);
+        self.tel
+            .count("sim.index.cache_misses", eng, ix.cache_misses);
+        self.tel
+            .count("sim.index.leaves_scanned", eng, ix.leaves_scanned);
+        self.tel
+            .count("sim.index.preempt_probes", eng, ix.preempt_probes);
+        self.tel
+            .count("sim.index.bounded_probes", eng, ix.bounded_probes);
+    }
 }
 
 impl JobRt {
@@ -1593,6 +1742,9 @@ impl JobRt {
         self.tasks[task].sm.apply(ev).is_ok()
     }
 }
+
+/// One simulated day, for telemetry's per-day grid rows.
+const DAY_MICROS: u64 = 24 * 60 * 60 * 1_000_000;
 
 /// Salt mixed into the config seed to derive the workload seed, so the
 /// fleet sampling and the workload use independent streams.

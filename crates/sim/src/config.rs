@@ -62,6 +62,12 @@ pub struct SimConfig {
     /// entirely and is bit-identical to a build without it). See
     /// [`crate::faults::FaultConfig`].
     pub faults: Option<crate::faults::FaultConfig>,
+    /// Record telemetry (per-event-kind counters/timings, phase spans,
+    /// metrics export) into `CellOutcome::telemetry`. Off by default:
+    /// disabled telemetry is a single branch per event and produces an
+    /// empty snapshot. Telemetry never influences simulation results —
+    /// traces are bit-identical either way (see DESIGN.md §12).
+    pub telemetry: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -85,6 +91,7 @@ impl SimConfig {
             use_placement_index: true,
             candidate_cap: None,
             faults: None,
+            telemetry: false,
             seed,
         }
     }
@@ -108,6 +115,7 @@ impl SimConfig {
             use_placement_index: true,
             candidate_cap: None,
             faults: None,
+            telemetry: false,
             seed,
         }
     }

@@ -68,6 +68,43 @@ pub enum Ev {
     },
 }
 
+impl Ev {
+    /// Dense kind index for telemetry grids (parallel to [`KIND_NAMES`]).
+    #[inline]
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Ev::JobSubmit { .. } => 0,
+            Ev::AllocSubmit { .. } => 1,
+            Ev::AllocExpire { .. } => 2,
+            Ev::Dispatch => 3,
+            Ev::JobEnd { .. } => 4,
+            Ev::TaskInterrupt { .. } => 5,
+            Ev::UsageTick => 6,
+            Ev::BatchTick => 7,
+            Ev::RetryTick => 8,
+            Ev::Maintenance { .. } => 9,
+            Ev::MachineFail { .. } => 10,
+            Ev::MachineRepair { .. } => 11,
+        }
+    }
+}
+
+/// Metric-name segment per [`Ev::kind_index`] value.
+pub const KIND_NAMES: &[&str] = &[
+    "job_submit",
+    "alloc_submit",
+    "alloc_expire",
+    "dispatch",
+    "job_end",
+    "task_interrupt",
+    "usage_tick",
+    "batch_tick",
+    "retry_tick",
+    "maintenance",
+    "machine_fail",
+    "machine_repair",
+];
+
 /// A timestamped event with a deterministic tiebreak sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Scheduled {

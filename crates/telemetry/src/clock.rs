@@ -1,0 +1,52 @@
+//! The blessed monotonic time source — the *only* non-bench library
+//! code in the workspace allowed to read a wall clock.
+//!
+//! borg-lint rule D2 bans `Instant::now()` (and every other ambient
+//! nondeterminism source) in library code so the bit-identity contracts
+//! cannot be eroded by accident. Telemetry's timing plane still needs a
+//! clock, so this module is the single lint-exempted routing point
+//! (`crates/telemetry/src/clock.rs` is listed as D2's blessed helper —
+//! see DESIGN.md §12): every duration in the workspace flows through
+//! [`now_ns`], and nothing read here may feed back into simulation or
+//! query *results*. Timing values live in [`crate::Plane::Timing`] and
+//! are excluded from every determinism contract and from
+//! [`crate::Snapshot::deterministic_bytes`].
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-local epoch: the first call pins it, every later call
+/// measures against it. Relative-to-epoch keeps the values small and
+/// chrome-tracing friendly.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+///
+/// Timing plane only: callers must never let this value influence a
+/// deterministic output (event order, trace contents, counter values).
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    let nanos = Instant::now().duration_since(*epoch).as_nanos();
+    // A process would need ~584 years of uptime to overflow u64 nanos.
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn epoch_is_process_local() {
+        // The first read pins the epoch, so early values are small
+        // (definitely not nanoseconds-since-unix-epoch magnitude).
+        let v = now_ns();
+        assert!(v < 10_u64.pow(15), "epoch not process-local: {v}");
+    }
+}

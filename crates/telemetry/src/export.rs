@@ -1,0 +1,431 @@
+//! Snapshot sinks: chrome://tracing JSON, a human-readable profile
+//! report, and a dependency-free JSON well-formedness checker used by
+//! tests to prove the exporter's output actually parses.
+
+use crate::registry::CounterRow;
+use crate::{Plane, Snapshot};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the snapshot's span tree as a chrome://tracing /
+/// Perfetto-loadable JSON object (`{"traceEvents": [...]}`).
+///
+/// Aggregated spans have no real begin/end timestamps, so each node is
+/// emitted as one complete ("X") event whose duration is its total
+/// accumulated time, laid out depth-first with synthetic cumulative
+/// start times: a child starts where its parent started, siblings pack
+/// left to right. The picture reads as "share of parent time", which is
+/// the question a profile answers. Counts ride along in `args`.
+pub fn chrome_trace_json(snap: &Snapshot) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(snap.spans.len());
+    // Cursor per depth: where the next sibling at that depth begins.
+    let mut cursors: Vec<u64> = Vec::new();
+    for row in &snap.spans {
+        let depth = row.depth as usize;
+        cursors.truncate(depth + 1);
+        while cursors.len() <= depth {
+            // A new level opens at its parent's current start.
+            let start = if depth == 0 {
+                0
+            } else {
+                cursors.get(depth - 1).copied().unwrap_or(0)
+            };
+            cursors.push(start);
+        }
+        let ts_us = cursors[depth] / 1_000;
+        let dur_us = (row.total_ns / 1_000).max(1);
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"count\":{},\"total_ns\":{}}}}}",
+            json_escape(&row.name),
+            ts_us,
+            dur_us,
+            depth + 1,
+            row.count,
+            row.total_ns
+        ));
+        // Next sibling at this depth starts after this span...
+        cursors[depth] += row.total_ns.max(1_000);
+        // ...and children (if any) will open at this span's start,
+        // handled by the truncate+extend above.
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+/// A per-kind aggregate distilled from grid counters, for breakdown
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindBreakdown {
+    /// Kind name (the segment between the prefix and `.dNN`).
+    pub kind: String,
+    /// Total count across days.
+    pub count: u64,
+    /// Total timing-plane nanoseconds across days.
+    pub total_ns: u64,
+}
+
+/// Aggregates `{prefix}.{kind}.dNN.{count,ns}` counters back into
+/// per-kind totals, sorted by descending time then name — the shape a
+/// profile report wants.
+pub fn grid_breakdown(snap: &Snapshot, prefix: &str) -> Vec<KindBreakdown> {
+    let mut by_kind: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let dotted = format!("{prefix}.");
+    for row in &snap.counters {
+        let Some(rest) = row.name.strip_prefix(&dotted) else {
+            continue;
+        };
+        // rest = "{kind}.dNN.count" | "{kind}.dNN.ns"
+        let mut parts = rest.rsplitn(3, '.');
+        let field = parts.next().unwrap_or("");
+        let day = parts.next().unwrap_or("");
+        let kind = parts.next().unwrap_or("");
+        if kind.is_empty() || !day.starts_with('d') {
+            continue;
+        }
+        let slot = by_kind.entry(kind.to_string()).or_insert((0, 0));
+        match field {
+            "count" => slot.0 += row.value,
+            "ns" => slot.1 += row.value,
+            _ => {}
+        }
+    }
+    let mut out: Vec<KindBreakdown> = by_kind
+        .into_iter()
+        .map(|(kind, (count, total_ns))| KindBreakdown {
+            kind,
+            count,
+            total_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.kind.cmp(&b.kind)));
+    out
+}
+
+/// Formats a nanosecond quantity with an adaptive unit (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Human-readable profile report: span tree with times and counts,
+/// then counters grouped by plane, then histograms.
+pub fn human_report(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans (count, total time):\n");
+        for row in &snap.spans {
+            let indent = "  ".repeat(row.depth as usize + 1);
+            out.push_str(&format!(
+                "{indent}{:<40} x{:<10} {}\n",
+                row.name,
+                row.count,
+                fmt_ns(row.total_ns)
+            ));
+        }
+    }
+    for (plane, label) in [
+        (Plane::Deterministic, "counters (deterministic plane):"),
+        (Plane::Engine, "counters (engine plane):"),
+        (Plane::Timing, "counters (timing plane):"),
+    ] {
+        let rows: Vec<&CounterRow> = snap.counters.iter().filter(|c| c.plane == plane).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        out.push_str(label);
+        out.push('\n');
+        for c in rows {
+            let val = if plane == Plane::Timing {
+                fmt_ns(c.value)
+            } else {
+                c.value.to_string()
+            };
+            out.push_str(&format!("  {:<48} {}\n", c.name, val));
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("histograms:\n");
+        for h in &snap.hists {
+            out.push_str(&format!("  {:<48} {}\n", h.name, h.hist.render()));
+        }
+    }
+    out
+}
+
+/// Renders a percentage-annotated breakdown table for one grid prefix
+/// (e.g. the per-`Ev`-kind event-loop profile).
+pub fn breakdown_report(snap: &Snapshot, prefix: &str, title: &str) -> String {
+    let rows = grid_breakdown(snap, prefix);
+    let total_ns: u64 = rows.iter().map(|r| r.total_ns).sum();
+    let total_count: u64 = rows.iter().map(|r| r.count).sum();
+    let mut out = format!(
+        "{title} (total {} across {} events):\n",
+        fmt_ns(total_ns),
+        total_count
+    );
+    for r in &rows {
+        let pct = if total_ns == 0 {
+            0.0
+        } else {
+            r.total_ns as f64 * 100.0 / total_ns as f64
+        };
+        out.push_str(&format!(
+            "  {:<20} x{:<10} {:>10}  {:>5.1}%\n",
+            r.kind,
+            r.count,
+            fmt_ns(r.total_ns),
+            pct
+        ));
+    }
+    out
+}
+
+/// Minimal JSON well-formedness checker (no values are produced — this
+/// exists so tests can assert exporter output parses without pulling a
+/// JSON dependency into the workspace). Returns `Err(position)` at the
+/// first offending byte.
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+    fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), usize> {
+        if depth > 512 {
+            return Err(*pos);
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, pos);
+                    string(b, pos)?;
+                    skip_ws(b, pos);
+                    if b.get(*pos) != Some(&b':') {
+                        return Err(*pos);
+                    }
+                    *pos += 1;
+                    value(b, pos, depth + 1)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(*pos),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, pos, depth + 1)?;
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(*pos),
+                    }
+                }
+            }
+            Some(b'"') => string(b, pos),
+            Some(b't') => literal(b, pos, b"true"),
+            Some(b'f') => literal(b, pos, b"false"),
+            Some(b'n') => literal(b, pos, b"null"),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+            _ => Err(*pos),
+        }
+    }
+    fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), usize> {
+        if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(*pos)
+        }
+    }
+    fn string(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(*pos);
+        }
+        *pos += 1;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                        Some(b'u') => {
+                            if b.len() < *pos + 5
+                                || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                            {
+                                return Err(*pos);
+                            }
+                            *pos += 5;
+                        }
+                        _ => return Err(*pos),
+                    }
+                }
+                0x00..=0x1f => return Err(*pos),
+                _ => *pos += 1,
+            }
+        }
+        Err(*pos)
+    }
+    fn number(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == start || (*pos == start + 1 && b[start] == b'-') {
+            return Err(*pos);
+        }
+        if b.get(*pos) == Some(&b'.') {
+            *pos += 1;
+            let frac = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == frac {
+                return Err(*pos);
+            }
+        }
+        if matches!(b.get(*pos), Some(b'e' | b'E')) {
+            *pos += 1;
+            if matches!(b.get(*pos), Some(b'+' | b'-')) {
+                *pos += 1;
+            }
+            let exp = *pos;
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == exp {
+                return Err(*pos);
+            }
+        }
+        Ok(())
+    }
+    value(b, &mut pos, 0)?;
+    skip_ws(b, &mut pos);
+    if pos == b.len() {
+        Ok(())
+    } else {
+        Err(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut tel = Telemetry::enabled();
+        let root = tel.span_enter("run_cell");
+        let inner = tel.span_enter("run_loop");
+        tel.span_aggregate("ev.dispatch", 100, 5_000_000);
+        tel.span_aggregate("ev.usage_tick", 50, 2_000_000);
+        tel.span_exit(inner);
+        tel.span_exit(root);
+        let c = tel.counter("sim.ev.dispatch.d00.count", Plane::Deterministic);
+        tel.add(c, 100);
+        let n = tel.counter("sim.ev.dispatch.d00.ns", Plane::Timing);
+        tel.add(n, 5_000_000);
+        let c2 = tel.counter("sim.ev.usage_tick.d01.count", Plane::Deterministic);
+        tel.add(c2, 50);
+        let h = tel.hist("sim.queue.depth", Plane::Deterministic);
+        tel.record(h, 7);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let json = chrome_trace_json(&sample_snapshot());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"name\":\"ev.dispatch\""));
+    }
+
+    #[test]
+    fn breakdown_aggregates_days() {
+        let snap = sample_snapshot();
+        let rows = grid_breakdown(&snap, "sim.ev");
+        assert_eq!(rows.len(), 2);
+        // Sorted by descending time: dispatch (5ms) first.
+        assert_eq!(rows[0].kind, "dispatch");
+        assert_eq!(rows[0].count, 100);
+        assert_eq!(rows[0].total_ns, 5_000_000);
+        assert_eq!(rows[1].kind, "usage_tick");
+        assert_eq!(rows[1].total_ns, 0);
+    }
+
+    #[test]
+    fn reports_render() {
+        let snap = sample_snapshot();
+        let report = human_report(&snap);
+        assert!(report.contains("run_cell"));
+        assert!(report.contains("deterministic plane"));
+        assert!(report.contains("sim.queue.depth"));
+        let bd = breakdown_report(&snap, "sim.ev", "event loop");
+        assert!(bd.contains("dispatch"));
+        assert!(bd.contains('%'));
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        validate_json("{}").unwrap();
+        validate_json("[1, 2.5, -3e4, \"a\\nb\", true, null, {\"k\":[]}]").unwrap();
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_json("01ok").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+}

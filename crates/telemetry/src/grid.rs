@@ -1,0 +1,144 @@
+//! [`PhaseGrid`]: a fixed-kind × day accumulation grid for hot loops.
+//!
+//! The sim's event loop fires millions of events; interning a metric
+//! name per event would dominate the cost being measured. A grid is
+//! allocated once with the kind names, hot-path recording is two array
+//! adds, and the whole grid folds into a [`crate::Telemetry`] registry
+//! (and its span tree) after the loop finishes.
+
+use crate::{Plane, Telemetry};
+
+/// Per-(kind, day) counts plus timing-plane nanoseconds.
+#[derive(Debug)]
+pub struct PhaseGrid {
+    kinds: &'static [&'static str],
+    /// One row per day, `kinds.len()` wide.
+    counts: Vec<Vec<u64>>,
+    nanos: Vec<Vec<u64>>,
+}
+
+impl PhaseGrid {
+    /// A grid over the given kind names (indices into `kinds` are the
+    /// hot-path handles). Kind names must not contain `.` — they embed
+    /// into dotted metric names.
+    pub fn new(kinds: &'static [&'static str]) -> PhaseGrid {
+        PhaseGrid {
+            kinds,
+            counts: Vec::new(),
+            nanos: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn ensure_day(&mut self, day: usize) {
+        while self.counts.len() <= day {
+            self.counts.push(vec![0; self.kinds.len()]);
+            self.nanos.push(vec![0; self.kinds.len()]);
+        }
+    }
+
+    /// Counts one occurrence of `kind` on `day` (deterministic plane).
+    #[inline]
+    pub fn count(&mut self, day: usize, kind: usize) {
+        self.ensure_day(day);
+        self.counts[day][kind] += 1;
+    }
+
+    /// Credits `elapsed_ns` of wall-clock to `kind` on `day` (timing
+    /// plane).
+    #[inline]
+    pub fn credit_ns(&mut self, day: usize, kind: usize, elapsed_ns: u64) {
+        self.ensure_day(day);
+        self.nanos[day][kind] += elapsed_ns;
+    }
+
+    /// Total count for one kind across all days.
+    pub fn total_count(&self, kind: usize) -> u64 {
+        self.counts.iter().map(|d| d[kind]).sum()
+    }
+
+    /// Total nanoseconds for one kind across all days.
+    pub fn total_ns(&self, kind: usize) -> u64 {
+        self.nanos.iter().map(|d| d[kind]).sum()
+    }
+
+    /// Folds the grid into `tel`: per-(kind, day) counters named
+    /// `{prefix}.{kind}.d{day:02}.count` (deterministic plane) and
+    /// `.ns` (timing plane), plus one aggregated span child per kind
+    /// named `{spankind}.{kind}` under `tel`'s currently open span.
+    /// Days and kinds with zero count and zero ns are skipped.
+    pub fn export(&self, tel: &mut Telemetry, prefix: &str, span_prefix: &str) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (day, (counts, nanos)) in self.counts.iter().zip(&self.nanos).enumerate() {
+            for (k, kind) in self.kinds.iter().enumerate() {
+                if counts[k] == 0 && nanos[k] == 0 {
+                    continue;
+                }
+                let c = tel.counter(
+                    &format!("{prefix}.{kind}.d{day:02}.count"),
+                    Plane::Deterministic,
+                );
+                tel.add(c, counts[k]);
+                let n = tel.counter(&format!("{prefix}.{kind}.d{day:02}.ns"), Plane::Timing);
+                tel.add(n, nanos[k]);
+            }
+        }
+        for (k, kind) in self.kinds.iter().enumerate() {
+            let count = self.total_count(k);
+            if count == 0 && self.total_ns(k) == 0 {
+                continue;
+            }
+            tel.span_aggregate(&format!("{span_prefix}.{kind}"), count, self.total_ns(k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: &[&str] = &["alpha", "beta"];
+
+    #[test]
+    fn grid_accumulates_and_exports() {
+        let mut g = PhaseGrid::new(KINDS);
+        g.count(0, 0);
+        g.count(0, 0);
+        g.count(2, 1);
+        g.credit_ns(2, 1, 500);
+        assert_eq!(g.total_count(0), 2);
+        assert_eq!(g.total_count(1), 1);
+        assert_eq!(g.total_ns(1), 500);
+
+        let mut tel = Telemetry::enabled();
+        let root = tel.span_enter("root");
+        g.export(&mut tel, "t.ev", "ev");
+        tel.span_exit(root);
+        let snap = tel.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(get("t.ev.alpha.d00.count"), Some(2));
+        assert_eq!(get("t.ev.beta.d02.count"), Some(1));
+        // Day 1 was empty for both kinds: skipped entirely.
+        assert_eq!(get("t.ev.alpha.d01.count"), None);
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path == "root/ev.beta" && s.count == 1 && s.total_ns == 500));
+    }
+
+    #[test]
+    fn disabled_export_is_a_noop() {
+        let mut g = PhaseGrid::new(KINDS);
+        g.count(0, 0);
+        let mut tel = Telemetry::disabled();
+        g.export(&mut tel, "t", "t");
+        assert!(tel.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Aggregating span tree.
+//!
+//! Repeated spans with the same name under the same parent fold into
+//! one node (count++, total_ns accumulates) instead of growing a trace
+//! — a month-long simulated cell would otherwise record millions of
+//! `Dispatch` spans. The resulting *shape* (names, nesting, first-seen
+//! order, counts) is deterministic; only `total_ns` carries wall-clock
+//! and belongs to the timing plane.
+
+/// Sentinel "no parent" index.
+const NO_PARENT: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+pub(crate) struct SpanNode {
+    name: String,
+    children: Vec<usize>,
+    count: u64,
+    total_ns: u64,
+}
+
+/// One span's snapshot row, in depth-first order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// `/`-joined path from the root, e.g. `sim.run_cell/run_loop/ev.dispatch`.
+    pub path: String,
+    /// Leaf name.
+    pub name: String,
+    /// Nesting depth (roots are 0).
+    pub depth: u32,
+    /// Times the span was entered (or aggregate-added).
+    pub count: u64,
+    /// Accumulated wall-clock nanoseconds (timing plane).
+    pub total_ns: u64,
+}
+
+/// Handle returned by [`crate::Telemetry::span_enter`]; pass it back to
+/// [`crate::Telemetry::span_exit`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken {
+    pub(crate) node: usize,
+    pub(crate) start_ns: u64,
+}
+
+pub(crate) const TOKEN_DISABLED: SpanToken = SpanToken {
+    node: NO_PARENT,
+    start_ns: 0,
+};
+
+impl SpanToken {
+    pub(crate) fn is_disabled(&self) -> bool {
+        self.node == NO_PARENT
+    }
+}
+
+/// The tree itself: nodes in first-seen order plus an open-span stack.
+#[derive(Debug, Default)]
+pub(crate) struct SpanTree {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Finds or creates the child of the current open span named
+    /// `name`, makes it the open span, and returns its index.
+    pub(crate) fn enter(&mut self, name: &str, start_ns: u64) -> SpanToken {
+        let idx = self.child_of_top(name);
+        self.nodes[idx].count += 1;
+        self.stack.push(idx);
+        SpanToken {
+            node: idx,
+            start_ns,
+        }
+    }
+
+    /// Closes `token`'s span, crediting `elapsed_ns` to it. Tolerates
+    /// out-of-order exits by popping down to the token's node.
+    pub(crate) fn exit(&mut self, token: SpanToken, elapsed_ns: u64) {
+        if token.is_disabled() {
+            return;
+        }
+        if let Some(node) = self.nodes.get_mut(token.node) {
+            node.total_ns += elapsed_ns;
+        }
+        while let Some(top) = self.stack.pop() {
+            if top == token.node {
+                break;
+            }
+        }
+    }
+
+    /// Adds (or merges into) a child of the current open span with a
+    /// pre-aggregated count and duration — how batch sources like
+    /// [`crate::PhaseGrid`] fold into the tree without per-event spans.
+    pub(crate) fn add_aggregate(&mut self, name: &str, count: u64, total_ns: u64) {
+        let idx = self.child_of_top(name);
+        self.nodes[idx].count += count;
+        self.nodes[idx].total_ns += total_ns;
+    }
+
+    fn child_of_top(&mut self, name: &str) -> usize {
+        let parent = self.stack.last().copied().unwrap_or(NO_PARENT);
+        let siblings: &[usize] = if parent == NO_PARENT {
+            &self.roots
+        } else {
+            &self.nodes[parent].children
+        };
+        for &c in siblings {
+            if self.nodes[c].name == name {
+                return c;
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode {
+            name: name.to_string(),
+            children: Vec::new(),
+            count: 0,
+            total_ns: 0,
+        });
+        if parent == NO_PARENT {
+            self.roots.push(idx);
+        } else {
+            self.nodes[parent].children.push(idx);
+        }
+        idx
+    }
+
+    /// Depth-first rows (children in first-seen order).
+    pub(crate) fn rows(&self) -> Vec<SpanRow> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        // Iterative DFS: (node, depth, path prefix).
+        let mut work: Vec<(usize, u32, String)> = self
+            .roots
+            .iter()
+            .rev()
+            .map(|&r| (r, 0, String::new()))
+            .collect();
+        while let Some((idx, depth, prefix)) = work.pop() {
+            let node = &self.nodes[idx];
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            out.push(SpanRow {
+                path: path.clone(),
+                name: node.name.clone(),
+                depth,
+                count: node.count,
+                total_ns: node.total_ns,
+            });
+            for &c in node.children.iter().rev() {
+                work.push((c, depth + 1, path.clone()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let mut t = SpanTree::default();
+        for i in 0..3 {
+            let outer = t.enter("outer", 0);
+            let inner = t.enter("inner", 0);
+            t.exit(inner, 5);
+            t.exit(outer, 10 + i);
+        }
+        let rows = t.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].path, "outer");
+        assert_eq!(rows[0].count, 3);
+        assert_eq!(rows[0].total_ns, 33);
+        assert_eq!(rows[1].path, "outer/inner");
+        assert_eq!(rows[1].depth, 1);
+        assert_eq!(rows[1].count, 3);
+    }
+
+    #[test]
+    fn aggregates_merge_under_open_span() {
+        let mut t = SpanTree::default();
+        let root = t.enter("root", 0);
+        t.add_aggregate("batch", 100, 4_000);
+        t.add_aggregate("batch", 50, 1_000);
+        t.exit(root, 9_000);
+        let rows = t.rows();
+        assert_eq!(rows[1].name, "batch");
+        assert_eq!(rows[1].count, 150);
+        assert_eq!(rows[1].total_ns, 5_000);
+    }
+
+    #[test]
+    fn unbalanced_exit_recovers() {
+        let mut t = SpanTree::default();
+        let a = t.enter("a", 0);
+        let _b = t.enter("b", 0);
+        // Exiting the outer span with the inner still open pops both.
+        t.exit(a, 7);
+        let c = t.enter("c", 0);
+        t.exit(c, 1);
+        let rows = t.rows();
+        // `c` is a new root, not a child of `b`.
+        assert!(rows.iter().any(|r| r.path == "c" && r.depth == 0));
+    }
+}

@@ -15,24 +15,59 @@
 # With --chaos, runs only the chaos roundtrip suite (fault injection →
 # lossy write → lenient read → repair → validate), the fast loop when
 # working on the fault subsystem.
+#
+# With --profile, runs only the borg-telemetry profile report
+# (experiments/profile): the per-event-kind breakdown of a 512-machine
+# cell-day, with the query-engine round-trip and chrome-trace JSON
+# checks asserted in-process. A small smoke run of the same binary is
+# part of the default path so the exporters can't rot.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+usage() {
+    cat <<'EOF'
+usage: scripts/check.sh [MODE]
+
+Default (no flag): lint, fmt, clippy, build, tests, profile smoke.
+
+Modes:
+  --lint     borg-lint only (fast pre-commit loop; honors $LINT_BASELINE)
+  --chaos    chaos roundtrip suite only (fault injection & trace repair)
+  --profile  telemetry profile report only (512-machine cell-day breakdown)
+  --bench    default path plus a one-pass smoke of every criterion bench
+  --help     this text
+EOF
+}
+
 run_bench=0
 lint_only=0
 chaos_only=0
+profile_only=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
     --lint) lint_only=1 ;;
     --chaos) chaos_only=1 ;;
+    --profile) profile_only=1 ;;
+    --help | -h)
+        usage
+        exit 0
+        ;;
     *)
-        echo "usage: $0 [--lint] [--bench] [--chaos]" >&2
+        echo "unknown flag: $arg" >&2
+        usage >&2
         exit 2
         ;;
     esac
 done
+
+if [ "$profile_only" -eq 1 ]; then
+    echo "==> telemetry profile (512-machine cell-day)"
+    cargo run -q --release -p borg-experiments --offline --bin profile
+    echo "Profile check passed."
+    exit 0
+fi
 
 if [ "$chaos_only" -eq 1 ]; then
     echo "==> chaos roundtrip (fault injection & trace repair)"
@@ -68,6 +103,9 @@ cargo build --release --workspace --offline
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
+
+echo "==> telemetry profile smoke (64-machine cell-day)"
+cargo run -q --release -p borg-experiments --offline --bin profile -- --machines 64 >/dev/null
 
 if [ "$run_bench" -eq 1 ]; then
     echo "==> cargo bench (smoke: one pass per benchmark)"
