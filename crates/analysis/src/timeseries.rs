@@ -90,6 +90,50 @@ impl HourBuckets {
         }
     }
 
+    /// Adds constant-rate contributions over the same `[start, end)` to
+    /// two accumulators of identical shape — the CPU/memory pair every
+    /// caller feeds in lock-step — computing the bucket span and the
+    /// per-bucket overlaps once. Bit-identical to calling
+    /// [`HourBuckets::add_interval`] on each: a zero rate contributes
+    /// nothing to its series, exactly like that method's early return.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two accumulators' shapes differ.
+    pub fn add_interval_pair(
+        a: &mut HourBuckets,
+        b: &mut HourBuckets,
+        start: u64,
+        end: u64,
+        rate_a: f64,
+        rate_b: f64,
+    ) {
+        assert_eq!(a.width, b.width, "bucket widths differ");
+        assert_eq!(a.totals.len(), b.totals.len(), "bucket counts differ");
+        if end <= start || (rate_a == 0.0 && rate_b == 0.0) || a.totals.is_empty() {
+            return;
+        }
+        let horizon = a.width * a.totals.len() as u64;
+        let start = start.min(horizon);
+        let end = end.min(horizon);
+        if end <= start {
+            return;
+        }
+        let first = (start / a.width) as usize;
+        let last = ((end - 1) / a.width) as usize;
+        for i in first..=last {
+            let b_start = i as u64 * a.width;
+            let b_end = b_start + a.width;
+            let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+            if rate_a != 0.0 {
+                a.totals[i] += rate_a * overlap as f64;
+            }
+            if rate_b != 0.0 {
+                b.totals[i] += rate_b * overlap as f64;
+            }
+        }
+    }
+
     /// Adds an instantaneous amount to the bucket containing `t`.
     pub fn add_point(&mut self, t: u64, amount: f64) {
         let idx = (t / self.width) as usize;

@@ -1,14 +1,16 @@
 //! One cell's simulation: the Borgmaster loop.
 
 use crate::autopilot::Autopilot;
+
 use crate::config::SimConfig;
 use crate::event::{Ev, EventQueue, KIND_NAMES};
 use crate::faults::FaultInjector;
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::fxhash::FxHashMap;
 use crate::index::PlacementIndex;
 use crate::machine::{Machine, Occupant};
 use crate::metrics::{tier_key, MachineSnapshot, SimMetrics};
 use crate::pending::PendingQueue;
+use crate::runset::RunningSet;
 use borg_telemetry::{clock, PhaseGrid, Plane, Snapshot, Telemetry};
 use borg_trace::collection::{
     CollectionEvent, CollectionId, CollectionType, SchedulerKind, UserId, VerticalScalingMode,
@@ -64,6 +66,13 @@ struct TaskRt {
     /// remainder is charged when the task frees or at the next tick, so
     /// short tasks that live between ticks still contribute (Figure 2).
     accounted_until: Micros,
+    /// Generation stamp for pending-queue entries: bumped whenever every
+    /// outstanding entry for this task must die (the task starts,
+    /// stalls, or its job ends), so a popped entry is live iff its stamp
+    /// matches — one integer compare instead of re-deriving state.
+    /// Unstalling does *not* bump: the stall already orphaned the old
+    /// entries, and the retry tick pushes a fresh one under the new gen.
+    gen: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,6 +95,9 @@ struct JobRt {
     children: Vec<usize>,
     sm: StateMachine,
     flaky: bool,
+    /// Number of tasks currently in `TaskState::Pending` (stalled or
+    /// not), so gang dispatch collects them without scanning every task.
+    pending_count: u32,
     tasks: Vec<TaskRt>,
 }
 
@@ -108,6 +120,65 @@ struct AllocRt {
     sm: StateMachine,
 }
 
+/// Reusable event-loop scratch buffers, owned by the cell so the hot
+/// paths allocate nothing in steady state (DESIGN.md §13). The usage
+/// tick's per-machine vectors are full-fleet-sized but reset in
+/// O(touched machines): only indices recorded in `touched` are ever
+/// non-zero between `begin` and `reset_machines`.
+#[derive(Debug, Default)]
+struct TickScratch {
+    /// Sorted copy of the running set for the tick's two passes (pass 2
+    /// mutates task state, so it cannot iterate the set directly).
+    running: Vec<(usize, usize)>,
+    /// Per-running-task window average from pass 1 (memory clamped, CPU
+    /// raw), indexed in lock-step with `running`.
+    demand: Vec<Resources>,
+    /// Per-machine raw demand aggregate; valid only at `touched` indices.
+    machine_demand: Vec<Resources>,
+    /// Per-machine throttled usage; valid only at `touched` indices.
+    machine_usage: Vec<Resources>,
+    /// Whether a machine index is already in `touched`.
+    machine_dirty: Vec<bool>,
+    /// Machines hosting at least one running task this tick.
+    touched: Vec<usize>,
+    /// Diurnal-mean memo for this tick's window, keyed by the usage
+    /// process's (amplitude, phase) bits. One entry in practice: every
+    /// task in a cell shares the profile's diurnal shape, so the two
+    /// cosines are evaluated once per tick instead of once per task.
+    diurnal: Vec<((u64, u64), f64)>,
+    /// Sample buffer for downsampled usage records.
+    samples: Vec<f64>,
+    /// Sort buffer for the per-record CPU histogram.
+    hist: Vec<f64>,
+    /// `try_place_gang`'s pending-task collect.
+    gang_pending: Vec<usize>,
+}
+
+impl TickScratch {
+    /// Prepares the buffers for one tick over a `machines`-sized fleet.
+    fn begin(&mut self, machines: usize) {
+        self.running.clear();
+        self.demand.clear();
+        self.diurnal.clear();
+        debug_assert!(self.touched.is_empty(), "reset_machines not called");
+        if self.machine_demand.len() != machines {
+            self.machine_demand.resize(machines, Resources::ZERO);
+            self.machine_usage.resize(machines, Resources::ZERO);
+            self.machine_dirty.resize(machines, false);
+        }
+    }
+
+    /// Re-zeroes exactly the machine slots this tick dirtied.
+    fn reset_machines(&mut self) {
+        for &m in &self.touched {
+            self.machine_demand[m] = Resources::ZERO;
+            self.machine_usage[m] = Resources::ZERO;
+            self.machine_dirty[m] = false;
+        }
+        self.touched.clear();
+    }
+}
+
 /// The cell simulator.
 pub struct CellSim<'a> {
     profile: &'a CellProfile,
@@ -125,10 +196,25 @@ pub struct CellSim<'a> {
     batch_queue: VecDeque<(usize, Micros)>,
     /// Tasks whose last placement attempt failed, awaiting the retry tick.
     stalled: VecDeque<(usize, usize)>,
-    running: FxHashSet<(usize, usize)>,
-    dispatch_active: bool,
-    in_flight: Option<(usize, usize)>,
+    /// Running `(job, task)` pairs as a dense task-id bitmap: inserts
+    /// and removals are single bit operations at task start/stop, and
+    /// iteration walks set bits in ascending id order — which *is*
+    /// `(job, task)` order, so every consumer sees the exact sequence
+    /// the ordered set it replaced produced (see [`RunningSet`]).
+    running: RunningSet,
+    /// The dispatch cursor is live: either a `Dispatch` event is in the
+    /// queue or the handler for one is on the stack. The queue never
+    /// holds two live dispatch events — `ensure_dispatch` is a no-op
+    /// while the cursor runs, and the cursor re-arms itself exactly once
+    /// when it breaks a burst.
+    dispatch_live: bool,
+    /// The placement whose decision latency is elapsing, with the gen
+    /// stamp from its pending-queue pop.
+    in_flight: Option<(usize, usize, u32)>,
     last_dispatched_job: Option<usize>,
+    /// Reusable hot-path buffers (usage tick, gang collect); see
+    /// [`TickScratch`].
+    scratch: TickScratch,
     /// Requested resources of admitted-but-unfinished best-effort batch
     /// jobs: the batch scheduler's admission-control state.
     beb_outstanding: Resources,
@@ -228,10 +314,11 @@ impl<'a> CellSim<'a> {
             pending: PendingQueue::new(),
             batch_queue: VecDeque::new(),
             stalled: VecDeque::new(),
-            running: FxHashSet::default(),
-            dispatch_active: false,
+            running: RunningSet::default(),
+            dispatch_live: false,
             in_flight: None,
             last_dispatched_job: None,
+            scratch: TickScratch::default(),
             beb_outstanding: Resources::ZERO,
             trace,
             metrics,
@@ -288,6 +375,7 @@ impl<'a> CellSim<'a> {
                         sm: StateMachine::new(),
                         stalled: false,
                         accounted_until: Micros::ZERO,
+                        gen: 0,
                     })
                     .collect();
                 JobRt {
@@ -299,11 +387,15 @@ impl<'a> CellSim<'a> {
                     children: Vec::new(),
                     sm: StateMachine::new(),
                     flaky,
+                    pending_count: 0,
                     tasks,
                     spec,
                 }
             })
             .collect();
+        // Dense global task ids for the running bitmap: contiguous per
+        // job, in job order, so ascending id equals (job, task) order.
+        self.running = RunningSet::new(self.jobs.iter().map(|j| j.tasks.len()));
         self.job_by_id = self
             .jobs
             .iter()
@@ -405,23 +497,28 @@ impl<'a> CellSim<'a> {
     }
 
     fn prime_events(&mut self) {
+        // Build the pre-loop calendar in the exact order these events
+        // used to be pushed, then hand it to the queue in one shot: the
+        // calendar pops O(1) from a sorted cursor instead of sifting a
+        // heap that starts with every submission of the month in it, and
+        // ordering is identical to having pushed each entry here.
+        let mut cal: Vec<(Micros, Ev)> =
+            Vec::with_capacity(self.jobs.len() + self.allocs.len() + 3 + 2 * self.machines.len());
         for (i, j) in self.jobs.iter().enumerate() {
-            self.queue
-                .push(j.spec.submit_time, Ev::JobSubmit { job: i });
+            cal.push((j.spec.submit_time, Ev::JobSubmit { job: i }));
         }
         for (i, a) in self.allocs.iter().enumerate() {
-            self.queue
-                .push(a.spec.submit_time, Ev::AllocSubmit { alloc: i });
+            cal.push((a.spec.submit_time, Ev::AllocSubmit { alloc: i }));
         }
-        self.queue.push(self.cfg.usage_interval, Ev::UsageTick);
-        self.queue.push(Micros::from_minutes(5), Ev::BatchTick);
-        self.queue.push(Micros::from_secs(30), Ev::RetryTick);
+        cal.push((self.cfg.usage_interval, Ev::UsageTick));
+        cal.push((Micros::from_minutes(5), Ev::BatchTick));
+        cal.push((Micros::from_secs(30), Ev::RetryTick));
         // Stagger the first maintenance sweep of each machine uniformly
         // over the maintenance interval.
         let interval = self.cfg.maintenance_interval().as_micros();
         for m in 0..self.machines.len() {
             let at = Micros((self.rng.random::<f64>() * interval as f64) as u64);
-            self.queue.push(at, Ev::Maintenance { machine: m });
+            cal.push((at, Ev::Maintenance { machine: m }));
         }
         // One failure clock per machine, drawn from the injector's own
         // stream (the main RNG is untouched when faults are disabled).
@@ -429,9 +526,10 @@ impl<'a> CellSim<'a> {
             for m in 0..inj.machine_count() {
                 let at = inj.sample_failure_gap();
                 let epoch = inj.epoch(m);
-                self.queue.push(at, Ev::MachineFail { machine: m, epoch });
+                cal.push((at, Ev::MachineFail { machine: m, epoch }));
             }
         }
+        self.queue.prime(cal);
     }
 
     fn run_loop(&mut self) {
@@ -652,14 +750,16 @@ impl<'a> CellSim<'a> {
         let priority = self.jobs[job].spec.priority;
         for t in 0..n_tasks {
             self.jobs[job].tasks[t].state = TaskState::Pending;
-            self.pending.push(priority, self.now, job, t);
+            let gen = self.jobs[job].tasks[t].gen;
+            self.pending.push(priority, self.now, job, t, gen);
         }
+        self.jobs[job].pending_count = n_tasks as u32;
         self.ensure_dispatch();
     }
 
     fn ensure_dispatch(&mut self) {
-        if !self.dispatch_active && !self.pending.is_empty() {
-            self.dispatch_active = true;
+        if !self.dispatch_live && !self.pending.is_empty() {
+            self.dispatch_live = true;
             self.queue.push(self.now + Micros(10_000), Ev::Dispatch);
         }
     }
@@ -678,25 +778,84 @@ impl<'a> CellSim<'a> {
         Micros(s.max(1_000.0) as u64)
     }
 
+    /// Dispatches the popped placement to the single- or gang-placement
+    /// path (the gang path re-derives the member set from the job).
+    fn place_popped(&mut self, job: usize, task: usize) {
+        if self.cfg.gang_scheduling {
+            self.try_place_gang(job);
+        } else {
+            self.try_place(job, task);
+        }
+    }
+
     fn on_dispatch(&mut self) {
         // Commit the placement whose decision just completed, then start
         // the next decision: a serial scheduler whose per-task latency is
         // charged *before* the task runs (Figure 10 measures exactly this
         // queueing-plus-decision time).
-        if let Some((job, task)) = self.in_flight.take() {
+        //
+        // `dispatch_live` stays true for this entire handler — including
+        // placements, whose evictions can resubmit tasks and reach
+        // `ensure_dispatch` — and is cleared only when the pending queue
+        // drains, so the queue never holds two live `Dispatch` events.
+        if self.cfg.legacy_event_loop {
+            self.on_dispatch_legacy();
+            return;
+        }
+        if let Some((job, task, gen)) = self.in_flight.take() {
+            // The stamp is the aliveness check: dispatch is serial, so
+            // the only event that can invalidate an in-flight task is its
+            // job ending, which bumps the generation.
+            if self.jobs[job].tasks[task].gen == gen {
+                self.place_popped(job, task);
+            }
+        }
+        loop {
+            // Next live entry; stale stamps are discarded lazily here.
+            let p = loop {
+                match self.pending.pop() {
+                    None => {
+                        self.dispatch_live = false;
+                        return;
+                    }
+                    Some(p) if self.jobs[p.job].tasks[p.task].gen == p.gen => break p,
+                    Some(_) => {}
+                }
+            };
+            let s = self.decision_time(p.job);
+            let at = self.now + s;
+            // Burst: while no other event fires before this decision
+            // completes, commit it inline instead of a heap round-trip
+            // through a fresh `Dispatch`. The strict `>` keeps ordering
+            // bit-identical — an event at exactly `at` was pushed before
+            // the `Dispatch` we would push now, so it must fire first.
+            if at < self.cfg.horizon && self.queue.peek_time().is_none_or(|t| t > at) {
+                self.now = at;
+                self.place_popped(p.job, p.task);
+            } else {
+                self.in_flight = Some((p.job, p.task, p.gen));
+                self.queue.push(at, Ev::Dispatch);
+                return;
+            }
+        }
+    }
+
+    /// The seed dispatch loop (`SimConfig::legacy_event_loop`): one heap
+    /// round-trip per placement, aliveness re-derived from job/task state
+    /// rather than the generation stamp. The reference arm for
+    /// `loop_equivalence.rs` — it exercises neither dispatch bursting nor
+    /// stamp checks, so the equivalence test covers both.
+    fn on_dispatch_legacy(&mut self) {
+        if let Some((job, task, _gen)) = self.in_flight.take() {
             let alive = self.jobs[job].state != JobState::Ended
                 && self.jobs[job].tasks[task].state == TaskState::Pending;
             if alive {
-                if self.cfg.gang_scheduling {
-                    self.try_place_gang(job);
-                } else {
-                    self.try_place(job, task);
-                }
+                self.place_popped(job, task);
             }
         }
         loop {
             let Some(p) = self.pending.pop() else {
-                self.dispatch_active = false;
+                self.dispatch_live = false;
                 return;
             };
             // Skip stale entries (task no longer pending).
@@ -705,7 +864,7 @@ impl<'a> CellSim<'a> {
                 && !self.jobs[p.job].tasks[p.task].stalled;
             if alive {
                 let s = self.decision_time(p.job);
-                self.in_flight = Some((p.job, p.task));
+                self.in_flight = Some((p.job, p.task, p.gen));
                 self.queue.push(self.now + s, Ev::Dispatch);
                 return;
             }
@@ -727,14 +886,26 @@ impl<'a> CellSim<'a> {
     /// would.
     fn try_place_gang(&mut self, job: usize) {
         let tier = self.jobs[job].spec.tier;
-        let pending: Vec<usize> = self.jobs[job]
-            .tasks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.state == TaskState::Pending)
-            .map(|(i, _)| i)
-            .collect();
+        // `pending_count` bounds the member collect: the common whole-job
+        // gang skips the scan entirely, and a partial gang stops at the
+        // count instead of visiting every task.
+        let want = self.jobs[job].pending_count as usize;
+        let mut pending = std::mem::take(&mut self.scratch.gang_pending);
+        pending.clear();
+        if want == self.jobs[job].tasks.len() {
+            pending.extend(0..want);
+        } else {
+            for (i, t) in self.jobs[job].tasks.iter().enumerate() {
+                if t.state == TaskState::Pending {
+                    pending.push(i);
+                    if pending.len() == want {
+                        break;
+                    }
+                }
+            }
+        }
         if pending.is_empty() {
+            self.scratch.gang_pending = pending;
             return;
         }
         let chosen = if self.cfg.use_placement_index {
@@ -766,11 +937,14 @@ impl<'a> CellSim<'a> {
                         .stalls_by_tier
                         .entry(tier_key(tier))
                         .or_insert(0) += 1;
-                    self.jobs[job].tasks[t].stalled = true;
+                    let trt = &mut self.jobs[job].tasks[t];
+                    trt.stalled = true;
+                    trt.gen = trt.gen.wrapping_add(1);
                     self.stalled.push_back((job, t));
                 }
             }
         }
+        self.scratch.gang_pending = pending;
     }
 
     /// The reference gang dry run: full scratch clone, O(M) per task.
@@ -944,7 +1118,9 @@ impl<'a> CellSim<'a> {
             .stalls_by_tier
             .entry(tier_key(tier))
             .or_insert(0) += 1;
-        self.jobs[job].tasks[task].stalled = true;
+        let trt = &mut self.jobs[job].tasks[task];
+        trt.stalled = true;
+        trt.gen = trt.gen.wrapping_add(1);
         self.stalled.push_back((job, task));
     }
 
@@ -964,8 +1140,12 @@ impl<'a> CellSim<'a> {
             t.in_alloc = in_alloc;
             t.stalled = false;
             t.accounted_until = self.now;
+            // Orphan any queue entry the task still has (a gang placement
+            // starts members whose own entries are still in the heap).
+            t.gen = t.gen.wrapping_add(1);
         }
-        self.running.insert((job, task));
+        self.jobs[job].pending_count -= 1;
+        self.running.insert(job, task);
         self.emit_task(job, task, EventType::Schedule, Some(machine));
 
         // First running task starts the job's clock (Figure 10 measures
@@ -1025,7 +1205,7 @@ impl<'a> CellSim<'a> {
             // series (Figures 4/5 chart requested limits).
             self.metrics.add_allocation(tier, since, self.now, limit);
         }
-        self.running.remove(&(job, task));
+        self.running.remove(job, task);
     }
 
     fn evict_task_cause(&mut self, job: usize, task: usize, cause: &'static str) {
@@ -1056,12 +1236,14 @@ impl<'a> CellSim<'a> {
         }
         self.jobs[job].tasks[task].attempt += 1;
         self.jobs[job].tasks[task].state = TaskState::Pending;
+        self.jobs[job].pending_count += 1;
         self.emit_task(job, task, EventType::Submit, None);
         self.metrics
             .all_task_submissions
             .add_point(self.now.as_micros(), 1.0);
         let priority = self.jobs[job].spec.priority;
-        self.pending.push(priority, self.now, job, task);
+        let gen = self.jobs[job].tasks[task].gen;
+        self.pending.push(priority, self.now, job, task, gen);
         self.ensure_dispatch();
     }
 
@@ -1128,8 +1310,11 @@ impl<'a> CellSim<'a> {
                 }
                 TaskState::NotSubmitted | TaskState::Dead => {}
             }
-            self.jobs[job].tasks[t].state = TaskState::Dead;
+            let trt = &mut self.jobs[job].tasks[t];
+            trt.state = TaskState::Dead;
+            trt.gen = trt.gen.wrapping_add(1);
         }
+        self.jobs[job].pending_count = 0;
         self.emit_collection(job, final_ev);
 
         // Parent-child cascade (§3, §5.2): children die with the parent.
@@ -1191,9 +1376,11 @@ impl<'a> CellSim<'a> {
         // Reservations are torn down gracefully: while production members
         // are still running inside, the teardown is deferred (Borg's
         // eviction SLOs protect production work, §5.2).
-        // Sorted so teardown order (and thus the trace) does not depend
-        // on `running`'s hash order.
-        let members: Vec<(usize, usize)> = crate::fxhash::sorted_set(&self.running)
+        // `running` iterates sorted, so teardown order (and thus the
+        // trace) is deterministic; collected because evictions mutate it.
+        let members: Vec<(usize, usize)> = self
+            .running
+            .to_vec()
             .into_iter()
             .filter(|&(j, t)| {
                 self.jobs[j].tasks[t]
@@ -1292,8 +1479,12 @@ impl<'a> CellSim<'a> {
                 continue;
             }
             self.jobs[j].tasks[t].stalled = false;
+            // No gen bump: the stall already orphaned the old entries,
+            // and this push carries the current stamp.
             let priority = self.jobs[j].spec.priority;
-            self.pending.push(priority, self.jobs[j].ready_at, j, t);
+            let gen = self.jobs[j].tasks[t].gen;
+            self.pending
+                .push(priority, self.jobs[j].ready_at, j, t, gen);
         }
         self.ensure_dispatch();
     }
@@ -1363,7 +1554,9 @@ impl<'a> CellSim<'a> {
         // Resident tasks: a configured fraction vanish (`Lost` — the
         // paper-§9 artifact repair later reconstructs); the rest are
         // evicted and resubmitted like any other eviction (§5.2).
-        let resident: Vec<(usize, usize)> = crate::fxhash::sorted_set(&self.running)
+        let resident: Vec<(usize, usize)> = self
+            .running
+            .to_vec()
             .into_iter()
             .filter(|&(j, t)| {
                 matches!(
@@ -1448,17 +1641,241 @@ impl<'a> CellSim<'a> {
     }
 
     fn on_usage_tick(&mut self) {
+        if self.cfg.legacy_event_loop {
+            self.on_usage_tick_legacy();
+            return;
+        }
         let window_end = self.now;
         let window_start = window_end.saturating_sub(self.cfg.usage_interval);
         self.queue
             .push(self.now + self.cfg.usage_interval, Ev::UsageTick);
         self.usage_seq += 1;
 
+        // The tick works entirely out of reusable scratch buffers: the
+        // running list copies out of the (already sorted) set, the
+        // per-machine aggregates are full-fleet-sized but only `touched`
+        // slots are written and re-zeroed, and the diurnal factor shared
+        // by every task in the cell is computed once. Every arithmetic
+        // result is bit-identical to the allocating walk in
+        // [`CellSim::on_usage_tick_legacy`].
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.begin(self.machines.len());
+
         // Pass 1: raw demand per task and per machine. Memory limits are
         // hard (§2); CPU is work-conserving, but a machine's total CPU
         // consumption is physically capped at its capacity, so over-
         // subscribed machines throttle every occupant proportionally.
-        let running: Vec<(usize, usize)> = crate::fxhash::sorted_set(&self.running);
+        self.running.collect_into(&mut scratch.running);
+        for &(j, t) in &scratch.running {
+            let TaskState::Running { machine, .. } = self.jobs[j].tasks[t].state else {
+                scratch.demand.push(Resources::ZERO);
+                continue;
+            };
+            let usage_proc = self.jobs[j].spec.tasks[t].usage;
+            let limit = self.jobs[j].tasks[t].limit;
+            // Memoized diurnal mean: keyed by (amplitude, phase) bits;
+            // one entry in practice, so the linear scan is a hit on the
+            // first slot.
+            let dkey = (
+                usage_proc.diurnal_amplitude.to_bits(),
+                usage_proc.phase_hours.to_bits(),
+            );
+            let d = match scratch.diurnal.iter().find(|(k, _)| *k == dkey) {
+                Some(&(_, d)) => d,
+                None => {
+                    let d = usage_proc.diurnal_mean(window_start, window_end);
+                    scratch.diurnal.push((dkey, d));
+                    d
+                }
+            };
+            let mut avg = usage_proc.average_with_diurnal(d, window_start);
+            avg.mem = avg.mem.min(limit.mem);
+            scratch.demand.push(avg);
+            scratch.machine_demand[machine] += avg;
+            if !scratch.machine_dirty[machine] {
+                scratch.machine_dirty[machine] = true;
+                scratch.touched.push(machine);
+            }
+        }
+
+        // Pass 2: record throttled usage, slack, autopilot, and samples.
+        // The throttle is evaluated per task straight off the machine's
+        // demand aggregate — the same IEEE expression the legacy walk
+        // tabulates for every machine, skipping the fleet-sized table.
+        for (k, &(j, t)) in scratch.running.iter().enumerate() {
+            let TaskState::Running { machine, .. } = self.jobs[j].tasks[t].state else {
+                continue;
+            };
+            let throttle = self.machines[machine].cpu_throttle(scratch.machine_demand[machine].cpu);
+            let tier = self.jobs[j].spec.tier;
+            let usage_proc = self.jobs[j].spec.tasks[t].usage;
+            let limit = self.jobs[j].tasks[t].limit;
+            // Pass 1 kept the window average's CPU raw (only memory is
+            // clamped), so the window peak derives from it without
+            // re-evaluating the usage process: `peak_cpu_over(ws, we)`
+            // is literally `average_over(ws, we).cpu * peak_factor`.
+            let raw_cpu = scratch.demand[k].cpu;
+            let mut avg = scratch.demand[k];
+            avg.cpu *= throttle;
+            let peak_cpu = raw_cpu * usage_proc.peak_factor * throttle;
+
+            // Charge usage from where the last tick (or the task's start)
+            // left off, so partial windows are counted exactly once. For
+            // the common full-window case the charge equals the pass-1
+            // average (same clamp, same limit — bit-identical); only
+            // tasks that started mid-window re-evaluate the process.
+            let acc = self.jobs[j].tasks[t].accounted_until.max(window_start);
+            if window_end > acc {
+                let charge = if acc == window_start {
+                    Resources::new(raw_cpu * throttle, scratch.demand[k].mem)
+                } else {
+                    let mut charge = usage_proc.average_over(acc, window_end);
+                    charge.cpu *= throttle;
+                    charge.mem = charge.mem.min(limit.mem);
+                    charge
+                };
+                self.metrics.add_usage(tier, acc, window_end, charge);
+            }
+            self.jobs[j].tasks[t].accounted_until = window_end;
+            scratch.machine_usage[machine] += avg;
+
+            // Peak NCU slack (§8) under the limit currently in force.
+            if limit.cpu > 0.0 {
+                let slack = ((limit.cpu - peak_cpu).max(0.0)) / limit.cpu;
+                let mode = self.jobs[j].tasks[t].autopilot.mode();
+                self.metrics
+                    .add_slack(mode, slack, self.usage_seq * 131 + t as u64);
+            }
+
+            // §5.1: memory fill by alloc membership.
+            if limit.mem > 0.0 {
+                let ratio = (avg.mem / limit.mem).min(1.0);
+                if self.jobs[j].tasks[t].in_alloc.is_some() {
+                    self.metrics.fill_in_alloc.push(ratio);
+                } else {
+                    self.metrics.fill_outside_alloc.push(ratio);
+                }
+            }
+
+            // Autopilot adjusts the limit from the observed window peak.
+            let new_limit = self.jobs[j].tasks[t]
+                .autopilot
+                .observe(Resources::new(peak_cpu, avg.mem), limit);
+            if (new_limit.cpu - limit.cpu).abs() > 0.10 * limit.cpu.max(1e-9) {
+                self.jobs[j].tasks[t].limit = new_limit;
+                self.emit_task(j, t, EventType::UpdateRunning, Some(machine));
+            } else {
+                self.jobs[j].tasks[t].limit = new_limit;
+            }
+
+            // Downsampled raw usage records. The sampler is fed pass 1's
+            // raw window average (what it would recompute through the
+            // diurnal cosines), and the histogram sorts in a reused
+            // scratch buffer — both bit-identical to the legacy calls.
+            let key = splitmix64((j as u64) << 32 | t as u64) ^ self.usage_seq;
+            if key.is_multiple_of(self.cfg.keep_usage_every) {
+                usage_proc.window_cpu_samples_with_avg(
+                    raw_cpu,
+                    window_start,
+                    24,
+                    &mut scratch.samples,
+                );
+                self.trace.usage.push(UsageRecord {
+                    start: window_start,
+                    end: window_end,
+                    instance_id: InstanceId::new(CollectionId(self.jobs[j].spec.id), t as u32),
+                    machine_id: self.machines[machine].id,
+                    avg_usage: avg,
+                    max_usage: Resources::new(peak_cpu, avg.mem),
+                    limit: self.jobs[j].tasks[t].limit,
+                    cpu_histogram: CpuHistogram::from_samples_with(
+                        &scratch.samples,
+                        &mut scratch.hist,
+                    ),
+                });
+            }
+        }
+
+        // Figure 6 snapshot.
+        if !self.snapshot_done && window_start >= self.cfg.snapshot_window() {
+            self.snapshot_done = true;
+            self.metrics.machine_snapshots = self
+                .machines
+                .iter()
+                .enumerate()
+                .map(|(i, m)| MachineSnapshot {
+                    // A failed (zero-capacity) machine is idle, not full.
+                    cpu_utilization: if m.capacity.cpu > 0.0 {
+                        (scratch.machine_usage[i].cpu / m.capacity.cpu).min(1.0)
+                    } else {
+                        0.0
+                    },
+                    mem_utilization: if m.capacity.mem > 0.0 {
+                        (scratch.machine_usage[i].mem / m.capacity.mem).min(1.0)
+                    } else {
+                        0.0
+                    },
+                })
+                .collect();
+        }
+
+        // Over-commit reclamation: a machine whose memory demand exceeds
+        // its capacity must kill instances to free resources (§5.2's
+        // fourth eviction cause). Lowest tiers go first. Untouched
+        // machines aggregated zero usage and can never trip the check
+        // (0 ≤ cap × 1.04), so only touched machines are visited —
+        // sorted, because eviction order reaches the pending queue.
+        scratch.touched.sort_unstable();
+        for &mi in &scratch.touched {
+            let usage = scratch.machine_usage[mi];
+            // Small excursions ride out (kernel reclaim); sustained
+            // overload forces evictions.
+            if usage.mem <= self.machines[mi].capacity.mem * 1.04 {
+                continue;
+            }
+            let mut excess = usage.mem - self.machines[mi].capacity.mem;
+            // Production memory is protected: the reclamation falls on
+            // lower tiers (Borg's eviction SLOs; in practice production
+            // memory is reserved, not over-committed away).
+            let mut victims: Vec<(Tier, usize, usize, f64)> = self.machines[mi]
+                .occupants
+                .iter()
+                .filter(|o| {
+                    !o.is_alloc_instance && !matches!(o.tier, Tier::Production | Tier::Monitoring)
+                })
+                .map(|o| (o.tier, o.owner, o.index, o.request.mem))
+                .collect();
+            victims.sort_by_key(|a| a.0);
+            for (_, j, t, mem) in victims {
+                if excess <= 0.0 {
+                    break;
+                }
+                if matches!(self.jobs[j].tasks[t].state, TaskState::Running { .. }) {
+                    self.evict_task_cause(j, t, "overcommit");
+                    excess -= mem;
+                }
+            }
+        }
+
+        scratch.reset_machines();
+        self.scratch = scratch;
+    }
+
+    /// The seed usage tick (`SimConfig::legacy_event_loop`): allocates
+    /// the running snapshot, the per-task demand vector, the full-fleet
+    /// throttle table, and the per-machine usage vector every tick, and
+    /// evaluates the diurnal cosines per task. The reference arm for
+    /// `loop_equivalence.rs`; [`CellSim::on_usage_tick`] must reproduce
+    /// its outputs bit-for-bit.
+    fn on_usage_tick_legacy(&mut self) {
+        let window_end = self.now;
+        let window_start = window_end.saturating_sub(self.cfg.usage_interval);
+        self.queue
+            .push(self.now + self.cfg.usage_interval, Ev::UsageTick);
+        self.usage_seq += 1;
+
+        // Pass 1: raw demand per task and per machine.
+        let running: Vec<(usize, usize)> = self.running.to_vec();
         let mut demand: Vec<Resources> = Vec::with_capacity(running.len());
         let mut machine_demand: Vec<Resources> = vec![Resources::ZERO; self.machines.len()];
         for &(j, t) in &running {
@@ -1495,20 +1912,11 @@ impl<'a> CellSim<'a> {
             let tier = self.jobs[j].spec.tier;
             let usage_proc = self.jobs[j].spec.tasks[t].usage;
             let limit = self.jobs[j].tasks[t].limit;
-            // Pass 1 kept the window average's CPU raw (only memory is
-            // clamped), so the window peak derives from it without
-            // re-evaluating the usage process: `peak_cpu_over(ws, we)`
-            // is literally `average_over(ws, we).cpu * peak_factor`.
             let raw_cpu = demand[k].cpu;
             let mut avg = demand[k];
             avg.cpu *= throttle[machine];
             let peak_cpu = raw_cpu * usage_proc.peak_factor * throttle[machine];
 
-            // Charge usage from where the last tick (or the task's start)
-            // left off, so partial windows are counted exactly once. For
-            // the common full-window case the charge equals the pass-1
-            // average (same clamp, same limit — bit-identical); only
-            // tasks that started mid-window re-evaluate the process.
             let acc = self.jobs[j].tasks[t].accounted_until.max(window_start);
             if window_end > acc {
                 let charge = if acc == window_start {
@@ -1524,7 +1932,6 @@ impl<'a> CellSim<'a> {
             self.jobs[j].tasks[t].accounted_until = window_end;
             machine_usage[machine] += avg;
 
-            // Peak NCU slack (§8) under the limit currently in force.
             if limit.cpu > 0.0 {
                 let slack = ((limit.cpu - peak_cpu).max(0.0)) / limit.cpu;
                 let mode = self.jobs[j].tasks[t].autopilot.mode();
@@ -1532,7 +1939,6 @@ impl<'a> CellSim<'a> {
                     .add_slack(mode, slack, self.usage_seq * 131 + t as u64);
             }
 
-            // §5.1: memory fill by alloc membership.
             if limit.mem > 0.0 {
                 let ratio = (avg.mem / limit.mem).min(1.0);
                 if self.jobs[j].tasks[t].in_alloc.is_some() {
@@ -1542,7 +1948,6 @@ impl<'a> CellSim<'a> {
                 }
             }
 
-            // Autopilot adjusts the limit from the observed window peak.
             let new_limit = self.jobs[j].tasks[t]
                 .autopilot
                 .observe(Resources::new(peak_cpu, avg.mem), limit);
@@ -1553,7 +1958,6 @@ impl<'a> CellSim<'a> {
                 self.jobs[j].tasks[t].limit = new_limit;
             }
 
-            // Downsampled raw usage records.
             let key = splitmix64((j as u64) << 32 | t as u64) ^ self.usage_seq;
             if key.is_multiple_of(self.cfg.keep_usage_every) {
                 let samples = usage_proc.window_cpu_samples(window_start, window_end, 24);
@@ -1578,7 +1982,6 @@ impl<'a> CellSim<'a> {
                 .iter()
                 .enumerate()
                 .map(|(i, m)| MachineSnapshot {
-                    // A failed (zero-capacity) machine is idle, not full.
                     cpu_utilization: if m.capacity.cpu > 0.0 {
                         (machine_usage[i].cpu / m.capacity.cpu).min(1.0)
                     } else {
@@ -1593,19 +1996,12 @@ impl<'a> CellSim<'a> {
                 .collect();
         }
 
-        // Over-commit reclamation: a machine whose memory demand exceeds
-        // its capacity must kill instances to free resources (§5.2's
-        // fourth eviction cause). Lowest tiers go first.
+        // Over-commit reclamation, walking every machine like the seed.
         for (mi, usage) in machine_usage.iter().enumerate() {
-            // Small excursions ride out (kernel reclaim); sustained
-            // overload forces evictions.
             if usage.mem <= self.machines[mi].capacity.mem * 1.04 {
                 continue;
             }
             let mut excess = usage.mem - self.machines[mi].capacity.mem;
-            // Production memory is protected: the reclamation falls on
-            // lower tiers (Borg's eviction SLOs; in practice production
-            // memory is reserved, not over-committed away).
             let mut victims: Vec<(Tier, usize, usize, f64)> = self.machines[mi]
                 .occupants
                 .iter()
@@ -1632,7 +2028,8 @@ impl<'a> CellSim<'a> {
         self.metrics.index = self.index.stats;
         // Close allocation intervals for still-running tasks (alive at
         // trace end, like real long-running services).
-        for (j, t) in crate::fxhash::sorted_set(&self.running) {
+        let still_running: Vec<(usize, usize)> = self.running.to_vec();
+        for (j, t) in still_running {
             if let TaskState::Running { since, .. } = self.jobs[j].tasks[t].state {
                 let tier = self.jobs[j].spec.tier;
                 let limit = self.jobs[j].tasks[t].limit;

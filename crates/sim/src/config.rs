@@ -58,6 +58,13 @@ pub struct SimConfig {
     /// default) keeps the exact best-fit. Requires
     /// `use_placement_index`; *not* bit-identical to the exact scan.
     pub candidate_cap: Option<usize>,
+    /// Reference mode: run the *seed* event loop — one `Dispatch` heap
+    /// round-trip per placement and the allocating usage-tick walk —
+    /// instead of the batched dispatch cursor and scratch-buffer tick.
+    /// Bit-identical to the default (`false`) batched loop; kept as the
+    /// reference arm for `crates/sim/tests/loop_equivalence.rs`, exactly
+    /// as `use_placement_index = false` keeps the naive placement scan.
+    pub legacy_event_loop: bool,
     /// Machine-failure injection (`None` disables fault injection
     /// entirely and is bit-identical to a build without it). See
     /// [`crate::faults::FaultConfig`].
@@ -90,6 +97,7 @@ impl SimConfig {
             gang_scheduling: false,
             use_placement_index: true,
             candidate_cap: None,
+            legacy_event_loop: false,
             faults: None,
             telemetry: false,
             seed,
@@ -114,6 +122,7 @@ impl SimConfig {
             gang_scheduling: false,
             use_placement_index: true,
             candidate_cap: None,
+            legacy_event_loop: false,
             faults: None,
             telemetry: false,
             seed,

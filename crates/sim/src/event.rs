@@ -130,9 +130,23 @@ impl PartialOrd for Scheduled {
 }
 
 /// A deterministic earliest-first event queue.
+///
+/// Events known before the loop starts (job/alloc submissions, the
+/// periodic-tick seeds, maintenance sweeps, failure clocks) are
+/// [`EventQueue::prime`]d into a pre-sorted calendar consumed by a
+/// cursor: each costs O(1) to pop instead of an O(log n) heap sift, and
+/// — since they can be the majority of events alive at once — the live
+/// heap the runtime pushes against stays much smaller. Ordering is
+/// identical to pushing everything through the heap: primed events are
+/// assigned the first sequence numbers in primed order, so they win
+/// every equal-time tie against runtime pushes, and the calendar is
+/// sorted by the same `(time, seq)` key the heap uses.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
+    /// Pre-sorted one-shot calendar, consumed from `cursor` on.
+    primed: Vec<Scheduled>,
+    cursor: usize,
     seq: u64,
 }
 
@@ -140,6 +154,35 @@ impl EventQueue {
     /// An empty queue.
     pub fn new() -> EventQueue {
         EventQueue::default()
+    }
+
+    /// Loads the pre-loop calendar. Equal-time entries fire in the order
+    /// given here, before any runtime [`EventQueue::push`] at the same
+    /// time — exactly as if each had been pushed, in order, first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than once or after a push: primed events
+    /// must own the smallest sequence numbers for ties to resolve the
+    /// same way the all-heap queue resolved them.
+    pub fn prime(&mut self, events: impl IntoIterator<Item = (Micros, Ev)>) {
+        assert!(
+            self.seq == 0 && self.primed.is_empty(),
+            "prime() must be the queue's first operation"
+        );
+        self.primed = events
+            .into_iter()
+            .map(|(time, ev)| {
+                let s = Scheduled {
+                    time,
+                    seq: self.seq,
+                    ev,
+                };
+                self.seq += 1;
+                s
+            })
+            .collect();
+        self.primed.sort_unstable_by_key(|s| (s.time, s.seq));
     }
 
     /// Schedules `ev` at `time`. Events at equal times fire in insertion
@@ -155,17 +198,35 @@ impl EventQueue {
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(Micros, Ev)> {
+        if let Some(p) = self.primed.get(self.cursor) {
+            // Primed seqs are smaller than every runtime seq, so the
+            // calendar wins equal-time ties against the heap.
+            if self.heap.peek().is_none_or(|h| p.time <= h.time) {
+                self.cursor += 1;
+                return Some((p.time, p.ev));
+            }
+        }
         self.heap.pop().map(|s| (s.time, s.ev))
+    }
+
+    /// The earliest scheduled time, without popping.
+    pub fn peek_time(&self) -> Option<Micros> {
+        let p = self.primed.get(self.cursor).map(|s| s.time);
+        let h = self.heap.peek().map(|s| s.time);
+        match (p, h) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + (self.primed.len() - self.cursor)
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -210,5 +271,61 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn primed_calendar_merges_like_the_heap() {
+        // Reference: everything pushed through the heap, primed first.
+        let events = [
+            (Micros::from_secs(4), Ev::JobSubmit { job: 0 }),
+            (Micros::from_secs(1), Ev::JobSubmit { job: 1 }),
+            (Micros::from_secs(4), Ev::JobSubmit { job: 2 }),
+            (Micros::from_secs(9), Ev::UsageTick),
+        ];
+        let runtime = [
+            (Micros::from_secs(4), Ev::Dispatch), // ties lose to primed
+            (Micros::from_secs(2), Ev::RetryTick),
+            (Micros::from_secs(9), Ev::BatchTick),
+        ];
+        let mut reference = EventQueue::new();
+        for &(t, e) in &events {
+            reference.push(t, e);
+        }
+        let mut primed = EventQueue::new();
+        primed.prime(events);
+        for q in [&mut reference, &mut primed] {
+            for &(t, e) in &runtime {
+                q.push(t, e);
+            }
+        }
+        loop {
+            assert_eq!(reference.peek_time(), primed.peek_time());
+            assert_eq!(reference.len(), primed.len());
+            let (a, b) = (reference.pop(), primed.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_time_sees_both_sources() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.prime([(Micros::from_secs(5), Ev::UsageTick)]);
+        assert_eq!(q.peek_time(), Some(Micros::from_secs(5)));
+        q.push(Micros::from_secs(3), Ev::Dispatch);
+        assert_eq!(q.peek_time(), Some(Micros::from_secs(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Micros::from_secs(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "first operation")]
+    fn priming_twice_panics() {
+        let mut q = EventQueue::new();
+        q.prime([(Micros::ZERO, Ev::RetryTick)]);
+        q.prime([(Micros::ZERO, Ev::RetryTick)]);
     }
 }

@@ -427,7 +427,8 @@ const MAX_ENTRIES: usize = 4096;
 
 /// Longest mutation tail a lookup will re-score before deciding a full
 /// scan is cheaper (the tail dedups by machine, so its cost is bounded
-/// by the fleet size anyway).
+/// by the fleet size anyway). Raising this measures *slower*: the walk
+/// itself starts to rival the rescan it replaces.
 const MAX_TAIL: usize = 512;
 
 /// Tail length at which a hit also rewrites the entry (advancing its

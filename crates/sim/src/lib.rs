@@ -39,6 +39,7 @@ pub mod machine;
 pub mod metrics;
 pub mod multi;
 pub mod pending;
+pub mod runset;
 
 pub use cell::{CellOutcome, CellSim};
 pub use config::SimConfig;

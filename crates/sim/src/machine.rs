@@ -156,6 +156,21 @@ impl Machine {
         Some(1.0 - after.dominant_fraction_of(&self.capacity))
     }
 
+    /// CPU throttle factor under a given raw occupant demand: CPU is
+    /// work-conserving but physically capped at capacity, so an
+    /// over-subscribed machine squeezes every occupant proportionally;
+    /// demand within capacity runs unthrottled (factor 1.0). The usage
+    /// tick derives this per task straight from the machine's demand
+    /// aggregate — same IEEE division for every occupant of a machine,
+    /// so per-task evaluation is bit-identical to a per-machine table.
+    pub fn cpu_throttle(&self, demand_cpu: f64) -> f64 {
+        if demand_cpu > self.capacity.cpu {
+            self.capacity.cpu / demand_cpu
+        } else {
+            1.0
+        }
+    }
+
     /// Selects preemption victims strictly below `tier` that would free
     /// enough discounted capacity to host `request`. Victims are chosen
     /// lowest-tier-first (Borg's eviction SLO protects important work,

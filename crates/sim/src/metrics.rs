@@ -200,12 +200,14 @@ impl SimMetrics {
     pub fn add_usage(&mut self, tier: Tier, start: Micros, end: Micros, usage: Resources) {
         let t = tier_key(tier);
         if let Some(series) = self.tiers.get_mut(&t) {
-            series
-                .usage_cpu
-                .add_interval(start.as_micros(), end.as_micros(), usage.cpu);
-            series
-                .usage_mem
-                .add_interval(start.as_micros(), end.as_micros(), usage.mem);
+            HourBuckets::add_interval_pair(
+                &mut series.usage_cpu,
+                &mut series.usage_mem,
+                start.as_micros(),
+                end.as_micros(),
+                usage.cpu,
+                usage.mem,
+            );
         }
     }
 
@@ -214,12 +216,14 @@ impl SimMetrics {
     pub fn add_allocation(&mut self, tier: Tier, start: Micros, end: Micros, request: Resources) {
         let t = tier_key(tier);
         if let Some(series) = self.tiers.get_mut(&t) {
-            series
-                .alloc_cpu
-                .add_interval(start.as_micros(), end.as_micros(), request.cpu);
-            series
-                .alloc_mem
-                .add_interval(start.as_micros(), end.as_micros(), request.mem);
+            HourBuckets::add_interval_pair(
+                &mut series.alloc_cpu,
+                &mut series.alloc_mem,
+                start.as_micros(),
+                end.as_micros(),
+                request.cpu,
+                request.mem,
+            );
         }
     }
 

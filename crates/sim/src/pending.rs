@@ -3,6 +3,13 @@
 //! Tasks awaiting placement are served highest-priority-first, FIFO within
 //! a priority — Borg's greedy scheduling order (§2: the scheduler places
 //! each task onto a suitable machine; production work goes first).
+//!
+//! Entries are *generation-stamped*: each carries the owning task's
+//! generation counter as of the push. The cell bumps a task's generation
+//! whenever outstanding entries must die (the task starts, stalls, or its
+//! job ends), so a popped entry is live iff its stamp still matches —
+//! one integer compare, no re-derivation of job/task state (DESIGN.md
+//! §13). Stale entries stay in the heap and are discarded lazily at pop.
 
 use borg_trace::priority::Priority;
 use borg_trace::time::Micros;
@@ -22,6 +29,9 @@ pub struct PendingTask {
     pub job: usize,
     /// Task index within the job.
     pub task: usize,
+    /// The task's generation when this entry was pushed; the entry is
+    /// stale once the task's current generation moves past it.
+    pub gen: u32,
 }
 
 impl Ord for PendingTask {
@@ -54,29 +64,38 @@ impl PendingQueue {
         PendingQueue::default()
     }
 
-    /// Enqueues a task.
-    pub fn push(&mut self, priority: Priority, ready_at: Micros, job: usize, task: usize) {
+    /// Enqueues a task, stamped with its current generation.
+    pub fn push(
+        &mut self,
+        priority: Priority,
+        ready_at: Micros,
+        job: usize,
+        task: usize,
+        gen: u32,
+    ) {
         self.heap.push(PendingTask {
             priority,
             ready_at,
             seq: self.seq,
             job,
             task,
+            gen,
         });
         self.seq += 1;
     }
 
-    /// Dequeues the highest-priority task.
+    /// Dequeues the highest-priority task (live or stale; the caller
+    /// compares the stamp against the task's current generation).
     pub fn pop(&mut self) -> Option<PendingTask> {
         self.heap.pop()
     }
 
-    /// Number of waiting tasks.
+    /// Number of waiting entries (including stale ones).
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True when no tasks wait.
+    /// True when no entries wait.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -85,13 +104,14 @@ impl PendingQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use borg_workload::usage_model::splitmix64;
 
     #[test]
     fn priority_order() {
         let mut q = PendingQueue::new();
-        q.push(Priority::new(25), Micros::from_secs(1), 1, 0);
-        q.push(Priority::new(200), Micros::from_secs(2), 2, 0);
-        q.push(Priority::new(112), Micros::from_secs(0), 3, 0);
+        q.push(Priority::new(25), Micros::from_secs(1), 1, 0, 0);
+        q.push(Priority::new(200), Micros::from_secs(2), 2, 0, 0);
+        q.push(Priority::new(112), Micros::from_secs(0), 3, 0, 0);
         assert_eq!(q.pop().unwrap().job, 2);
         assert_eq!(q.pop().unwrap().job, 3);
         assert_eq!(q.pop().unwrap().job, 1);
@@ -100,9 +120,9 @@ mod tests {
     #[test]
     fn fifo_within_priority() {
         let mut q = PendingQueue::new();
-        q.push(Priority::new(200), Micros::from_secs(5), 1, 0);
-        q.push(Priority::new(200), Micros::from_secs(5), 2, 0);
-        q.push(Priority::new(200), Micros::from_secs(3), 3, 0);
+        q.push(Priority::new(200), Micros::from_secs(5), 1, 0, 0);
+        q.push(Priority::new(200), Micros::from_secs(5), 2, 0, 0);
+        q.push(Priority::new(200), Micros::from_secs(3), 3, 0, 0);
         assert_eq!(q.pop().unwrap().job, 3, "earlier ready time first");
         assert_eq!(q.pop().unwrap().job, 1, "insertion order within ties");
         assert_eq!(q.pop().unwrap().job, 2);
@@ -112,9 +132,107 @@ mod tests {
     fn len_and_empty() {
         let mut q = PendingQueue::new();
         assert!(q.is_empty());
-        q.push(Priority::new(0), Micros::ZERO, 0, 0);
+        q.push(Priority::new(0), Micros::ZERO, 0, 0, 0);
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.pop().is_none());
+    }
+
+    /// Naive reference model for the property test: a plain vector whose
+    /// "pop" scans for the max by the documented ordering.
+    #[derive(Default)]
+    struct ModelQueue {
+        entries: Vec<PendingTask>,
+        seq: u64,
+    }
+
+    impl ModelQueue {
+        fn push(
+            &mut self,
+            priority: Priority,
+            ready_at: Micros,
+            job: usize,
+            task: usize,
+            gen: u32,
+        ) {
+            self.entries.push(PendingTask {
+                priority,
+                ready_at,
+                seq: self.seq,
+                job,
+                task,
+                gen,
+            });
+            self.seq += 1;
+        }
+
+        fn pop(&mut self) -> Option<PendingTask> {
+            let best = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.cmp(b).then(Ordering::Less))?
+                .0;
+            Some(self.entries.remove(best))
+        }
+    }
+
+    /// Random push / pop / invalidate sequences: the heap with lazy
+    /// stale-discard must pop exactly the live entries the naive model
+    /// pops, in the same order.
+    #[test]
+    fn generation_stamps_match_naive_model() {
+        const TASKS: usize = 24;
+        for seed in 0..16u64 {
+            let mut real = PendingQueue::new();
+            let mut model = ModelQueue::default();
+            // Current generation per task (what the cell would hold).
+            let mut gens = [0u32; TASKS];
+            let mut draw = {
+                let mut state = splitmix64(seed ^ 0x9E37);
+                move || {
+                    state = splitmix64(state);
+                    state
+                }
+            };
+            for step in 0..400 {
+                match draw() % 5 {
+                    // Push (live now, maybe invalidated later).
+                    0 | 1 => {
+                        let task = (draw() as usize) % TASKS;
+                        let priority = Priority::new((draw() % 4 * 100) as u16);
+                        let ready = Micros(draw() % 8);
+                        real.push(priority, ready, 0, task, gens[task]);
+                        model.push(priority, ready, 0, task, gens[task]);
+                    }
+                    // Invalidate: bump a task's generation, orphaning
+                    // every outstanding entry for it.
+                    2 => {
+                        let task = (draw() as usize) % TASKS;
+                        gens[task] = gens[task].wrapping_add(1);
+                    }
+                    // Pop-until-live from both, compare.
+                    _ => {
+                        let live_real =
+                            std::iter::from_fn(|| real.pop()).find(|p| p.gen == gens[p.task]);
+                        let live_model =
+                            std::iter::from_fn(|| model.pop()).find(|p| p.gen == gens[p.task]);
+                        assert_eq!(
+                            live_real, live_model,
+                            "seed {seed}, step {step}: heap and model diverge"
+                        );
+                    }
+                }
+            }
+            // Drain: the remaining live sequences must agree too.
+            loop {
+                let a = std::iter::from_fn(|| real.pop()).find(|p| p.gen == gens[p.task]);
+                let b = std::iter::from_fn(|| model.pop()).find(|p| p.gen == gens[p.task]);
+                assert_eq!(a, b, "seed {seed}: drain diverges");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

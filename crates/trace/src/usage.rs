@@ -29,21 +29,29 @@ impl CpuHistogram {
     ///
     /// Returns an all-zero histogram for empty input.
     pub fn from_samples(samples: &[f64]) -> CpuHistogram {
+        CpuHistogram::from_samples_with(samples, &mut Vec::new())
+    }
+
+    /// [`CpuHistogram::from_samples`] sorting into a caller-owned
+    /// scratch buffer (cleared first), so periodic samplers build one
+    /// histogram per window without allocating. Identical output.
+    pub fn from_samples_with(samples: &[f64], scratch: &mut Vec<f64>) -> CpuHistogram {
         if samples.is_empty() {
             return CpuHistogram([0.0; 21]);
         }
-        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
-        if sorted.is_empty() {
+        scratch.clear();
+        scratch.extend(samples.iter().copied().filter(|x| x.is_finite()));
+        if scratch.is_empty() {
             return CpuHistogram([0.0; 21]);
         }
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        scratch.sort_by(|a, b| a.total_cmp(b));
         let mut out = [0.0f32; 21];
         for (i, &p) in CPU_HISTOGRAM_PERCENTILES.iter().enumerate() {
-            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let rank = p / 100.0 * (scratch.len() - 1) as f64;
             let lo = rank.floor() as usize;
             let hi = rank.ceil() as usize;
             let frac = rank - lo as f64;
-            out[i] = (sorted[lo] * (1.0 - frac) + sorted[hi] * frac) as f32;
+            out[i] = (scratch[lo] * (1.0 - frac) + scratch[hi] * frac) as f32;
         }
         CpuHistogram(out)
     }

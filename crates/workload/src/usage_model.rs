@@ -78,7 +78,12 @@ impl UsageProcess {
     }
 
     /// Mean of the diurnal factor over `[start, end)`, analytically.
-    fn diurnal_mean(&self, start: Micros, end: Micros) -> f64 {
+    ///
+    /// Depends only on `diurnal_amplitude`, `phase_hours`, and the window
+    /// — not on the per-task base or seed — so callers walking many tasks
+    /// that share a cell's diurnal shape may evaluate it once and reuse
+    /// the result via [`UsageProcess::average_with_diurnal`].
+    pub fn diurnal_mean(&self, start: Micros, end: Micros) -> f64 {
         if end <= start || self.diurnal_amplitude == 0.0 {
             return 1.0;
         }
@@ -101,6 +106,16 @@ impl UsageProcess {
     /// the window containing `start` (callers sample window-aligned).
     pub fn average_over(&self, start: Micros, end: Micros) -> Resources {
         let d = self.diurnal_mean(start, end);
+        self.average_with_diurnal(d, start)
+    }
+
+    /// [`UsageProcess::average_over`] with the diurnal mean supplied by
+    /// the caller: bit-identical to `average_over(start, end)` when `d`
+    /// is `diurnal_mean(start, end)` — the final expression is the same
+    /// IEEE operation sequence. This is the usage tick's fast path: the
+    /// diurnal mean is shared by every task with the cell's amplitude
+    /// and phase, so it is computed once per tick, not once per task.
+    pub fn average_with_diurnal(&self, d: f64, start: Micros) -> Resources {
         let n = self.window_noise(start);
         Resources::new(self.base.cpu * d * n, self.base.mem * n.sqrt())
     }
@@ -125,15 +140,42 @@ impl UsageProcess {
     /// the 21-element histogram: values spread between a floor and the
     /// window peak, deterministic in the seed.
     pub fn window_cpu_samples(&self, start: Micros, end: Micros, count: usize) -> Vec<f64> {
-        let avg = self.average_over(start, end).cpu;
-        let peak = avg * self.peak_factor;
-        let floor = (2.0 * avg - peak).max(0.0);
-        (0..count)
-            .map(|i| {
-                let u = unit_noise(self.seed.wrapping_add(1), start.as_micros() ^ i as u64);
-                floor + (peak - floor) * u
-            })
-            .collect()
+        let mut out = Vec::with_capacity(count);
+        self.window_cpu_samples_into(start, end, count, &mut out);
+        out
+    }
+
+    /// [`UsageProcess::window_cpu_samples`] into a caller-owned buffer
+    /// (cleared first), so periodic samplers reuse one allocation.
+    pub fn window_cpu_samples_into(
+        &self,
+        start: Micros,
+        end: Micros,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) {
+        self.window_cpu_samples_with_avg(self.average_over(start, end).cpu, start, count, out);
+    }
+
+    /// [`UsageProcess::window_cpu_samples_into`] with the window-average
+    /// CPU supplied by the caller: bit-identical when `avg_cpu` is
+    /// `average_over(start, end).cpu`. The usage tick already holds that
+    /// value (its pass-1 raw demand), so the sampler skips the two
+    /// diurnal cosines and the window-noise re-evaluation per record.
+    pub fn window_cpu_samples_with_avg(
+        &self,
+        avg_cpu: f64,
+        start: Micros,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let peak = avg_cpu * self.peak_factor;
+        let floor = (2.0 * avg_cpu - peak).max(0.0);
+        out.extend((0..count).map(|i| {
+            let u = unit_noise(self.seed.wrapping_add(1), start.as_micros() ^ i as u64);
+            floor + (peak - floor) * u
+        }));
     }
 }
 
@@ -203,6 +245,27 @@ mod tests {
             w0,
             p2.average_over(Micros::ZERO, Micros::from_minutes(5)).cpu
         );
+    }
+
+    #[test]
+    fn cached_diurnal_average_is_bit_identical() {
+        let p = process();
+        for w in 0..48u64 {
+            let s = Micros::from_minutes(30 * w);
+            let e = s + Micros::from_minutes(30);
+            let d = p.diurnal_mean(s, e);
+            assert_eq!(p.average_with_diurnal(d, s), p.average_over(s, e));
+        }
+    }
+
+    #[test]
+    fn samples_into_matches_allocating_variant() {
+        let p = process();
+        let s = Micros::from_hours(7);
+        let e = s + Micros::from_minutes(5);
+        let mut buf = vec![999.0; 3]; // stale contents must be cleared
+        p.window_cpu_samples_into(s, e, 24, &mut buf);
+        assert_eq!(buf, p.window_cpu_samples(s, e, 24));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 # cell-day, with the query-engine round-trip and chrome-trace JSON
 # checks asserted in-process. A small smoke run of the same binary is
 # part of the default path so the exporters can't rot.
+#
+# Both profile runs enforce the phase-fraction regression guard: the
+# binary prints a machine-readable "guard: dispatch+usage_tick share"
+# line, and the run fails if that share exceeds the stored baseline
+# (scripts/profile_baseline) by more than 10 percentage points — the
+# event-loop hot paths (DESIGN.md §13) must not quietly regress back
+# toward the pre-batching profile.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,9 +69,32 @@ for arg in "$@"; do
     esac
 done
 
+# Phase-fraction regression guard over one profile run's output:
+# extract the "guard: dispatch+usage_tick share = NN.N%" line and fail
+# if it exceeds the stored baseline by more than 10 points.
+profile_guard() {
+    share=$(sed -n 's/^guard: dispatch+usage_tick share = \([0-9.]*\)%.*/\1/p' "$1")
+    if [ -z "$share" ]; then
+        echo "profile guard: share line missing from profile output" >&2
+        exit 1
+    fi
+    baseline=$(cat scripts/profile_baseline)
+    if ! awk -v s="$share" -v b="$baseline" 'BEGIN { exit !(s <= b + 10.0) }'; then
+        echo "profile guard: dispatch+usage_tick share ${share}% exceeds" \
+            "baseline ${baseline}% by more than 10 points" >&2
+        exit 1
+    fi
+    echo "profile guard: dispatch+usage_tick share ${share}%" \
+        "(baseline ${baseline}%, limit +10 points)"
+}
+
 if [ "$profile_only" -eq 1 ]; then
     echo "==> telemetry profile (512-machine cell-day)"
-    cargo run -q --release -p borg-experiments --offline --bin profile
+    profile_out=$(mktemp)
+    cargo run -q --release -p borg-experiments --offline --bin profile >"$profile_out"
+    cat "$profile_out"
+    profile_guard "$profile_out"
+    rm -f "$profile_out"
     echo "Profile check passed."
     exit 0
 fi
@@ -105,7 +135,10 @@ echo "==> cargo test"
 cargo test --workspace --offline -q
 
 echo "==> telemetry profile smoke (64-machine cell-day)"
-cargo run -q --release -p borg-experiments --offline --bin profile -- --machines 64 >/dev/null
+profile_out=$(mktemp)
+cargo run -q --release -p borg-experiments --offline --bin profile -- --machines 64 >"$profile_out"
+profile_guard "$profile_out"
+rm -f "$profile_out"
 
 if [ "$run_bench" -eq 1 ]; then
     echo "==> cargo bench (smoke: one pass per benchmark)"
