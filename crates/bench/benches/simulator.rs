@@ -15,6 +15,10 @@ fn bench_cell_day(c: &mut Criterion) {
         ("48_machines", 0.004),
         ("512_machines", 512.0 / 12000.0),
         ("2048_machines", 2048.0 / 12000.0),
+        // Paper-scale points unlocked by sharded placement (a 12k-machine
+        // cell is scale 1.0): auto-sharding picks K from the host.
+        ("4096_machines", 4096.0 / 12000.0),
+        ("8192_machines", 8192.0 / 12000.0),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &scale, |b, &scale| {
             let profile = CellProfile::cell_2019('d');
@@ -50,6 +54,28 @@ fn bench_cell_day(c: &mut Criterion) {
         cfg.use_placement_index = false;
         b.iter(|| CellSim::run_cell(&profile, &cfg));
     });
+    group.finish();
+}
+
+/// Shard-count sweep at the acceptance scale: the same 2048-machine
+/// cell-day under explicit K ∈ {1, 2, 4, 8}. Every K produces the same
+/// trace (see `shard_equivalence.rs`); this group records what each K
+/// costs on this host — including the expected *negative* result on
+/// single-core machines, where the fan-out is pure overhead.
+fn bench_shard_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_sweep_2048");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("K{k}")), &k, |b, &k| {
+            let profile = CellProfile::cell_2019('d');
+            let mut cfg = SimConfig::tiny_for_tests(1);
+            cfg.scale = 2048.0 / 12000.0;
+            cfg.horizon = Micros::from_days(1);
+            cfg.snapshot_at = Micros::from_hours(12);
+            cfg.placement_shards = Some(k);
+            b.iter(|| CellSim::run_cell(&profile, &cfg));
+        });
+    }
     group.finish();
 }
 
@@ -211,6 +237,7 @@ fn bench_ablations(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cell_day,
+    bench_shard_sweep,
     bench_2011_vs_2019,
     bench_machine_fit,
     bench_placement_path,

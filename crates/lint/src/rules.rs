@@ -140,7 +140,16 @@ const BIT_IDENTITY_FILES: &[&str] = &[
     "crates/query/src/parallel.rs",
     "crates/query/src/groupby.rs",
     "crates/sim/src/index.rs",
+    "crates/sim/src/shard.rs",
+    "crates/sim/src/pool.rs",
 ];
+
+/// Iterator reductions whose winner depends on visit order when scores
+/// tie (or on float associativity): in a bit-identity file, per-shard
+/// results must flow through the blessed fixed-order combining loop
+/// (`shard::combine_winners`) instead.
+const ORDER_SENSITIVE_REDUCERS: &[&str] =
+    &["reduce", "min_by", "max_by", "min_by_key", "max_by_key"];
 
 /// Blessed wall-clock helpers: the only non-bench library files allowed
 /// the D2 time/entropy sources. Telemetry's timing plane routes every
@@ -653,6 +662,22 @@ fn rule_d3(ctx: &mut Ctx) {
                         );
                     }
                 }
+            }
+            if ORDER_SENSITIVE_REDUCERS.contains(&t.text.as_str())
+                && toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) == Some(".")
+                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            {
+                ctx.emit(
+                    t.line,
+                    RuleId::D3,
+                    format!(
+                        "`.{}()` in a bit-identity file: an unordered reduction breaks the \
+                         winner when scores tie; combine per-shard results through the \
+                         blessed fixed-order loop (shard::combine_winners) or annotate \
+                         `// lint: float-reduction-ok (reason)`",
+                        t.text
+                    ),
+                );
             }
         }
     }

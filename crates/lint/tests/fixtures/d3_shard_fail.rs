@@ -1,0 +1,17 @@
+//! D3 failing fixture (linted under a bit-identity path): unordered
+//! iterator reductions over per-shard placement winners. When two
+//! shards tie on score, the winner depends on visit order — exactly
+//! the nondeterminism the blessed fixed-order combining loop exists
+//! to prevent.
+
+pub fn combine_min_by(winners: &[(usize, f64)]) -> Option<(usize, f64)> {
+    winners.iter().copied().min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+pub fn combine_reduce(winners: Vec<(usize, f64)>) -> Option<(usize, f64)> {
+    winners.into_iter().reduce(|a, b| if b.1 < a.1 { b } else { a })
+}
+
+pub fn worst_shard(loads: &[u64]) -> Option<u64> {
+    loads.iter().copied().max_by_key(|&l| l)
+}

@@ -1,0 +1,29 @@
+//! D3 passing fixture: per-shard winners combined through an explicit
+//! fixed-order loop (the `shard::combine_winners` shape), with the
+//! order-sensitive shortcut allowed only behind an annotation.
+
+fn combine_winners(per_shard: &[Option<(usize, f64)>]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for cand in per_shard {
+        let Some((mi, score)) = *cand else { continue };
+        let better = match best {
+            None => true,
+            Some((best_mi, best_score)) => {
+                score < best_score || (score == best_score && mi < best_mi)
+            }
+        };
+        if better {
+            best = Some((mi, score));
+        }
+    }
+    best
+}
+
+pub fn combine(winners: &[Option<(usize, f64)>]) -> Option<(usize, f64)> {
+    combine_winners(winners)
+}
+
+pub fn busiest_shard(loads: &[u64]) -> Option<u64> {
+    // lint: float-reduction-ok (u64 key has no ties by construction; checked in tests)
+    loads.iter().copied().max_by_key(|&l| l)
+}

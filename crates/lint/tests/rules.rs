@@ -10,6 +10,8 @@ const SIM_LIB: &str = "crates/sim/src/fixture.rs";
 const QUERY_LIB: &str = "crates/query/src/fixture.rs";
 /// D3's reduction arm only fires in bit-identity contract files.
 const CONTRACT: &str = "crates/query/src/parallel.rs";
+/// The sharded-placement combining layer is a contract file too.
+const SHARD_CONTRACT: &str = "crates/sim/src/shard.rs";
 const TRACE_LIB: &str = "crates/trace/src/fixture.rs";
 const ANALYSIS_LIB: &str = "crates/analysis/src/fixture.rs";
 
@@ -203,6 +205,58 @@ fn d3_reduction_arm_only_polices_contract_files() {
         .filter(|d| d.rule == RuleId::D3)
         .count();
     assert_eq!(d3, 1, "only partial_cmp().unwrap() outside contract files");
+}
+
+#[test]
+fn d3_shard_fail_fixture_fires() {
+    // Unordered reductions over per-shard winners: min_by, reduce, and
+    // max_by_key each fire in a bit-identity file.
+    let d3 = lint_source(SHARD_CONTRACT, include_str!("fixtures/d3_shard_fail.rs"))
+        .into_iter()
+        .filter(|d| d.rule == RuleId::D3)
+        .count();
+    assert_eq!(d3, 3, "min_by, reduce, max_by_key");
+}
+
+#[test]
+fn d3_shard_pass_fixture_is_clean() {
+    assert_clean(SHARD_CONTRACT, include_str!("fixtures/d3_shard_pass.rs"));
+}
+
+#[test]
+fn d3_shard_replacing_blessed_loop_flips_verdict() {
+    // Swapping the fixed-order combining loop for an unordered
+    // reduction must be caught.
+    let mutated = include_str!("fixtures/d3_shard_pass.rs").replace(
+        "combine_winners(winners)",
+        "winners.iter().copied().flatten().min_by(|a, b| a.1.total_cmp(&b.1))",
+    );
+    assert!(rules_hit(SHARD_CONTRACT, &mutated).contains(&RuleId::D3));
+}
+
+#[test]
+fn d3_shard_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/d3_shard_pass.rs"));
+    assert!(rules_hit(SHARD_CONTRACT, &mutated).contains(&RuleId::D3));
+}
+
+#[test]
+fn d3_shard_arm_only_polices_contract_files() {
+    // The same reductions are fine in ordinary deterministic code.
+    let d3 = lint_source(ANALYSIS_LIB, include_str!("fixtures/d3_shard_fail.rs"))
+        .into_iter()
+        .filter(|d| d.rule == RuleId::D3)
+        .count();
+    assert_eq!(d3, 0, "reducer arm must not fire outside contract files");
+}
+
+#[test]
+fn d3_worker_pool_is_a_contract_file() {
+    // The pool is where an unordered merge would physically happen, so
+    // it sits under the same contract as the combining layer.
+    let src = "pub fn merge(xs: Vec<f64>) -> Option<f64> {\n    \
+               xs.into_iter().reduce(|a, b| if b < a { b } else { a })\n}\n";
+    assert!(rules_hit("crates/sim/src/pool.rs", src).contains(&RuleId::D3));
 }
 
 // ---------------------------------------------------------------- S1

@@ -75,9 +75,23 @@ pub struct SimConfig {
     /// empty snapshot. Telemetry never influences simulation results —
     /// traces are bit-identical either way (see DESIGN.md §12).
     pub telemetry: bool,
+    /// Number of placement-index shards (`crate::shard`): the fleet is
+    /// split into this many contiguous ranges, probed in parallel and
+    /// combined deterministically — bit-identical to one index for any
+    /// value (DESIGN.md §14). `None` (the default) auto-sizes from
+    /// available parallelism and fleet size; `Some(1)` forces the
+    /// single-index path. Ignored (forced to 1) when `candidate_cap`
+    /// is set or the placement index is off.
+    pub placement_shards: Option<usize>,
     /// RNG seed.
     pub seed: u64,
 }
+
+/// Auto-sharding floor: below this many machines per shard the per-probe
+/// fan-out overhead outweighs the scan it parallelizes, so auto-sizing
+/// never splits finer than this (an explicit `placement_shards` still
+/// can, for equivalence tests).
+pub const MIN_MACHINES_PER_SHARD: usize = 512;
 
 impl SimConfig {
     /// A laptop-scale month: 0.5% of a cell (≈ 60 machines) for 31 days.
@@ -100,6 +114,7 @@ impl SimConfig {
             legacy_event_loop: false,
             faults: None,
             telemetry: false,
+            placement_shards: None,
             seed,
         }
     }
@@ -125,8 +140,26 @@ impl SimConfig {
             legacy_event_loop: false,
             faults: None,
             telemetry: false,
+            placement_shards: None,
             seed,
         }
+    }
+
+    /// The shard count the cell will actually use for a fleet of
+    /// `machines`: 1 whenever sharding cannot apply (no placement index,
+    /// or bounded mode — its seeded probe permutation spans the whole
+    /// fleet), the explicit `placement_shards` clamped to the fleet, or
+    /// an auto size of `min(available cores, fleet / 512)` so small
+    /// fleets and single-core hosts stay on the untouched K=1 path.
+    pub fn effective_shards(&self, machines: usize) -> usize {
+        if !self.use_placement_index || self.candidate_cap.is_some() {
+            return 1;
+        }
+        let k = self.placement_shards.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism().map_or(1, usize::from);
+            cores.min(machines / MIN_MACHINES_PER_SHARD)
+        });
+        k.clamp(1, machines.max(1))
     }
 
     /// Number of machines to simulate for a profile.
@@ -181,6 +214,14 @@ impl SimConfig {
                 self.use_placement_index,
                 "candidate_cap requires the placement index"
             );
+            assert!(
+                self.placement_shards.is_none_or(|k| k == 1),
+                "candidate_cap requires placement_shards = 1: the bounded \
+                 probe permutation spans the whole fleet"
+            );
+        }
+        if let Some(k) = self.placement_shards {
+            assert!(k >= 1, "placement_shards must be >= 1");
         }
         if let Some(f) = &self.faults {
             f.validate();
@@ -226,6 +267,47 @@ mod tests {
     fn bad_scale_panics() {
         let mut cfg = SimConfig::month(1);
         cfg.scale = 0.0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn effective_shards_honors_mode_and_clamps() {
+        let mut cfg = SimConfig::tiny_for_tests(1);
+        // Explicit K wins, clamped to the fleet.
+        cfg.placement_shards = Some(4);
+        assert_eq!(cfg.effective_shards(10_000), 4);
+        assert_eq!(cfg.effective_shards(3), 3);
+        assert_eq!(cfg.effective_shards(0), 1);
+        // Naive scan and bounded mode force the single-index path.
+        cfg.use_placement_index = false;
+        assert_eq!(cfg.effective_shards(10_000), 1);
+        cfg.use_placement_index = true;
+        cfg.candidate_cap = Some(8);
+        assert_eq!(cfg.effective_shards(10_000), 1);
+        // Auto mode never splits small fleets, whatever the host.
+        cfg.candidate_cap = None;
+        cfg.placement_shards = None;
+        assert_eq!(cfg.effective_shards(MIN_MACHINES_PER_SHARD - 1), 1);
+        let auto = cfg.effective_shards(1 << 20);
+        assert!(auto >= 1);
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        assert!(auto <= cores);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement_shards")]
+    fn zero_shards_panics() {
+        let mut cfg = SimConfig::month(1);
+        cfg.placement_shards = Some(0);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate_cap requires placement_shards = 1")]
+    fn cap_with_shards_panics() {
+        let mut cfg = SimConfig::month(1);
+        cfg.candidate_cap = Some(8);
+        cfg.placement_shards = Some(4);
         cfg.validate();
     }
 }

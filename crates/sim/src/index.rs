@@ -238,6 +238,26 @@ impl FeasTree {
         self.walk_preempt(2 * node, needed, tier, check)
             .or_else(|| self.walk_preempt(2 * node + 1, needed, tier, check))
     }
+
+    /// Every real leaf whose inflated bound admits `needed`, in
+    /// ascending machine order — the same pruning as
+    /// [`FeasTree::walk_preempt`], but without the exact victim check,
+    /// so it needs no access to the `Machine` structs and can run on a
+    /// pool worker (see [`crate::shard`]).
+    fn collect_preemptible(&self, node: usize, needed: Resources, tier: Tier, out: &mut Vec<u32>) {
+        if !self.nodes[node].may_preempt(needed, tier) {
+            return;
+        }
+        if node >= self.size {
+            let mi = node - self.size;
+            if mi < self.machines {
+                out.push(mi as u32);
+            }
+            return;
+        }
+        self.collect_preemptible(2 * node, needed, tier, out);
+        self.collect_preemptible(2 * node + 1, needed, tier, out);
+    }
 }
 
 /// Interleaved mirror of each machine's `(committed, capacity)` — one
@@ -760,15 +780,39 @@ impl PlacementIndex {
         tier: Tier,
     ) -> Option<(usize, f64)> {
         debug_assert_eq!(machines.len(), self.mirror.len());
-        let key = ShapeKey::of(request, tier);
-        let d = discount(request, tier);
-        if let Some(answer) = self.cache.lookup(key, &self.mirror, request, d) {
-            match answer {
-                Some(_) => self.stats.cache_hits += 1,
-                None => self.stats.negative_hits += 1,
-            }
+        if let Some(answer) = self.cached_best_fit(request, tier) {
             return answer;
         }
+        self.scan_best_fit(request, tier)
+    }
+
+    /// The score-cache half of [`PlacementIndex::best_fit`]: `Some` with
+    /// the exact answer on a hit (including cached "nothing fits"),
+    /// `None` on a miss. The sharded layer probes every shard's cache
+    /// sequentially — a hit is O(R + tail), far cheaper than a channel
+    /// round-trip — before fanning the misses out to workers.
+    pub(crate) fn cached_best_fit(
+        &mut self,
+        request: Resources,
+        tier: Tier,
+    ) -> Option<Option<(usize, f64)>> {
+        let key = ShapeKey::of(request, tier);
+        let d = discount(request, tier);
+        let answer = self.cache.lookup(key, &self.mirror, request, d)?;
+        match answer {
+            Some(_) => self.stats.cache_hits += 1,
+            None => self.stats.negative_hits += 1,
+        }
+        Some(answer)
+    }
+
+    /// The miss half of [`PlacementIndex::best_fit`]: a full mirror scan
+    /// plus a cache store. Touches only the mirror columns — never the
+    /// `Machine` structs — so the sharded layer can move the whole index
+    /// to a pool worker and run this there.
+    pub(crate) fn scan_best_fit(&mut self, request: Resources, tier: Tier) -> Option<(usize, f64)> {
+        let key = ShapeKey::of(request, tier);
+        let d = discount(request, tier);
         self.stats.cache_misses += 1;
         let n = self.mirror.len();
         let mut top = TopList::new();
@@ -834,6 +878,33 @@ impl PlacementIndex {
         self.tree.first_preemptible(needed, tier, &mut |mi| {
             machines[mi].preemption_victims(request, tier)
         })
+    }
+
+    /// Flushes dirty preemption-tree leaves. The sharded fan-out calls
+    /// this on the main thread — which holds the `Machine` structs —
+    /// before moving the shard to a pool worker for candidate
+    /// enumeration.
+    pub(crate) fn flush_for_preempt(&mut self, machines: &[Machine]) {
+        self.flush_tree(machines);
+    }
+
+    /// Preemption candidates for the sharded fan-out: the shard-local
+    /// indices of every machine whose inflated tree bound admits
+    /// `needed`, ascending. Requires [`PlacementIndex::flush_for_preempt`]
+    /// first. The caller runs the exact `preemption_victims` checks in
+    /// global machine order with early exit, so the first passing
+    /// machine is exactly the one the naive walk returns; bound-passing
+    /// leaves the naive walk never visited (because it exited earlier)
+    /// are rejected by the same exact check and cost only the visit.
+    pub(crate) fn preempt_candidates(&mut self, needed: Resources, tier: Tier) -> Vec<u32> {
+        self.stats.preempt_probes += 1;
+        debug_assert!(
+            self.dirty_list.is_empty(),
+            "flush_for_preempt must run first"
+        );
+        let mut out = Vec::new();
+        self.tree.collect_preemptible(1, needed, tier, &mut out);
+        out
     }
 }
 

@@ -39,7 +39,9 @@ pub mod machine;
 pub mod metrics;
 pub mod multi;
 pub mod pending;
+pub mod pool;
 pub mod runset;
+pub mod shard;
 
 pub use cell::{CellOutcome, CellSim};
 pub use config::SimConfig;
@@ -50,3 +52,5 @@ pub use faults::{
 pub use index::PlacementIndex;
 pub use metrics::SimMetrics;
 pub use multi::run_cells_parallel;
+pub use pool::WorkerPool;
+pub use shard::ShardedPlacement;

@@ -44,7 +44,7 @@ pub struct MachineSnapshot {
 }
 
 /// Per-tier hourly usage and allocation series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TierSeries {
     /// CPU usage (NCU·time per bucket).
     pub usage_cpu: HourBuckets,
@@ -70,7 +70,7 @@ impl TierSeries {
 
 /// Aggregate statistics of average usage ÷ limit, split by alloc-set
 /// membership (§5.1: 73% vs 41% memory utilization).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FillStats {
     /// Sum of memory usage/limit ratios.
     pub mem_ratio_sum: f64,
@@ -98,7 +98,7 @@ impl FillStats {
 }
 
 /// All metric accumulators for one simulated cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimMetrics {
     /// Cell name.
     pub cell_name: String,

@@ -1,32 +1,47 @@
 //! Running many cells in parallel.
 //!
 //! The 2019 trace covers eight cells; [`run_cells_parallel`] simulates
-//! each on its own thread (the cells are independent systems, as in the
-//! real fleet) and returns the outcomes in profile order.
+//! them concurrently (the cells are independent systems, as in the real
+//! fleet) and returns the outcomes in profile order. Cells queue onto a
+//! [`WorkerPool`] capped at available parallelism — a 100-profile policy
+//! sweep no longer spawns 100 threads — and the pool's tag-to-slot
+//! discipline keeps the output order (and every outcome's bits)
+//! independent of scheduling.
 
 use crate::cell::{CellOutcome, CellSim};
 use crate::config::SimConfig;
+use crate::pool::WorkerPool;
 use borg_workload::cells::CellProfile;
 
-/// Simulates every profile in parallel, one thread per cell, seeding each
-/// cell deterministically from `cfg.seed` and its index. Results are in
-/// the same order as `profiles`.
+/// One cell simulation moved to a pool worker by value.
+fn run_cell_job((profile, cfg): (CellProfile, SimConfig)) -> CellOutcome {
+    CellSim::run_cell(&profile, &cfg)
+}
+
+/// Simulates every profile concurrently on a worker pool capped at
+/// available parallelism, seeding each cell deterministically from
+/// `cfg.seed` and its index. Results are in the same order as
+/// `profiles`, bit-identical to running the cells sequentially with the
+/// same derived seeds.
 pub fn run_cells_parallel(profiles: &[CellProfile], cfg: &SimConfig) -> Vec<CellOutcome> {
-    let mut slots: Vec<Option<CellOutcome>> = (0..profiles.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (i, (profile, slot)) in profiles.iter().zip(slots.iter_mut()).enumerate() {
+    let jobs: Vec<(CellProfile, SimConfig)> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
             let mut cell_cfg = cfg.clone();
-            cell_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
-            scope.spawn(move || {
-                *slot = Some(CellSim::run_cell(profile, &cell_cfg));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        // lint: library-panic-ok (scope joined every spawned cell; each filled its slot)
-        .map(|s| s.expect("every cell produced an outcome"))
-        .collect()
+            cell_cfg.seed = cfg.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
+            (profile.clone(), cell_cfg)
+        })
+        .collect();
+    // The calling thread works too, so `cores - 1` workers saturate the
+    // host; fewer jobs than that need even fewer threads.
+    let par = std::thread::available_parallelism().map_or(1, usize::from);
+    let workers = par.saturating_sub(1).min(jobs.len().saturating_sub(1));
+    let mut pool = WorkerPool::new(
+        workers,
+        run_cell_job as fn((CellProfile, SimConfig)) -> CellOutcome,
+    );
+    pool.run_batch(jobs)
 }
 
 #[cfg(test)]
@@ -41,19 +56,30 @@ mod tests {
         cfg.horizon = Micros::from_hours(6);
         let parallel = run_cells_parallel(&profiles, &cfg);
         assert_eq!(parallel.len(), 2);
-        // Sequential runs with the same derived seeds must match exactly.
+        // Sequential runs with the same derived seeds must match exactly:
+        // every trace table byte for byte, and the full metrics struct —
+        // counting events would miss reordered or corrupted records.
         for (i, outcome) in parallel.iter().enumerate() {
             let mut cell_cfg = cfg.clone();
-            cell_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+            cell_cfg.seed = cfg.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
             let seq = CellSim::run_cell(&profiles[i], &cell_cfg);
             assert_eq!(
-                seq.trace.collection_events.len(),
-                outcome.trace.collection_events.len()
+                seq.trace.machine_events, outcome.trace.machine_events,
+                "cell {i}: machine events diverge"
             );
             assert_eq!(
-                seq.trace.instance_events.len(),
-                outcome.trace.instance_events.len()
+                seq.trace.collection_events, outcome.trace.collection_events,
+                "cell {i}: collection events diverge"
             );
+            assert_eq!(
+                seq.trace.instance_events, outcome.trace.instance_events,
+                "cell {i}: instance events diverge"
+            );
+            assert_eq!(
+                seq.trace.usage, outcome.trace.usage,
+                "cell {i}: usage records diverge"
+            );
+            assert_eq!(seq.metrics, outcome.metrics, "cell {i}: metrics diverge");
         }
     }
 
@@ -68,5 +94,28 @@ mod tests {
             outcomes[0].trace.collection_events.len(),
             outcomes[1].trace.collection_events.len()
         );
+    }
+
+    #[test]
+    fn more_profiles_than_cores_still_all_run() {
+        // The cap satellite: ten cells must not mean ten threads, and
+        // queueing them through the pool must keep profile order.
+        let profiles: Vec<CellProfile> = "abcd"
+            .chars()
+            .cycle()
+            .take(10)
+            .map(CellProfile::cell_2019)
+            .collect();
+        let mut cfg = SimConfig::tiny_for_tests(3);
+        cfg.horizon = Micros::from_hours(2);
+        cfg.scale = 0.001;
+        let outcomes = run_cells_parallel(&profiles, &cfg);
+        assert_eq!(outcomes.len(), 10);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(
+                o.trace.cell_name, profiles[i].name,
+                "outcome {i} out of profile order"
+            );
+        }
     }
 }

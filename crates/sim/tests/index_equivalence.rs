@@ -139,6 +139,24 @@ fn churn_stress_actually_churns() {
     );
 }
 
+/// The sharded fan-out (`SimConfig::placement_shards`, DESIGN.md §14)
+/// rides the same contract: K per-shard indices combined
+/// deterministically must still match the naive scan bit for bit. The
+/// full K sweep lives in `shard_equivalence.rs`; this arm pins the
+/// naive↔sharded edge of the triangle inside the index contract file.
+#[test]
+fn sharded_index_is_bit_identical_to_naive_scan() {
+    for k in [2usize, 7] {
+        let mut cfg = SimConfig::tiny_for_tests(19);
+        cfg.placement_shards = Some(k);
+        check_equivalence(
+            &CellProfile::cell_2019('a'),
+            &cfg,
+            &format!("sharded K={k}"),
+        );
+    }
+}
+
 /// Bounded candidate search is a deliberate departure from exact
 /// best-fit: it must still produce a valid simulation (all invariants
 /// hold; the state machines accept every transition) and remain

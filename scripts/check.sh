@@ -16,6 +16,10 @@
 # lossy write → lenient read → repair → validate), the fast loop when
 # working on the fault subsystem.
 #
+# With --shards, runs only the sharded-placement equivalence suite
+# (every shard count bit-identical to the single index, DESIGN.md §14),
+# the fast loop when working on the shard/pool subsystem.
+#
 # With --profile, runs only the borg-telemetry profile report
 # (experiments/profile): the per-event-kind breakdown of a 512-machine
 # cell-day, with the query-engine round-trip and chrome-trace JSON
@@ -41,6 +45,7 @@ Default (no flag): lint, fmt, clippy, build, tests, profile smoke.
 Modes:
   --lint     borg-lint only (fast pre-commit loop; honors $LINT_BASELINE)
   --chaos    chaos roundtrip suite only (fault injection & trace repair)
+  --shards   sharded-placement equivalence suite only (bit-identity sweep)
   --profile  telemetry profile report only (512-machine cell-day breakdown)
   --bench    default path plus a one-pass smoke of every criterion bench
   --help     this text
@@ -51,11 +56,13 @@ run_bench=0
 lint_only=0
 chaos_only=0
 profile_only=0
+shards_only=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
     --lint) lint_only=1 ;;
     --chaos) chaos_only=1 ;;
+    --shards) shards_only=1 ;;
     --profile) profile_only=1 ;;
     --help | -h)
         usage
@@ -71,21 +78,28 @@ done
 
 # Phase-fraction regression guard over one profile run's output:
 # extract the "guard: dispatch+usage_tick share = NN.N%" line and fail
-# if it exceeds the stored baseline by more than 10 points.
+# if it exceeds the stored baseline ($2: a key in
+# scripts/profile_baseline — dispatch_share for the single-index run,
+# sharded_dispatch_share for the sharded run) by more than 10 points.
 profile_guard() {
     share=$(sed -n 's/^guard: dispatch+usage_tick share = \([0-9.]*\)%.*/\1/p' "$1")
+    key=$2
     if [ -z "$share" ]; then
         echo "profile guard: share line missing from profile output" >&2
         exit 1
     fi
-    baseline=$(cat scripts/profile_baseline)
+    baseline=$(sed -n "s/^${key}=//p" scripts/profile_baseline)
+    if [ -z "$baseline" ]; then
+        echo "profile guard: key ${key} missing from scripts/profile_baseline" >&2
+        exit 1
+    fi
     if ! awk -v s="$share" -v b="$baseline" 'BEGIN { exit !(s <= b + 10.0) }'; then
         echo "profile guard: dispatch+usage_tick share ${share}% exceeds" \
-            "baseline ${baseline}% by more than 10 points" >&2
+            "${key} baseline ${baseline}% by more than 10 points" >&2
         exit 1
     fi
     echo "profile guard: dispatch+usage_tick share ${share}%" \
-        "(baseline ${baseline}%, limit +10 points)"
+        "(${key} baseline ${baseline}%, limit +10 points)"
 }
 
 if [ "$profile_only" -eq 1 ]; then
@@ -93,9 +107,22 @@ if [ "$profile_only" -eq 1 ]; then
     profile_out=$(mktemp)
     cargo run -q --release -p borg-experiments --offline --bin profile >"$profile_out"
     cat "$profile_out"
-    profile_guard "$profile_out"
+    profile_guard "$profile_out" dispatch_share
+    echo "==> telemetry profile (512-machine cell-day, 4 placement shards)"
+    cargo run -q --release -p borg-experiments --offline --bin profile -- --shards 4 >"$profile_out"
+    cat "$profile_out"
+    profile_guard "$profile_out" sharded_dispatch_share
     rm -f "$profile_out"
     echo "Profile check passed."
+    exit 0
+fi
+
+if [ "$shards_only" -eq 1 ]; then
+    echo "==> sharded-placement equivalence (bit-identity across shard counts)"
+    cargo test -p borg-sim --test shard_equivalence --offline -q
+    cargo test -p borg-sim --offline -q --lib shard::
+    cargo test -p borg-sim --offline -q --lib pool::
+    echo "Shard check passed."
     exit 0
 fi
 
@@ -137,7 +164,9 @@ cargo test --workspace --offline -q
 echo "==> telemetry profile smoke (64-machine cell-day)"
 profile_out=$(mktemp)
 cargo run -q --release -p borg-experiments --offline --bin profile -- --machines 64 >"$profile_out"
-profile_guard "$profile_out"
+profile_guard "$profile_out" dispatch_share
+cargo run -q --release -p borg-experiments --offline --bin profile -- --machines 64 --shards 4 >"$profile_out"
+profile_guard "$profile_out" sharded_dispatch_share
 rm -f "$profile_out"
 
 if [ "$run_bench" -eq 1 ]; then
