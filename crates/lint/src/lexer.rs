@@ -39,10 +39,19 @@ pub struct Tok {
 }
 
 /// Multi-char operators, longest first so maximal munch works.
-const OPS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+///
+/// Deliberately absent: `<<`, `>>`, `<<=`, `>>=`. The item parser
+/// ([`crate::parse`]) tracks generic-argument depth by counting `<` and
+/// `>` tokens, and a glued `>>` would swallow both closers of
+/// `Vec<Vec<u32>>` in one token (likewise `Foo<<T as B>::O>` opens two
+/// depths at once). Shift expressions simply lex as two adjacent
+/// angle-bracket tokens — no rule patterns on shifts, so nothing is
+/// lost. `->` stays fused so a return arrow can never be miscounted as
+/// a generic closer.
+const OPS3: &[&str] = &["..=", "..."];
 const OPS2: &[&str] = &[
     "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=",
-    "&=", "|=", "<<", ">>",
+    "&=", "|=",
 ];
 
 /// Lexes `src` into a flat token stream. Unrecognised bytes become
@@ -375,6 +384,49 @@ mod tests {
         let ts = kinds("for i in 0..n {}");
         assert!(ts.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
         assert!(ts.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_single_tokens() {
+        // `r#fn` / `r#type` are ordinary identifiers that happen to
+        // spell keywords; the item parser must see them as one Ident
+        // (with the `r#` sigil preserved) and NOT as the `fn` keyword.
+        let ts = kinds("fn r#fn() { r#type(); }");
+        assert_eq!(ts[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(ts[1], (TokKind::Ident, "r#fn".into()));
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+        // And a raw identifier is not mistaken for a raw string.
+        let ts = kinds(r##"let r#match = r#"text"#;"##);
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#match"));
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("text")));
+    }
+
+    #[test]
+    fn nested_generic_closers_are_individual_tokens() {
+        // `Vec<Vec<u32>>` must close two generic depths with two `>`
+        // tokens — a glued `>>` shift token would break the item
+        // parser's depth tracking.
+        let ts = kinds("fn f() -> Vec<Vec<u32>> { g::<Option<Option<u8>>>() }");
+        let closers = ts.iter().filter(|(k, t)| *k == TokKind::Punct && t == ">");
+        assert_eq!(closers.count(), 5, "every `>` lexes on its own");
+        assert!(ts.iter().all(|(_, t)| t != ">>"));
+    }
+
+    #[test]
+    fn return_arrow_is_never_a_generic_closer() {
+        // Inside nested generics, `->` (one token) must stay distinct
+        // from `>` so `Fn() -> T` bounds don't unbalance the depth.
+        let ts = kinds("fn apply<F: Fn(u32) -> Vec<u32>>(f: F) -> u8 { 0 }");
+        let arrows = ts.iter().filter(|(_, t)| t == "->").count();
+        let closers = ts.iter().filter(|(_, t)| t == ">").count();
+        assert_eq!(arrows, 2, "both return arrows lex as `->`");
+        assert_eq!(closers, 2, "generic closers: Vec<..> and the <F: ..>");
     }
 
     #[test]

@@ -1,27 +1,43 @@
 //! CLI for `borg-lint`; see `--help`. Exit codes: 0 clean, 1 findings,
-//! 2 usage or I/O error.
+//! 2 usage or I/O error, 3 clean findings but rotted suppressions or
+//! baseline entries (delete them).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use borg_lint::{lint_workspace, render_baseline, Allowlist, RuleId};
+use borg_lint::{
+    json, lint_workspace, render_baseline, Allowlist, ReachKind, RuleId, WorkspaceReport,
+};
 
 const USAGE: &str = "\
-borg-lint: workspace determinism & soundness lint (see DESIGN.md §10)
+borg-lint: workspace determinism & soundness lint (see DESIGN.md §10, §15)
 
 usage: borg-lint [options]
   --root DIR             workspace root to scan (default: .)
   --baseline FILE        suppress diagnostics listed in FILE
                          (also read from $LINT_BASELINE when unset)
   --write-baseline FILE  write current diagnostics to FILE and exit 0
+  --format text|json     findings format on stdout (default: text)
+  --json FILE            also write the JSON report to FILE
+  --explain FN           print why FN is contract/pool-policed (the
+                         reachability chain from the nearest root)
+  --dump-graph           print the contract/pool reachability set
+                         (file:line\\tfn\\tscope, sorted) and exit
   --list-rules           print the rule catalogue and exit
   -q, --quiet            print only the summary line
+
+exit codes: 0 clean · 1 findings · 2 usage/IO error · 3 clean but
+unused suppressions or baseline entries remain
 ";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut json_file: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut explain: Option<String> = None;
+    let mut dump_graph = false;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -39,6 +55,23 @@ fn main() -> ExitCode {
                 Some(v) => write_baseline = Some(PathBuf::from(v)),
                 None => return usage_error("--write-baseline needs a value"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                Some(other) => {
+                    return usage_error(&format!("--format must be text or json, got `{other}`"))
+                }
+                None => return usage_error("--format needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_file = Some(PathBuf::from(v)),
+                None => return usage_error("--json needs a value"),
+            },
+            "--explain" => match args.next() {
+                Some(v) => explain = Some(v),
+                None => return usage_error("--explain needs a function name"),
+            },
+            "--dump-graph" => dump_graph = true,
             "--list-rules" => {
                 for r in RuleId::ALL {
                     println!("{} {}: {}", r.id(), r.slug(), r.describe());
@@ -75,40 +108,113 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = match lint_workspace(&root, &allow) {
-        Ok(d) => d,
+    let report = match lint_workspace(&root, &allow) {
+        Ok(r) => r,
         Err(e) => return io_error(&format!("scanning {}: {e}", root.display())),
     };
 
+    if dump_graph {
+        println!("{}", report.graph.dump(&report.reach));
+        return ExitCode::SUCCESS;
+    }
+    if let Some(needle) = explain {
+        return explain_fn(&report, &needle);
+    }
+
     if let Some(path) = write_baseline {
-        if let Err(e) = std::fs::write(&path, render_baseline(&diags)) {
+        if let Err(e) = std::fs::write(&path, render_baseline(&report.diags)) {
             return io_error(&format!("writing {}: {e}", path.display()));
         }
         println!(
             "borg-lint: wrote {} entries to {}",
-            diags.len(),
+            report.diags.len(),
             path.display()
         );
         return ExitCode::SUCCESS;
     }
 
-    if !quiet {
-        for d in &diags {
-            println!("{}", d.render());
+    if let Some(path) = &json_file {
+        if let Err(e) = std::fs::write(path, json::render_report(&report)) {
+            return io_error(&format!("writing {}: {e}", path.display()));
         }
     }
-    if diags.is_empty() {
-        println!("borg-lint: clean");
-        ExitCode::SUCCESS
-    } else {
+    if format == "json" {
+        print!("{}", json::render_report(&report));
+        return if report.diags.is_empty() {
+            if report.unused.is_empty() && report.unused_baseline.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(3)
+            }
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if !quiet {
+        for d in &report.diags {
+            println!("{}", d.render());
+        }
+        for u in &report.unused {
+            println!("warning: {}", u.render());
+        }
+        for e in &report.unused_baseline {
+            println!("warning: unused baseline entry `{e}` (no finding matches; delete it)");
+        }
+    }
+    let n = report.diags.len();
+    let rotted = report.unused.len() + report.unused_baseline.len();
+    if n > 0 {
         println!(
-            "borg-lint: {} diagnostic{} (suppress at the site with `// lint: <rule>-ok (reason)` \
-             or run with --write-baseline)",
-            diags.len(),
-            if diags.len() == 1 { "" } else { "s" }
+            "borg-lint: {n} diagnostic{} (suppress at the site with `// lint: <rule>-ok \
+             (reason)` or run with --write-baseline)",
+            if n == 1 { "" } else { "s" }
         );
         ExitCode::FAILURE
+    } else if rotted > 0 {
+        println!(
+            "borg-lint: clean, but {rotted} rotted suppression{}/baseline entr{} remain — \
+             delete them",
+            if rotted == 1 { "" } else { "s" },
+            if rotted == 1 { "y" } else { "ies" }
+        );
+        ExitCode::from(3)
+    } else {
+        println!(
+            "borg-lint: clean ({} files, {} fns, {:.1} ms)",
+            report.n_files,
+            report.graph.nodes.len(),
+            report.total_ms
+        );
+        ExitCode::SUCCESS
     }
+}
+
+/// `--explain FN`: prints, for every function matching `FN`, the BFS
+/// chain from the nearest contract root and pool worker (if policed).
+fn explain_fn(report: &WorkspaceReport, needle: &str) -> ExitCode {
+    let hits = report.graph.find(needle);
+    if hits.is_empty() {
+        println!("borg-lint: no function named `{needle}` in the workspace graph");
+        return ExitCode::FAILURE;
+    }
+    for node in hits {
+        println!("{}", report.graph.describe(node));
+        let mut policed = false;
+        for (kind, label) in [(ReachKind::Contract, "contract"), (ReachKind::Pool, "pool")] {
+            if let Some(chain) = report.graph.chain(&report.reach, kind, node) {
+                policed = true;
+                println!("  {label}-reachable via:");
+                for (depth, &n) in chain.iter().enumerate() {
+                    println!("    {}{}", "  ".repeat(depth), report.graph.describe(n));
+                }
+            }
+        }
+        if !policed {
+            println!("  not contract- or pool-reachable: C2/C3 do not apply here");
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn usage_error(msg: &str) -> ExitCode {

@@ -1,23 +1,40 @@
-//! The rule engine: six named rules pattern-matched over the token
-//! stream from [`crate::lexer`].
+//! The rule engine: ten named rules pattern-matched over the token
+//! stream from [`crate::lexer`], scoped by the call-graph reachability
+//! computed in [`crate::graph`].
 //!
 //! | ID | slug                        | hazard                                          |
 //! |----|-----------------------------|-------------------------------------------------|
 //! | D1 | nondeterministic-iteration  | iterating hash maps/sets in deterministic crates|
 //! | D2 | nondeterministic-source     | wall clock, entropy, thread identity            |
-//! | D3 | float-reduction             | partial-order float compares; re-associable sums|
+//! | D3 | float-reduction             | partial-order float compares treated as total   |
+//! | C1 | channel-protocol            | untagged `send`; `recv` outside the pool API    |
+//! | C2 | unwind-across-pool          | panic paths in code dispatched onto WorkerPool  |
+//! | C3 | order-sensitive-reduction   | unordered reductions in contract-reachable code |
 //! | S1 | undocumented-unsafe         | `unsafe` without a `// SAFETY:` comment         |
 //! | S2 | library-panic               | `unwrap`/`expect`/`panic!` in library code      |
 //! | S3 | truncating-cast             | `as u32` in the query crate's code paths        |
+//! | G1 | contract-root               | a `CONTRACT_ROOTS` entry points at nothing      |
+//!
+//! C2 and C3 are the graph-scoped rules: they apply not to named files
+//! but to every function transitively reachable from the contract
+//! entry points ([`crate::graph::CONTRACT_ROOTS`]) or from a
+//! `WorkerPool` worker function — `borg-lint --explain <fn>` prints the
+//! chain that put a function in scope. G1 keeps the root table honest:
+//! renaming an entry point without updating the table is itself a
+//! finding, not a silent scope shrink.
 //!
 //! Every diagnostic is suppressable at the site with
 //! `// lint: <slug>-ok (reason)` (or `// lint: <ID>-ok (reason)`) on
-//! the same line or the line above; the reason is mandatory. The rules
-//! are heuristic by design — they run on tokens, not types — and the
-//! scoping that keeps them honest lives in [`crate::FileClass`].
+//! the same line or the line above; the reason is mandatory, and a
+//! suppression whose site no longer fires is reported as *unused* (its
+//! reason has rotted — delete it). The rules are heuristic by design —
+//! they run on tokens, not types — and the scoping that keeps them
+//! honest lives in [`crate::FileClass`] and [`crate::graph::FileScope`].
 
-use crate::lexer::{lex, Tok, TokKind};
-use crate::{FileClass, Target};
+use crate::graph::FileScope;
+use crate::lexer::{Tok, TokKind};
+use crate::{FileClass, Target, Timings};
+use std::time::Instant;
 
 /// Stable identifiers for the rule catalogue (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,20 +42,28 @@ pub enum RuleId {
     D1,
     D2,
     D3,
+    C1,
+    C2,
+    C3,
     S1,
     S2,
     S3,
+    G1,
 }
 
 impl RuleId {
     /// All rules, in catalogue order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
+        RuleId::C1,
+        RuleId::C2,
+        RuleId::C3,
         RuleId::S1,
         RuleId::S2,
         RuleId::S3,
+        RuleId::G1,
     ];
 
     /// Short ID as printed in diagnostics and allowlists.
@@ -47,9 +72,13 @@ impl RuleId {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
+            RuleId::C1 => "C1",
+            RuleId::C2 => "C2",
+            RuleId::C3 => "C3",
             RuleId::S1 => "S1",
             RuleId::S2 => "S2",
             RuleId::S3 => "S3",
+            RuleId::G1 => "G1",
         }
     }
 
@@ -59,9 +88,13 @@ impl RuleId {
             RuleId::D1 => "nondeterministic-iteration",
             RuleId::D2 => "nondeterministic-source",
             RuleId::D3 => "float-reduction",
+            RuleId::C1 => "channel-protocol",
+            RuleId::C2 => "unwind-across-pool",
+            RuleId::C3 => "order-sensitive-reduction",
             RuleId::S1 => "undocumented-unsafe",
             RuleId::S2 => "library-panic",
             RuleId::S3 => "truncating-cast",
+            RuleId::G1 => "contract-root",
         }
     }
 
@@ -77,15 +110,33 @@ impl RuleId {
                  thread::current, thread_rng, from_entropy) outside bench/criterion"
             }
             RuleId::D3 => {
-                "float reduction hazard: partial_cmp().unwrap()/expect() comparators (use \
-                 total_cmp or handle None), or sum/fold over floats in bit-identity files \
-                 (use the sequential helpers)"
+                "float partial-order hazard: partial_cmp().unwrap()/expect() comparators \
+                 (use total_cmp or handle None)"
+            }
+            RuleId::C1 => {
+                "channel-protocol breach: `.send(…)` in deterministic code without a \
+                 batch-position tag tuple `((tag, …))`, or `.recv()` outside the blessed \
+                 pool API (crates/sim/src/pool.rs)"
+            }
+            RuleId::C2 => {
+                "panic path dispatched onto the WorkerPool: unwrap/expect/panic! reachable \
+                 from a worker fn (and unchecked indexing in the worker body itself) with no \
+                 catch_unwind — a worker panic poisons determinism silently"
+            }
+            RuleId::C3 => {
+                "order-sensitive reduction in contract-reachable code: float sum/fold or \
+                 reduce/min_by/max_by — use the sequential helpers (sum_seq) or the blessed \
+                 fixed-order combining loop (shard::combine_winners)"
             }
             RuleId::S1 => "`unsafe` without a `// SAFETY:` comment in the preceding three lines",
             RuleId::S2 => "unwrap()/expect()/panic! in deterministic-crate library code",
             RuleId::S3 => {
                 "truncating `as u32` cast in borg-query library code; use cast::code32 / \
                  u32::try_from"
+            }
+            RuleId::G1 => {
+                "a graph::CONTRACT_ROOTS entry names a function its file no longer defines; \
+                 update the root table so the contract scope cannot silently shrink"
             }
         }
     }
@@ -114,6 +165,34 @@ impl Diagnostic {
     }
 }
 
+/// A `// lint: <marker>-ok (…)` comment whose site no longer triggers
+/// the rule it names — the reason has rotted and the comment must go.
+#[derive(Debug, Clone)]
+pub struct UnusedSuppression {
+    pub file: String,
+    pub line: u32,
+    /// The marker as written, `-ok` stripped (a slug or a rule ID).
+    pub marker: String,
+    /// False when the marker names no rule in the catalogue at all.
+    pub known: bool,
+}
+
+impl UnusedSuppression {
+    pub fn render(&self) -> String {
+        if self.known {
+            format!(
+                "{}:{}: unused suppression `{}-ok` (site no longer triggers the rule; delete it)",
+                self.file, self.line, self.marker
+            )
+        } else {
+            format!(
+                "{}:{}: unknown suppression marker `{}-ok` (no such rule; typo?)",
+                self.file, self.line, self.marker
+            )
+        }
+    }
+}
+
 /// Hash-container type names whose iteration order is arbitrary.
 const MAP_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
 
@@ -133,21 +212,10 @@ const ITER_METHODS: &[&str] = &[
     "extract_if",
 ];
 
-/// Files under the bit-identity contract (parallel == sequential query,
-/// indexed == naive placement): D3 additionally polices re-associable
-/// float accumulation here.
-const BIT_IDENTITY_FILES: &[&str] = &[
-    "crates/query/src/parallel.rs",
-    "crates/query/src/groupby.rs",
-    "crates/sim/src/index.rs",
-    "crates/sim/src/shard.rs",
-    "crates/sim/src/pool.rs",
-];
-
 /// Iterator reductions whose winner depends on visit order when scores
-/// tie (or on float associativity): in a bit-identity file, per-shard
-/// results must flow through the blessed fixed-order combining loop
-/// (`shard::combine_winners`) instead.
+/// tie (or on float associativity): in contract-reachable code,
+/// per-shard results must flow through the blessed fixed-order
+/// combining loop (`shard::combine_winners`) instead.
 const ORDER_SENSITIVE_REDUCERS: &[&str] =
     &["reduce", "min_by", "max_by", "min_by_key", "max_by_key"];
 
@@ -159,50 +227,87 @@ const ORDER_SENSITIVE_REDUCERS: &[&str] =
 /// excluded from every determinism contract.
 const D2_BLESSED_FILES: &[&str] = &["crates/telemetry/src/clock.rs"];
 
-/// Lints one file. `rel` is the repo-relative, `/`-separated path; it
-/// selects rule scope via `fc` (see [`crate::classify`]).
-pub fn lint_file(rel: &str, src: &str, fc: &FileClass) -> Vec<Diagnostic> {
-    let all = lex(src);
-    let mut comments: Vec<(u32, String)> = Vec::new();
-    let mut toks: Vec<Tok> = Vec::with_capacity(all.len());
-    for t in all {
-        if t.kind == TokKind::Comment {
-            // A block comment spanning lines suppresses/justifies only
-            // at its start line; good enough for `// …` style markers.
-            comments.push((t.line, t.text));
-        } else {
-            toks.push(t);
-        }
-    }
-    let in_test = test_regions(&toks);
+/// The one file allowed to call `.recv()` on a channel: the pool API
+/// restores batch order behind this boundary (C1).
+const BLESSED_POOL_FILE: &str = "crates/sim/src/pool.rs";
 
+/// Everything the workspace pipeline hands a per-file rule run.
+pub(crate) struct FileInput<'a> {
+    pub rel: &'a str,
+    pub toks: &'a [Tok],
+    pub comments: &'a [(u32, String)],
+    pub in_test: &'a [bool],
+    pub fc: &'a FileClass,
+    pub scope: &'a FileScope,
+}
+
+/// Per-file rule output: findings plus rotted suppressions.
+pub(crate) struct FileOutcome {
+    pub diags: Vec<Diagnostic>,
+    pub unused: Vec<UnusedSuppression>,
+}
+
+/// Runs every applicable rule over one prepared file, accumulating
+/// per-rule wall time into `timings`.
+pub(crate) fn lint_tokens(input: &FileInput, timings: &mut Timings) -> FileOutcome {
+    let fc = input.fc;
     let mut ctx = Ctx {
-        rel,
-        toks: &toks,
-        comments: &comments,
-        in_test: &in_test,
+        rel: input.rel,
+        toks: input.toks,
+        comments: input.comments,
+        in_test: input.in_test,
+        scope: input.scope,
         out: Vec::new(),
+        used: Vec::new(),
     };
 
     let deterministic_lib = fc.deterministic && fc.target == Target::Lib;
-    if deterministic_lib {
-        rule_d1(&mut ctx);
-        rule_d3(&mut ctx);
-        rule_s2(&mut ctx);
-    }
-    if !matches!(fc.krate.as_str(), "criterion" | "bench")
-        && matches!(fc.target, Target::Lib | Target::Bin)
-        && !D2_BLESSED_FILES.contains(&rel)
-    {
-        rule_d2(&mut ctx);
-    }
-    rule_s1(&mut ctx);
-    if fc.krate == "query" && fc.target == Target::Lib {
-        rule_s3(&mut ctx);
-    }
+    let mut run = |id: RuleId, on: bool, ctx: &mut Ctx, f: fn(&mut Ctx)| {
+        if !on {
+            return;
+        }
+        let t0 = Instant::now();
+        f(ctx);
+        timings.add(id.id(), t0.elapsed().as_secs_f64() * 1e3);
+    };
+    run(RuleId::D1, deterministic_lib, &mut ctx, rule_d1);
+    run(
+        RuleId::D2,
+        !matches!(fc.krate.as_str(), "criterion" | "bench")
+            && matches!(fc.target, Target::Lib | Target::Bin)
+            && !D2_BLESSED_FILES.contains(&input.rel),
+        &mut ctx,
+        rule_d2,
+    );
+    run(RuleId::D3, deterministic_lib, &mut ctx, rule_d3);
+    run(RuleId::C1, deterministic_lib, &mut ctx, rule_c1);
+    run(
+        RuleId::C2,
+        !input.scope.pool.is_empty() || !input.scope.opaque_pool_workers.is_empty(),
+        &mut ctx,
+        rule_c2,
+    );
+    run(
+        RuleId::C3,
+        deterministic_lib && !input.scope.contract.is_empty(),
+        &mut ctx,
+        rule_c3,
+    );
+    run(RuleId::S1, true, &mut ctx, rule_s1);
+    run(RuleId::S2, deterministic_lib, &mut ctx, rule_s2);
+    run(
+        RuleId::S3,
+        fc.krate == "query" && fc.target == Target::Lib,
+        &mut ctx,
+        rule_s3,
+    );
 
     ctx.out.sort_by_key(|d| (d.line, d.rule));
-    ctx.out
+    let unused = unused_suppressions(&ctx);
+    FileOutcome {
+        diags: ctx.out,
+        unused,
+    }
 }
 
 /// Shared per-file state threaded through the rule passes.
@@ -211,14 +316,20 @@ struct Ctx<'a> {
     toks: &'a [Tok],
     comments: &'a [(u32, String)],
     in_test: &'a [bool],
+    scope: &'a FileScope,
     out: Vec<Diagnostic>,
+    /// `(comment_line, rule)` pairs whose suppression absorbed a
+    /// finding — everything else carrying a marker is *unused*.
+    used: Vec<(u32, RuleId)>,
 }
 
 impl Ctx<'_> {
     /// Emits unless a `// lint: <slug|ID>-ok (reason)` comment covers
-    /// `line` (same line or the line above, reason required).
+    /// `line` (same line or the line above, reason required); a
+    /// consumed suppression is recorded so rotted ones can be reported.
     fn emit(&mut self, line: u32, rule: RuleId, message: String) {
-        if self.suppressed(line, rule) {
+        if let Some(comment_line) = self.suppression_line(line, rule) {
+            self.used.push((comment_line, rule));
             return;
         }
         self.out.push(Diagnostic {
@@ -229,11 +340,12 @@ impl Ctx<'_> {
         });
     }
 
-    fn suppressed(&self, line: u32, rule: RuleId) -> bool {
+    fn suppression_line(&self, line: u32, rule: RuleId) -> Option<u32> {
         self.comments
             .iter()
             .filter(|(l, _)| *l == line || *l + 1 == line)
-            .any(|(_, text)| has_suppression(text, rule))
+            .find(|(_, text)| has_suppression(text, rule))
+            .map(|(l, _)| *l)
     }
 
     /// True when a `// SAFETY:` comment sits on `line` or within the
@@ -259,11 +371,18 @@ fn has_suppression(comment: &str, rule: RuleId) -> bool {
         let needle = format!("{marker}-ok");
         let mut search = body;
         while let Some(at) = search.find(&needle) {
+            // Reject partial-word hits: `float-reduction-ok` must not
+            // satisfy a lookup for `reduction-ok`.
+            let clean_start = at == 0
+                || !search[..at]
+                    .ends_with(|c: char| c.is_ascii_alphanumeric() || c == '-' || c == '_');
             let after = search[at + needle.len()..].trim_start();
-            if let Some(rest) = after.strip_prefix('(') {
-                if let Some(close) = rest.find(')') {
-                    if !rest[..close].trim().is_empty() {
-                        return true;
+            if clean_start {
+                if let Some(rest) = after.strip_prefix('(') {
+                    if let Some(close) = rest.find(')') {
+                        if !rest[..close].trim().is_empty() {
+                            return true;
+                        }
                     }
                 }
             }
@@ -273,10 +392,77 @@ fn has_suppression(comment: &str, rule: RuleId) -> bool {
     false
 }
 
+/// Every `<marker>-ok` token after a `lint:` prefix, marker text with
+/// the `-ok` stripped. Used for unused/unknown-marker reporting.
+pub(crate) fn suppression_markers(comment: &str) -> Vec<String> {
+    let lower = comment.to_ascii_lowercase();
+    let Some(pos) = lower.find("lint:") else {
+        return Vec::new();
+    };
+    let body = &lower[pos + "lint:".len()..];
+    let mut out = Vec::new();
+    // Split into maximal marker-character words, keep those ending -ok.
+    for word in body.split(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_')) {
+        if let Some(marker) = word.strip_suffix("-ok") {
+            if !marker.is_empty() {
+                out.push(marker.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Reports suppression comments no finding consumed. Comments adjacent
+/// to test-region tokens are exempt — rules skip test code entirely, so
+/// markers there can never be consumed and are documentation at worst.
+fn unused_suppressions(ctx: &Ctx) -> Vec<UnusedSuppression> {
+    let mut test_lines: Vec<u32> = ctx
+        .toks
+        .iter()
+        .zip(ctx.in_test)
+        .filter(|(_, &t)| t)
+        .map(|(tok, _)| tok.line)
+        .collect();
+    test_lines.sort_unstable();
+    test_lines.dedup();
+    let near_test =
+        |l: u32| (l.saturating_sub(1)..=l + 1).any(|cand| test_lines.binary_search(&cand).is_ok());
+    let mut out = Vec::new();
+    for (line, text) in ctx.comments {
+        for marker in suppression_markers(text) {
+            if near_test(*line) {
+                continue;
+            }
+            let rule = RuleId::ALL
+                .iter()
+                .find(|r| r.slug() == marker || r.id().eq_ignore_ascii_case(&marker));
+            match rule {
+                Some(&r) => {
+                    if !ctx.used.contains(&(*line, r)) {
+                        out.push(UnusedSuppression {
+                            file: ctx.rel.to_string(),
+                            line: *line,
+                            marker,
+                            known: true,
+                        });
+                    }
+                }
+                None => out.push(UnusedSuppression {
+                    file: ctx.rel.to_string(),
+                    line: *line,
+                    marker,
+                    known: false,
+                }),
+            }
+        }
+    }
+    out
+}
+
 /// Marks tokens covered by `#[test]`-like or `#[cfg(test)]`-gated
 /// items (including the attribute itself). `#[cfg(not(test))]` does
 /// not count.
-fn test_regions(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -580,18 +766,16 @@ fn rule_d2(ctx: &mut Ctx) {
     }
 }
 
-/// D3: float-reduction hazards. Everywhere in scope:
-/// `partial_cmp(…).unwrap()/.expect(…)`. In bit-identity files
-/// additionally: `.sum::<f64|f32>()` and `fold(<float literal>`.
+/// D3: `partial_cmp(…).unwrap()/.expect(…)` — a partial order treated
+/// as total. (Re-associable float reductions are C3's job, scoped by
+/// contract reachability rather than a file list.)
 fn rule_d3(ctx: &mut Ctx) {
     let toks = ctx.toks;
-    let contract_file = BIT_IDENTITY_FILES.contains(&ctx.rel);
     for i in 0..toks.len() {
         if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
             continue;
         }
         let t = &toks[i];
-
         if t.text == "partial_cmp" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
             // Skip to the matching `)` and look for `.unwrap(`/`.expect(`.
             let mut depth = 0isize;
@@ -625,60 +809,233 @@ fn rule_d3(ctx: &mut Ctx) {
                 );
             }
         }
+    }
+}
 
-        if contract_file {
-            if t.text == "sum"
-                && toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) == Some(".")
-                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("::")
-                && toks.get(i + 2).map(|t| t.text.as_str()) == Some("<")
-                && matches!(
-                    toks.get(i + 3).map(|t| t.text.as_str()),
-                    Some("f64") | Some("f32")
-                )
-            {
+/// C1: channel protocol. Every `.send(…)` in deterministic library
+/// code must carry a batch-position tag tuple (`send((tag, payload))`)
+/// so the receiving side can restore submission order; `.recv()` and
+/// friends belong behind the blessed pool API only.
+fn rule_c1(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        let method_call = i >= 1
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(");
+        if !method_call {
+            continue;
+        }
+        if t.text == "send" && toks.get(i + 2).map(|t| t.text.as_str()) != Some("(") {
+            ctx.emit(
+                t.line,
+                RuleId::C1,
+                "`.send(…)` without a batch-position tag: the pool protocol sends \
+                 `((tag, payload))` tuples so the receiver can restore submission order; \
+                 tag the message or annotate `// lint: channel-protocol-ok (reason)`"
+                    .to_string(),
+            );
+        }
+        if matches!(t.text.as_str(), "recv" | "try_recv" | "recv_timeout")
+            && ctx.rel != BLESSED_POOL_FILE
+        {
+            let what = t.text.clone();
+            ctx.emit(
+                t.line,
+                RuleId::C1,
+                format!(
+                    "bare `.{what}()` outside the blessed pool API \
+                     ({BLESSED_POOL_FILE}): consume results through WorkerPool::run so batch \
+                     order is restored, or annotate `// lint: channel-protocol-ok (reason)`"
+                ),
+            );
+        }
+    }
+}
+
+/// Identifier-like tokens that precede `[` without forming an index
+/// expression (`for x in [..]`, `match x { .. }` arms, casts).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "in", "return", "break", "as", "else", "match", "loop", "move", "mut", "ref", "static",
+    "const", "let", "if", "while",
+];
+
+/// C2: panic paths dispatched onto the `WorkerPool`. In any function
+/// transitively reachable from a pool worker fn: no `unwrap`/`expect`/
+/// `panic!` (the unwind crosses the pool boundary and poisons the
+/// batch-order protocol silently). In the worker fn's own body,
+/// unchecked indexing is flagged too — it is the direct dispatch
+/// surface. A reachable span containing `catch_unwind` is exempt: the
+/// unwind is contained.
+fn rule_c2(ctx: &mut Ctx) {
+    // The pool implementation is the boundary itself: its panic sites
+    // are the protocol's own caller-thread re-raises (each already S2
+    // reason-suppressed), not payload code dispatched onto workers.
+    if ctx.rel == BLESSED_POOL_FILE {
+        return;
+    }
+    let toks = ctx.toks;
+    let catch_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text == "catch_unwind")
+        .map(|t| t.line)
+        .collect();
+    let guarded = |line: u32| {
+        ctx.scope
+            .pool
+            .iter()
+            .filter(|&&(s, e)| s <= line && line <= e)
+            .any(|&(s, e)| catch_lines.iter().any(|&cl| s <= cl && cl <= e))
+    };
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let line = t.line;
+        if t.kind == TokKind::Ident && ctx.scope.in_pool(line) && !guarded(line) {
+            let method_call = |name: &str| {
+                t.text == name
+                    && i >= 1
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+            };
+            if method_call("unwrap") || method_call("expect") {
+                let what = t.text.clone();
                 ctx.emit(
-                    t.line,
-                    RuleId::D3,
-                    "float `.sum()` in a bit-identity file: re-associating this reduction \
-                     changes results; use the blessed sequential helper (sum_seq) or annotate \
-                     `// lint: float-reduction-ok (reason)`"
-                        .to_string(),
-                );
-            }
-            if t.text == "fold" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
-                if let Some(seed) = toks.get(i + 2) {
-                    let is_float = seed.kind == TokKind::Num
-                        && (seed.text.contains('.')
-                            || seed.text.ends_with("f32")
-                            || seed.text.ends_with("f64"));
-                    if is_float {
-                        ctx.emit(
-                            t.line,
-                            RuleId::D3,
-                            "float `fold` in a bit-identity file: re-associating this \
-                             reduction changes results; use the blessed sequential helper \
-                             (sum_seq) or annotate `// lint: float-reduction-ok (reason)`"
-                                .to_string(),
-                        );
-                    }
-                }
-            }
-            if ORDER_SENSITIVE_REDUCERS.contains(&t.text.as_str())
-                && toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) == Some(".")
-                && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
-            {
-                ctx.emit(
-                    t.line,
-                    RuleId::D3,
+                    line,
+                    RuleId::C2,
                     format!(
-                        "`.{}()` in a bit-identity file: an unordered reduction breaks the \
-                         winner when scores tie; combine per-shard results through the \
-                         blessed fixed-order loop (shard::combine_winners) or annotate \
-                         `// lint: float-reduction-ok (reason)`",
-                        t.text
+                        "`.{what}()` in code dispatched onto the WorkerPool \
+                         (borg-lint --explain shows the chain): a worker panic unwinds across \
+                         the pool and poisons determinism silently; return an error, contain \
+                         it with catch_unwind, or annotate \
+                         `// lint: unwind-across-pool-ok (reason)`"
                     ),
                 );
             }
+            if t.text == "panic" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("!") {
+                ctx.emit(
+                    line,
+                    RuleId::C2,
+                    "`panic!` in code dispatched onto the WorkerPool (borg-lint --explain \
+                     shows the chain): the unwind crosses the pool boundary; return an error, \
+                     contain it with catch_unwind, or annotate \
+                     `// lint: unwind-across-pool-ok (reason)`"
+                        .to_string(),
+                );
+            }
+        }
+        // Unchecked indexing, worker bodies only (the direct dispatch
+        // surface): `recv[`, `f()[`, `xs][`-chains.
+        if t.kind == TokKind::Punct
+            && t.text == "["
+            && ctx.scope.in_pool_direct(line)
+            && !guarded(line)
+            && i >= 1
+        {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev.text.as_str()),
+                TokKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+                _ => false,
+            };
+            if indexes {
+                ctx.emit(
+                    line,
+                    RuleId::C2,
+                    "unchecked indexing in a WorkerPool worker body panics across the pool \
+                     on a bad index; use .get() and handle None, or annotate \
+                     `// lint: unwind-across-pool-ok (reason)`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    for &line in &ctx.scope.opaque_pool_workers {
+        ctx.emit(
+            line,
+            RuleId::C2,
+            "WorkerPool::new with a worker that is not a named `fn` (closure or unresolved \
+             path): the lint cannot police what runs on the pool; dispatch a named function \
+             (`name as fn(J) -> R`) or annotate `// lint: unwind-across-pool-ok (reason)`"
+                .to_string(),
+        );
+    }
+}
+
+/// C3: order-sensitive reductions in contract-reachable code —
+/// re-associable float accumulation (`.sum::<f64>()`, float `fold`)
+/// and tie-unstable winners (`reduce`/`min_by`/`max_by`/…). This is
+/// the graph-scoped generalization of the old `BIT_IDENTITY_FILES`
+/// list: scope is computed from [`crate::graph::CONTRACT_ROOTS`].
+fn rule_c3(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        if !ctx.scope.in_contract(t.line) {
+            continue;
+        }
+        if t.text == "sum"
+            && toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) == Some(".")
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some("<")
+            && matches!(
+                toks.get(i + 3).map(|t| t.text.as_str()),
+                Some("f64") | Some("f32")
+            )
+        {
+            ctx.emit(
+                t.line,
+                RuleId::C3,
+                "float `.sum()` in contract-reachable code (borg-lint --explain shows the \
+                 chain): re-associating this reduction changes results; use the blessed \
+                 sequential helper (sum_seq) or annotate \
+                 `// lint: order-sensitive-reduction-ok (reason)`"
+                    .to_string(),
+            );
+        }
+        if t.text == "fold" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(") {
+            if let Some(seed) = toks.get(i + 2) {
+                let is_float = seed.kind == TokKind::Num
+                    && (seed.text.contains('.')
+                        || seed.text.ends_with("f32")
+                        || seed.text.ends_with("f64"));
+                if is_float {
+                    ctx.emit(
+                        t.line,
+                        RuleId::C3,
+                        "float `fold` in contract-reachable code (borg-lint --explain shows \
+                         the chain): re-associating this reduction changes results; use the \
+                         blessed sequential helper (sum_seq) or annotate \
+                         `// lint: order-sensitive-reduction-ok (reason)`"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        if ORDER_SENSITIVE_REDUCERS.contains(&t.text.as_str())
+            && toks.get(i.wrapping_sub(1)).map(|t| t.text.as_str()) == Some(".")
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            ctx.emit(
+                t.line,
+                RuleId::C3,
+                format!(
+                    "`.{}()` in contract-reachable code (borg-lint --explain shows the \
+                     chain): an unordered reduction breaks the winner when scores tie; \
+                     combine per-shard results through the blessed fixed-order loop \
+                     (shard::combine_winners) or annotate \
+                     `// lint: order-sensitive-reduction-ok (reason)`",
+                    t.text
+                ),
+            );
         }
     }
 }

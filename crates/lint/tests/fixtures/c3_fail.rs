@@ -1,0 +1,26 @@
+//! C3 failing fixture (linted as `crates/query/src/parallel.rs`): the
+//! `map_blocks` contract root reaches helpers that re-associate float
+//! reductions and pick winners with order-sensitive reducers. The
+//! `unreached` helper carries the same hazard but is NOT called from
+//! the root — it must stay out of scope, proving C3 is graph-scoped
+//! rather than file-scoped.
+
+pub fn map_blocks(xs: &[f64]) -> f64 {
+    total(xs) + total_fold(xs) + best(xs).unwrap_or(0.0)
+}
+
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn total_fold(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}
+
+fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().min_by(|a, b| a.total_cmp(b))
+}
+
+pub fn unreached(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

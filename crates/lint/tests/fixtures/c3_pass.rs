@@ -1,0 +1,25 @@
+//! C3 passing fixture: the contract root reduces through a blessed
+//! sequential helper; the order-sensitive shortcut is allowed only
+//! behind an annotation; and a hazard in an *unreached* helper is out
+//! of contract scope by construction.
+
+pub fn map_blocks(xs: &[f64]) -> f64 {
+    sum_seq(xs.iter().copied()) + fast_total(xs)
+}
+
+fn sum_seq(it: impl Iterator<Item = f64>) -> f64 {
+    let mut acc = 0.0;
+    for x in it {
+        acc += x;
+    }
+    acc
+}
+
+fn fast_total(xs: &[f64]) -> f64 {
+    // lint: order-sensitive-reduction-ok (tolerance-checked against sum_seq in tests)
+    xs.iter().sum::<f64>()
+}
+
+pub fn off_contract(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

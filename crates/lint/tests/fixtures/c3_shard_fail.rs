@@ -1,0 +1,33 @@
+//! C3 failing fixture (linted as `crates/sim/src/shard.rs`): both
+//! `ShardedPlacement` contract roots reach order-sensitive reducers —
+//! the per-shard winner combine uses `min_by`/`reduce`/`max_by_key`,
+//! whose result depends on shard arrival order under ties.
+
+pub struct ShardedPlacement {
+    loads: Vec<f64>,
+}
+
+impl ShardedPlacement {
+    pub fn best_fit(&self, shards: &[Vec<f64>]) -> Option<f64> {
+        shards
+            .iter()
+            .filter_map(|s| pick_shard_winner(s))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    pub fn first_preemptible(&self, shards: &[Vec<f64>]) -> Option<f64> {
+        shards
+            .iter()
+            .filter_map(|s| pick_shard_winner(s))
+            .reduce(f64::min)
+    }
+}
+
+fn pick_shard_winner(scores: &[f64]) -> Option<f64> {
+    scores
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by_key(|(i, _)| *i)
+        .map(|(_, s)| s)
+}

@@ -1,0 +1,36 @@
+//! C3 passing fixture: the contract roots combine per-shard winners
+//! with an explicit fixed-order loop keyed on shard index, so ties
+//! break identically regardless of completion order; the one reducer
+//! shortcut is annotated with its tie-break argument.
+
+pub struct ShardedPlacement {
+    loads: Vec<f64>,
+}
+
+impl ShardedPlacement {
+    pub fn best_fit(&self, shards: &[Vec<f64>]) -> Option<f64> {
+        combine_winners(shards)
+    }
+
+    pub fn first_preemptible(&self, shards: &[Vec<f64>]) -> Option<f64> {
+        shards
+            .iter()
+            .enumerate()
+            // lint: order-sensitive-reduction-ok (keys are distinct shard indices, so ties are impossible)
+            .min_by_key(|(i, _)| *i)
+            .and_then(|(_, s)| s.first().copied())
+    }
+}
+
+fn combine_winners(shards: &[Vec<f64>]) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for s in shards {
+        for &x in s {
+            best = Some(match best {
+                Some(b) if b.total_cmp(&x).is_le() => b,
+                _ => x,
+            });
+        }
+    }
+    best
+}

@@ -1,14 +1,10 @@
-//! D3 failing fixture (linted under a bit-identity path): partial-order
-//! float compares and re-associable reductions.
+//! D3 failing fixture: a partial-order float compare treated as total —
+//! `partial_cmp().unwrap()` panics on NaN and hides the partiality.
 
 pub fn sort_scores(xs: &mut [f64]) {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
 }
 
-pub fn total(xs: &[f64]) -> f64 {
-    xs.iter().sum::<f64>()
-}
-
-pub fn total_fold(xs: &[f64]) -> f64 {
-    xs.iter().fold(0.0, |acc, x| acc + x)
+pub fn pick(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("comparable")
 }

@@ -1,23 +1,10 @@
-//! D3 passing fixture: total-order compares; sequential reduction via a
-//! blessed helper; re-association allowed only behind an annotation.
-
-fn sum_seq(it: impl Iterator<Item = f64>) -> f64 {
-    let mut acc = 0.0;
-    for x in it {
-        acc += x;
-    }
-    acc
-}
+//! D3 passing fixture: total-order compares, or the None arm handled
+//! explicitly.
 
 pub fn sort_scores(xs: &mut [f64]) {
     xs.sort_by(|a, b| a.total_cmp(b));
 }
 
-pub fn total(xs: &[f64]) -> f64 {
-    sum_seq(xs.iter().copied())
-}
-
-pub fn fast_total(xs: &[f64]) -> f64 {
-    // lint: float-reduction-ok (tolerance-checked against sum_seq in tests)
-    xs.iter().sum::<f64>()
+pub fn pick(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
 }

@@ -1,0 +1,293 @@
+//! Call-graph integration tests over synthetic mini-crates: name
+//! resolution across blessed crate boundaries, the strictness of the
+//! blessed-edge list, test-code exclusion, trait-method dispatch, and
+//! workspace-level unused-suppression reporting — everything a
+//! single-file fixture cannot exercise.
+
+use borg_lint::{lint_sources, Allowlist, RuleId};
+
+fn ws(files: &[(&str, &str)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), src.to_string()))
+        .collect()
+}
+
+/// The `CellSim::run_cell` root with a cross-crate call into workload.
+const CELL_CALLS_WORKLOAD: &str = "\
+pub struct CellSim;
+
+impl CellSim {
+    pub fn run_cell(&mut self, xs: &[f64]) -> f64 {
+        weigh(xs)
+    }
+}
+";
+
+/// A workload helper carrying an order-sensitive reduction.
+const WEIGH_HAZARD: &str = "\
+pub fn weigh(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+";
+
+#[test]
+fn blessed_cross_crate_edge_extends_the_contract() {
+    // sim → workload is a blessed edge, so the workload helper the
+    // root calls is policed even though it lives in another crate —
+    // the coverage the old hand-named file list structurally lacked.
+    let report = lint_sources(
+        &ws(&[
+            ("crates/sim/src/cell.rs", CELL_CALLS_WORKLOAD),
+            ("crates/workload/src/dist.rs", WEIGH_HAZARD),
+        ]),
+        &Allowlist::empty(),
+    );
+    let c3: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == RuleId::C3)
+        .collect();
+    assert_eq!(c3.len(), 1, "diags: {:?}", report.diags);
+    assert_eq!(c3[0].file, "crates/workload/src/dist.rs");
+    let files = report.contract_files();
+    assert!(files.contains(&"crates/sim/src/cell.rs"));
+    assert!(files.contains(&"crates/workload/src/dist.rs"));
+}
+
+#[test]
+fn unblessed_crates_do_not_resolve() {
+    // Identical shape, but the helper sits in telemetry — NOT on sim's
+    // blessed list. The call does not resolve, the helper stays out of
+    // contract scope, and deleting a blessed edge therefore visibly
+    // shrinks coverage instead of silently keeping stale reach.
+    let report = lint_sources(
+        &ws(&[
+            ("crates/sim/src/cell.rs", CELL_CALLS_WORKLOAD),
+            ("crates/telemetry/src/agg.rs", WEIGH_HAZARD),
+        ]),
+        &Allowlist::empty(),
+    );
+    assert!(
+        report.diags.is_empty(),
+        "telemetry helper must stay unpoliced: {:?}",
+        report.diags
+    );
+    assert!(!report
+        .contract_files()
+        .contains(&"crates/telemetry/src/agg.rs"));
+}
+
+#[test]
+fn test_code_neither_defines_nor_shadows_graph_nodes() {
+    // A #[cfg(test)] fn shadowing the helper's name must not absorb
+    // the call edge (the real helper stays policed), and hazards in
+    // test code are never findings.
+    let cell = "\
+pub struct CellSim;
+
+impl CellSim {
+    pub fn run_cell(&mut self, xs: &[f64]) -> f64 {
+        weigh(xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn weigh(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>()
+    }
+}
+";
+    let report = lint_sources(
+        &ws(&[
+            ("crates/sim/src/cell.rs", cell),
+            ("crates/workload/src/dist.rs", WEIGH_HAZARD),
+        ]),
+        &Allowlist::empty(),
+    );
+    let c3: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == RuleId::C3)
+        .collect();
+    assert_eq!(c3.len(), 1, "diags: {:?}", report.diags);
+    assert_eq!(
+        c3[0].file, "crates/workload/src/dist.rs",
+        "the edge must reach the real helper, not the test shadow"
+    );
+}
+
+#[test]
+fn trait_method_calls_reach_impls() {
+    // Method-call resolution is deliberately over-approximate: a
+    // `.score()` call from contract scope reaches every in-scope impl
+    // of that method name, trait impls included.
+    let cell = "\
+pub trait Scorer {
+    fn score(&self, xs: &[f64]) -> f64;
+}
+
+pub struct Weighted;
+
+impl Scorer for Weighted {
+    fn score(&self, xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>()
+    }
+}
+
+pub struct CellSim;
+
+impl CellSim {
+    pub fn run_cell(&mut self, xs: &[f64]) -> f64 {
+        let s = Weighted;
+        s.score(xs)
+    }
+}
+";
+    let report = lint_sources(
+        &ws(&[("crates/sim/src/cell.rs", cell)]),
+        &Allowlist::empty(),
+    );
+    let c3: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == RuleId::C3)
+        .collect();
+    assert_eq!(c3.len(), 1, "diags: {:?}", report.diags);
+}
+
+#[test]
+fn qualified_trait_name_resolves_to_the_impl() {
+    // `Scorer::score(&w, xs)` — qualifying through the trait name hits
+    // the impl via its trait_qual alias.
+    let cell = "\
+pub trait Scorer {
+    fn score(&self, xs: &[f64]) -> f64;
+}
+
+pub struct Weighted;
+
+impl Scorer for Weighted {
+    fn score(&self, xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>()
+    }
+}
+
+pub struct CellSim;
+
+impl CellSim {
+    pub fn run_cell(&mut self, xs: &[f64]) -> f64 {
+        let w = Weighted;
+        Scorer::score(&w, xs)
+    }
+}
+";
+    let report = lint_sources(
+        &ws(&[("crates/sim/src/cell.rs", cell)]),
+        &Allowlist::empty(),
+    );
+    assert_eq!(
+        report.diags.iter().filter(|d| d.rule == RuleId::C3).count(),
+        1,
+        "diags: {:?}",
+        report.diags
+    );
+}
+
+// --------------------------------------------- unused suppressions
+
+#[test]
+fn rotted_suppression_is_reported_workspace_wide() {
+    let src = "\
+pub fn safe(xs: &[f64]) -> f64 {
+    // lint: library-panic-ok (nothing here panics anymore)
+    xs.first().copied().unwrap_or(0.0)
+}
+";
+    let report = lint_sources(
+        &ws(&[("crates/analysis/src/fixture.rs", src)]),
+        &Allowlist::empty(),
+    );
+    assert!(report.diags.is_empty());
+    assert_eq!(report.unused.len(), 1, "unused: {:?}", report.unused);
+    let u = &report.unused[0];
+    assert_eq!(u.file, "crates/analysis/src/fixture.rs");
+    assert_eq!(u.marker, "library-panic");
+    assert!(u.known, "library-panic is a real rule slug");
+}
+
+#[test]
+fn unknown_marker_is_reported_as_unknown() {
+    let src = "\
+pub fn f() -> u64 {
+    // lint: totally-bogus-rule-ok (typo'd slug)
+    7
+}
+";
+    let report = lint_sources(
+        &ws(&[("crates/analysis/src/fixture.rs", src)]),
+        &Allowlist::empty(),
+    );
+    assert_eq!(report.unused.len(), 1);
+    assert!(!report.unused[0].known);
+}
+
+#[test]
+fn consumed_suppression_is_not_reported() {
+    let src = "\
+pub fn f(xs: &[u64]) -> u64 {
+    // lint: library-panic-ok (caller guarantees non-empty)
+    *xs.first().unwrap()
+}
+";
+    let report = lint_sources(
+        &ws(&[("crates/analysis/src/fixture.rs", src)]),
+        &Allowlist::empty(),
+    );
+    assert!(report.diags.is_empty());
+    assert!(report.unused.is_empty(), "unused: {:?}", report.unused);
+}
+
+#[test]
+fn one_rotted_marker_on_a_dual_comment_is_still_caught() {
+    // Only the S2 half of a dual suppression fires; the C2 half is
+    // rotted (nothing pool-reachable here) and must be reported.
+    let src = "\
+pub fn f(xs: &[u64]) -> u64 {
+    // lint: library-panic-ok (caller guarantees non-empty) unwind-across-pool-ok (stale)
+    *xs.first().unwrap()
+}
+";
+    let report = lint_sources(
+        &ws(&[("crates/analysis/src/fixture.rs", src)]),
+        &Allowlist::empty(),
+    );
+    assert!(report.diags.is_empty());
+    assert_eq!(report.unused.len(), 1, "unused: {:?}", report.unused);
+    assert_eq!(report.unused[0].marker, "unwind-across-pool");
+}
+
+// --------------------------------------------------- report plumbing
+
+#[test]
+fn timings_cover_every_stage_and_fired_rule() {
+    let report = lint_sources(
+        &ws(&[
+            ("crates/sim/src/cell.rs", CELL_CALLS_WORKLOAD),
+            ("crates/workload/src/dist.rs", WEIGH_HAZARD),
+        ]),
+        &Allowlist::empty(),
+    );
+    let keys: Vec<&str> = report
+        .timings
+        .entries()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    for want in ["lex", "parse", "graph", "C3"] {
+        assert!(keys.contains(&want), "missing timing key {want}: {keys:?}");
+    }
+    assert!(report.total_ms > 0.0);
+    assert_eq!(report.n_files, 2);
+}

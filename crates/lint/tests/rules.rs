@@ -1,24 +1,36 @@
 //! Per-rule fixture tests: every rule ID has a failing and a passing
 //! fixture, and mutating a passing fixture (deleting the blessed
-//! helper route or the suppression annotation) flips its verdict —
-//! proving the rules fire for real rather than vacuously passing.
+//! helper route, the suppression annotation, a contract root, or a
+//! blessed call edge) flips its verdict — proving the rules fire for
+//! real rather than vacuously passing.
 
 use borg_lint::{lint_source, RuleId};
 
 /// Paths that put fixtures in the scope each rule polices.
 const SIM_LIB: &str = "crates/sim/src/fixture.rs";
 const QUERY_LIB: &str = "crates/query/src/fixture.rs";
-/// D3's reduction arm only fires in bit-identity contract files.
+/// Anchor file of the `map_blocks` contract root (graph::CONTRACT_ROOTS).
 const CONTRACT: &str = "crates/query/src/parallel.rs";
-/// The sharded-placement combining layer is a contract file too.
+/// Anchor file of the two `ShardedPlacement` contract roots.
 const SHARD_CONTRACT: &str = "crates/sim/src/shard.rs";
 const TRACE_LIB: &str = "crates/trace/src/fixture.rs";
 const ANALYSIS_LIB: &str = "crates/analysis/src/fixture.rs";
+/// The blessed pool boundary: C1 allows `.recv()` here, C2 skips it.
+const POOL_FILE: &str = "crates/sim/src/pool.rs";
 
 fn rules_hit(rel: &str, src: &str) -> Vec<RuleId> {
     let mut rules: Vec<RuleId> = lint_source(rel, src).into_iter().map(|d| d.rule).collect();
     rules.dedup();
     rules
+}
+
+/// Count of diagnostics for one rule — fixtures often trip S2 alongside
+/// the rule under test, so counts are always rule-filtered.
+fn count_rule(rel: &str, src: &str, rule: RuleId) -> usize {
+    lint_source(rel, src)
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .count()
 }
 
 fn assert_clean(rel: &str, src: &str) {
@@ -166,97 +178,247 @@ fn d2_real_clock_source_passes_the_linter() {
 }
 
 // ---------------------------------------------------------------- D3
+//
+// Since the call-graph rework, D3 is the *comparator* rule only:
+// `partial_cmp().unwrap()` anywhere in deterministic library code.
+// The old reduction arm is rule C3, scoped by contract reachability.
 
 #[test]
 fn d3_fail_fixture_fires() {
-    // The partial_cmp().unwrap() site is also an S2 library panic, so
-    // count D3 diagnostics specifically.
-    let d3 = lint_source(CONTRACT, include_str!("fixtures/d3_fail.rs"))
-        .into_iter()
-        .filter(|d| d.rule == RuleId::D3)
-        .count();
-    assert_eq!(d3, 3, "partial_cmp().unwrap(), sum::<f64>, float fold");
+    // Each site is also an S2 library panic, so count D3 specifically.
+    let d3 = count_rule(
+        ANALYSIS_LIB,
+        include_str!("fixtures/d3_fail.rs"),
+        RuleId::D3,
+    );
+    assert_eq!(d3, 2, "partial_cmp().unwrap() and partial_cmp().expect()");
 }
 
 #[test]
 fn d3_pass_fixture_is_clean() {
-    assert_clean(CONTRACT, include_str!("fixtures/d3_pass.rs"));
+    assert_clean(ANALYSIS_LIB, include_str!("fixtures/d3_pass.rs"));
 }
 
 #[test]
-fn d3_deleting_blessed_helper_flips_verdict() {
+fn d3_unhandling_the_none_arm_flips_verdict() {
     let mutated = include_str!("fixtures/d3_pass.rs")
+        .replace("unwrap_or(std::cmp::Ordering::Equal)", "unwrap()");
+    assert!(rules_hit(ANALYSIS_LIB, &mutated).contains(&RuleId::D3));
+}
+
+#[test]
+fn d3_fires_outside_contract_files_too() {
+    // The comparator hazard is not contract-scoped: it panics wherever
+    // it runs. Plain deterministic lib files are policed the same.
+    let d3 = count_rule(SIM_LIB, include_str!("fixtures/d3_fail.rs"), RuleId::D3);
+    assert_eq!(d3, 2);
+}
+
+// ---------------------------------------------------------------- C1
+
+#[test]
+fn c1_untagged_send_fires() {
+    let src = "pub fn ship(tx: &std::sync::mpsc::Sender<u64>, x: u64) {\n    \
+               let _ = tx.send(x);\n}\n";
+    assert_eq!(rules_hit(SIM_LIB, src), vec![RuleId::C1]);
+}
+
+#[test]
+fn c1_tagged_send_is_clean() {
+    let src = "pub fn ship(tx: &std::sync::mpsc::Sender<(usize, u64)>, i: usize, x: u64) {\n    \
+               let _ = tx.send((i, x));\n}\n";
+    assert_clean(SIM_LIB, src);
+}
+
+#[test]
+fn c1_bare_recv_outside_pool_boundary_fires() {
+    let src = "pub fn drain(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {\n    \
+               rx.recv().ok()\n}\n";
+    assert_eq!(rules_hit(SIM_LIB, src), vec![RuleId::C1]);
+}
+
+#[test]
+fn c1_recv_inside_pool_boundary_is_blessed() {
+    let src = "pub fn drain(rx: &std::sync::mpsc::Receiver<u64>) -> Option<u64> {\n    \
+               rx.recv().ok()\n}\n";
+    assert_clean(POOL_FILE, src);
+}
+
+#[test]
+fn c1_annotation_suppresses() {
+    let src = "pub fn ship(tx: &std::sync::mpsc::Sender<u64>, x: u64) {\n    \
+               // lint: channel-protocol-ok (single-producer side channel, order-free)\n    \
+               let _ = tx.send(x);\n}\n";
+    assert_clean(SIM_LIB, src);
+}
+
+// ---------------------------------------------------------------- C2
+
+#[test]
+fn c2_fail_fixture_fires() {
+    // Worker-body indexing plus a reachable helper's unwrap; the
+    // `unreached` helper's unwrap is NOT pool-reachable and must not
+    // count (C2 is graph-scoped, not file-scoped).
+    let c2 = count_rule(SIM_LIB, include_str!("fixtures/c2_fail.rs"), RuleId::C2);
+    assert_eq!(c2, 2, "worker indexing + reachable unwrap, nothing else");
+}
+
+#[test]
+fn c2_pass_fixture_is_clean() {
+    assert_clean(SIM_LIB, include_str!("fixtures/c2_pass.rs"));
+}
+
+#[test]
+fn c2_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/c2_pass.rs"));
+    assert!(rules_hit(SIM_LIB, &mutated).contains(&RuleId::C2));
+}
+
+#[test]
+fn c2_closure_worker_is_opaque_and_flagged() {
+    // Swapping the named worker fn for a closure hides the dispatch
+    // target from the graph — the pool site itself is flagged.
+    let mutated =
+        include_str!("fixtures/c2_pass.rs").replace("work as fn(u64) -> u64", "|j| j + 1");
+    let c2 = count_rule(SIM_LIB, &mutated, RuleId::C2);
+    assert_eq!(c2, 1, "exactly the opaque WorkerPool::new site");
+}
+
+#[test]
+fn c2_skips_the_pool_boundary_file() {
+    // The pool implementation's own re-raise sites are the protocol,
+    // not payload code; C2 never fires inside it.
+    let c2 = count_rule(POOL_FILE, include_str!("fixtures/c2_fail.rs"), RuleId::C2);
+    assert_eq!(c2, 0);
+}
+
+// ---------------------------------------------------------------- C3
+//
+// The graph-scoped successor of the old `BIT_IDENTITY_FILES` list:
+// order-sensitive reductions are policed exactly in code transitively
+// reachable from a contract root, and nowhere else.
+
+#[test]
+fn c3_fail_fixture_fires() {
+    let c3 = count_rule(CONTRACT, include_str!("fixtures/c3_fail.rs"), RuleId::C3);
+    assert_eq!(
+        c3, 3,
+        "sum::<f64>, float fold, min_by — but NOT the unreached helper"
+    );
+}
+
+#[test]
+fn c3_pass_fixture_is_clean() {
+    assert_clean(CONTRACT, include_str!("fixtures/c3_pass.rs"));
+}
+
+#[test]
+fn c3_deleting_blessed_helper_flips_verdict() {
+    let mutated = include_str!("fixtures/c3_pass.rs")
         .replace("sum_seq(xs.iter().copied())", "xs.iter().sum::<f64>()");
-    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::D3));
+    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::C3));
 }
 
 #[test]
-fn d3_deleting_annotation_flips_verdict() {
-    let mutated = strip_suppressions(include_str!("fixtures/d3_pass.rs"));
-    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::D3));
+fn c3_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/c3_pass.rs"));
+    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::C3));
 }
 
 #[test]
-fn d3_reduction_arm_only_polices_contract_files() {
-    // Outside bit-identity files the comparator arm still fires but the
-    // sequential-`.sum()` arm does not.
-    let d3 = lint_source(ANALYSIS_LIB, include_str!("fixtures/d3_fail.rs"))
-        .into_iter()
-        .filter(|d| d.rule == RuleId::D3)
-        .count();
-    assert_eq!(d3, 1, "only partial_cmp().unwrap() outside contract files");
+fn c3_calling_an_unpoliced_helper_flips_verdict() {
+    // `off_contract` carries a hazard but is unreached, so c3_pass is
+    // clean. The moment the root grows a call to it, its body enters
+    // contract scope and the hazard surfaces.
+    let mutated = include_str!("fixtures/c3_pass.rs").replace(
+        "sum_seq(xs.iter().copied()) + fast_total(xs)",
+        "sum_seq(xs.iter().copied()) + fast_total(xs) + off_contract(xs)",
+    );
+    assert!(rules_hit(CONTRACT, &mutated).contains(&RuleId::C3));
 }
 
 #[test]
-fn d3_shard_fail_fixture_fires() {
+fn c3_outside_contract_anchor_files_is_silent() {
+    // The same source in a plain deterministic lib file has no contract
+    // root, hence no contract scope, hence no C3.
+    let c3 = count_rule(
+        ANALYSIS_LIB,
+        include_str!("fixtures/c3_fail.rs"),
+        RuleId::C3,
+    );
+    assert_eq!(c3, 0);
+}
+
+#[test]
+fn c3_shard_fail_fixture_fires() {
     // Unordered reductions over per-shard winners: min_by, reduce, and
-    // max_by_key each fire in a bit-identity file.
-    let d3 = lint_source(SHARD_CONTRACT, include_str!("fixtures/d3_shard_fail.rs"))
-        .into_iter()
-        .filter(|d| d.rule == RuleId::D3)
-        .count();
-    assert_eq!(d3, 3, "min_by, reduce, max_by_key");
+    // max_by_key, all reachable from the ShardedPlacement roots.
+    let c3 = count_rule(
+        SHARD_CONTRACT,
+        include_str!("fixtures/c3_shard_fail.rs"),
+        RuleId::C3,
+    );
+    assert_eq!(c3, 3, "min_by, reduce, max_by_key");
 }
 
 #[test]
-fn d3_shard_pass_fixture_is_clean() {
-    assert_clean(SHARD_CONTRACT, include_str!("fixtures/d3_shard_pass.rs"));
+fn c3_shard_pass_fixture_is_clean() {
+    assert_clean(SHARD_CONTRACT, include_str!("fixtures/c3_shard_pass.rs"));
 }
 
 #[test]
-fn d3_shard_replacing_blessed_loop_flips_verdict() {
+fn c3_shard_replacing_blessed_loop_flips_verdict() {
     // Swapping the fixed-order combining loop for an unordered
     // reduction must be caught.
-    let mutated = include_str!("fixtures/d3_shard_pass.rs").replace(
-        "combine_winners(winners)",
-        "winners.iter().copied().flatten().min_by(|a, b| a.1.total_cmp(&b.1))",
+    let mutated = include_str!("fixtures/c3_shard_pass.rs").replace(
+        "combine_winners(shards)",
+        "shards.iter().filter_map(|s| s.first().copied()).reduce(f64::min)",
     );
-    assert!(rules_hit(SHARD_CONTRACT, &mutated).contains(&RuleId::D3));
+    assert!(rules_hit(SHARD_CONTRACT, &mutated).contains(&RuleId::C3));
 }
 
 #[test]
-fn d3_shard_deleting_annotation_flips_verdict() {
-    let mutated = strip_suppressions(include_str!("fixtures/d3_shard_pass.rs"));
-    assert!(rules_hit(SHARD_CONTRACT, &mutated).contains(&RuleId::D3));
+fn c3_shard_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/c3_shard_pass.rs"));
+    assert!(rules_hit(SHARD_CONTRACT, &mutated).contains(&RuleId::C3));
+}
+
+// ---------------------------------------------------------------- G1
+
+#[test]
+fn g1_renamed_contract_root_fires_and_silences_c3() {
+    // Renaming the root away is the failure mode the old hand-named
+    // file list couldn't see: the anchor file is still present, so G1
+    // fires at line 1 — and C3 must go silent (no root, no scope)
+    // rather than silently policing nothing.
+    let mutated =
+        include_str!("fixtures/c3_fail.rs").replace("pub fn map_blocks", "pub fn map_blocks_v2");
+    let diags = lint_source(CONTRACT, &mutated);
+    let g1: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::G1).collect();
+    assert_eq!(g1.len(), 1, "missing `map_blocks` root must surface");
+    assert_eq!(g1[0].line, 1);
+    assert!(g1[0].message.contains("map_blocks"));
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == RuleId::C3).count(),
+        0,
+        "no contract root resolved, so no contract scope"
+    );
 }
 
 #[test]
-fn d3_shard_arm_only_polices_contract_files() {
-    // The same reductions are fine in ordinary deterministic code.
-    let d3 = lint_source(ANALYSIS_LIB, include_str!("fixtures/d3_shard_fail.rs"))
-        .into_iter()
-        .filter(|d| d.rule == RuleId::D3)
-        .count();
-    assert_eq!(d3, 0, "reducer arm must not fire outside contract files");
+fn g1_each_root_is_required_independently() {
+    // shard.rs anchors TWO roots; deleting one fires exactly one G1.
+    let mutated = include_str!("fixtures/c3_shard_pass.rs")
+        .replace("pub fn first_preemptible", "pub fn later_preemptible");
+    let diags = lint_source(SHARD_CONTRACT, &mutated);
+    let g1: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::G1).collect();
+    assert_eq!(g1.len(), 1);
+    assert!(g1[0].message.contains("first_preemptible"));
 }
 
 #[test]
-fn d3_worker_pool_is_a_contract_file() {
-    // The pool is where an unordered merge would physically happen, so
-    // it sits under the same contract as the combining layer.
-    let src = "pub fn merge(xs: Vec<f64>) -> Option<f64> {\n    \
-               xs.into_iter().reduce(|a, b| if b < a { b } else { a })\n}\n";
-    assert!(rules_hit("crates/sim/src/pool.rs", src).contains(&RuleId::D3));
+fn g1_non_anchor_files_owe_no_roots() {
+    assert_clean(SIM_LIB, "pub fn quiet() {}\n");
 }
 
 // ---------------------------------------------------------------- S1
@@ -375,4 +537,16 @@ fn suppression_for_one_rule_does_not_cover_another() {
         hits.contains(&RuleId::D3),
         "D3 must survive an S2-only suppression"
     );
+}
+
+#[test]
+fn one_comment_line_can_suppress_two_rules() {
+    // The committed idiom for dual-rule sites (e.g. S2 + C2 in the sim
+    // crate): both markers ride one `// lint:` comment, each with its
+    // own reason — stacking two comment lines would push the first out
+    // of the one-line suppression window.
+    let src = "pub fn f(xs: &mut [f64]) {\n    \
+               // lint: library-panic-ok (inputs NaN-free) float-reduction-ok (same invariant)\n    \
+               xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    assert_clean(ANALYSIS_LIB, src);
 }

@@ -76,7 +76,6 @@ pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 /// way (borg-lint rule D1) to iterate an [`FxHashMap`] when anything
 /// order-sensitive is derived from the traversal.
 pub fn sorted_entries<K: Ord + Clone, V: Clone>(map: &FxHashMap<K, V>) -> Vec<(K, V)> {
-    // lint: nondeterministic-iteration-ok (sorted before being observed)
     let mut v: Vec<(K, V)> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     v

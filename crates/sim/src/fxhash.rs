@@ -22,7 +22,6 @@ pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher
 /// (borg-lint rule D1) to iterate an [`FxHashSet`] when anything
 /// order-sensitive is derived from the traversal.
 pub fn sorted_set<T: Ord + Copy>(set: &FxHashSet<T>) -> Vec<T> {
-    // lint: nondeterministic-iteration-ok (sorted before being observed)
     let mut v: Vec<T> = set.iter().copied().collect();
     v.sort_unstable();
     v
@@ -32,7 +31,6 @@ pub fn sorted_set<T: Ord + Copy>(set: &FxHashSet<T>) -> Vec<T> {
 /// way (borg-lint rule D1) to iterate an [`FxHashMap`] when anything
 /// order-sensitive is derived from the traversal.
 pub fn sorted_entries<K: Ord + Copy, V: Clone>(map: &FxHashMap<K, V>) -> Vec<(K, V)> {
-    // lint: nondeterministic-iteration-ok (sorted before being observed)
     let mut v: Vec<(K, V)> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
     v.sort_unstable_by_key(|e| e.0);
     v

@@ -7,6 +7,14 @@
 # With --lint, runs only the borg-lint stage (fast pre-commit loop).
 # Set LINT_BASELINE=<file> to grandfather known findings during an
 # incremental cleanup; `borg-lint --write-baseline <file>` creates one.
+# Every lint run writes machine-readable findings to
+# target/lint-findings.json (the CI artifact) and enforces a 5-second
+# wall-time budget over the analysis itself (total_ms in the JSON):
+# the linter sits on the pre-commit path, so its cost is a contract.
+#
+# With --lint-graph, dumps the contract/pool reachability set computed
+# from the call graph (one `file:line  fn  tag` row per policed
+# function) — the review surface for "what does the contract cover?".
 #
 # With --bench, also smoke-runs every criterion benchmark once
 # (CRITERION_SMOKE=1): proves the bench suite builds and executes without
@@ -43,7 +51,8 @@ usage: scripts/check.sh [MODE]
 Default (no flag): lint, fmt, clippy, build, tests, profile smoke.
 
 Modes:
-  --lint     borg-lint only (fast pre-commit loop; honors $LINT_BASELINE)
+  --lint        borg-lint only (fast pre-commit loop; honors $LINT_BASELINE)
+  --lint-graph  dump the computed contract/pool reachability set and exit
   --chaos    chaos roundtrip suite only (fault injection & trace repair)
   --shards   sharded-placement equivalence suite only (bit-identity sweep)
   --profile  telemetry profile report only (512-machine cell-day breakdown)
@@ -54,6 +63,7 @@ EOF
 
 run_bench=0
 lint_only=0
+lint_graph=0
 chaos_only=0
 profile_only=0
 shards_only=0
@@ -61,6 +71,7 @@ for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
     --lint) lint_only=1 ;;
+    --lint-graph) lint_graph=1 ;;
     --chaos) chaos_only=1 ;;
     --shards) shards_only=1 ;;
     --profile) profile_only=1 ;;
@@ -133,13 +144,37 @@ if [ "$chaos_only" -eq 1 ]; then
     exit 0
 fi
 
-# borg-lint: workspace determinism & soundness rules (DESIGN.md §10).
-# Runs first — it needs only `cargo build -p borg-lint`, so it reports
-# before the full workspace compiles. Honors $LINT_BASELINE if set.
+# borg-lint: workspace determinism & soundness rules (DESIGN.md §10,
+# §15). Runs first — it needs only `cargo build -p borg-lint`, so it
+# reports before the full workspace compiles. Honors $LINT_BASELINE if
+# set. Always leaves target/lint-findings.json behind as the CI
+# artifact, and budgets the analysis at 5 s of wall time (total_ms as
+# the linter itself measures it, so the guard is independent of cargo's
+# compile time on a cold target dir).
+LINT_JSON=target/lint-findings.json
+LINT_BUDGET_MS=5000
 run_lint() {
     echo "==> borg-lint (determinism & soundness rules)"
-    cargo run -q --release -p borg-lint --offline -- --root .
+    mkdir -p target
+    cargo run -q --release -p borg-lint --offline -- --root . --json "$LINT_JSON"
+    total_ms=$(sed -n 's/.*"total_ms": \([0-9.]*\).*/\1/p' "$LINT_JSON")
+    if [ -z "$total_ms" ]; then
+        echo "lint budget: total_ms missing from $LINT_JSON" >&2
+        exit 1
+    fi
+    if ! awk -v t="$total_ms" -v b="$LINT_BUDGET_MS" 'BEGIN { exit !(t <= b) }'; then
+        echo "lint budget: analysis took ${total_ms} ms, budget ${LINT_BUDGET_MS} ms —" \
+            "check the per-rule timings_ms split in $LINT_JSON" >&2
+        exit 1
+    fi
+    echo "lint budget: ${total_ms} ms of ${LINT_BUDGET_MS} ms; findings artifact at $LINT_JSON"
 }
+
+if [ "$lint_graph" -eq 1 ]; then
+    echo "==> borg-lint --dump-graph (contract/pool reachability set)"
+    cargo run -q --release -p borg-lint --offline -- --root . --dump-graph
+    exit 0
+fi
 
 if [ "$lint_only" -eq 1 ]; then
     run_lint
