@@ -1,0 +1,91 @@
+//! Fast serve smoke: real threads, real stalls, real panics, hard
+//! assertions. This is what `scripts/check.sh --serve` runs.
+//!
+//! Builds a tiny epoch, then drives 200 mixed-tier queries through the
+//! wall-clock smoke harness (`borg_serve::run_smoke`): a real
+//! `ServePool`, chaos-injected worker stalls (1–10 ms) and panics (5%),
+//! and a slow epoch load. Asserts the overload-robustness floor:
+//!
+//! * clean drain — every query reaches exactly one terminal outcome;
+//! * zero prod-tier deadline misses and zero prod sheds;
+//! * the whole run (including the epoch build) stays well under 10 s.
+
+use borg_core::pipeline::simulate_cell;
+use borg_experiments::{banner, parse_opts};
+use borg_serve::{run_smoke, Epoch, Tier};
+use borg_workload::cells::CellProfile;
+use std::sync::Arc;
+
+fn main() {
+    let opts = parse_opts();
+    banner(
+        "Serve smoke",
+        "wall-clock chaos smoke for borg-serve",
+        &opts,
+    );
+
+    let outcome = simulate_cell(&CellProfile::cell_2019('a'), opts.scale, opts.seed);
+    let epoch = Arc::new(Epoch::from_trace("a", 0, &outcome.trace).expect("epoch tables"));
+
+    // Chaos-injected worker panics are expected (and caught); keep them
+    // out of the output so real failures stand out.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let chaos = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.starts_with("chaos:"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("chaos:"));
+        if !chaos {
+            default_hook(info);
+        }
+    }));
+    let report = run_smoke(Arc::clone(&epoch), opts.seed);
+    let _ = std::panic::take_hook();
+
+    println!(
+        "  {:>11} {:>9} {:>6} {:>7} {:>5} {:>6} {:>7} {:>9} {:>9}",
+        "tier", "submitted", "done", "expired", "shed", "failed", "retries", "p50_ms", "p99_ms"
+    );
+    for t in Tier::ALL {
+        let i = t.index();
+        println!(
+            "  {:>11} {:>9} {:>6} {:>7} {:>5} {:>6} {:>7} {:>9.1} {:>9.1}",
+            t.name(),
+            report.stats.submitted[i],
+            report.stats.done[i],
+            report.stats.expired[i],
+            report.stats.sheds(t),
+            report.stats.failed[i],
+            report.stats.retries[i],
+            report.stats.latency_quantile_us(t, 0.50) as f64 / 1_000.0,
+            report.stats.latency_quantile_us(t, 0.99) as f64 / 1_000.0,
+        );
+    }
+    println!(
+        "  drained={} outcomes={} results={} breaker_trips={} elapsed={:.2}s",
+        report.drained,
+        report.outcomes.len(),
+        report.results_returned,
+        report.breaker_trips,
+        report.elapsed_us as f64 / 1e6
+    );
+
+    assert!(report.drained, "service did not drain cleanly");
+    assert_eq!(report.outcomes.len(), 200, "an outcome per query");
+    assert_eq!(
+        report.prod_deadline_misses(),
+        0,
+        "prod-tier deadline misses under injected stalls"
+    );
+    assert_eq!(report.stats.sheds(Tier::Prod), 0, "prod was shed");
+    let done: u64 = report.stats.done.iter().sum();
+    assert_eq!(
+        done as usize, report.results_returned,
+        "every Done outcome returned result bytes"
+    );
+    println!("serve smoke: OK");
+}

@@ -82,6 +82,22 @@ pub const CONTRACT_ROOTS: &[ContractRoot] = &[
         file: "crates/query/src/groupby.rs",
         qual: "group_by",
     },
+    // The serve state machine's decision surface: every admission /
+    // retry / expiry decision and the replayable event log flow from
+    // these two entry points.
+    ContractRoot {
+        file: "crates/serve/src/service.rs",
+        qual: "Service::submit",
+    },
+    ContractRoot {
+        file: "crates/serve/src/service.rs",
+        qual: "Service::on_attempt_done",
+    },
+    // The virtual-time overload driver (byte-replayable end to end).
+    ContractRoot {
+        file: "crates/serve/src/sim.rs",
+        qual: "ServeSim::run",
+    },
 ];
 
 /// Crate pairs along which calls resolve: `(caller, callees)`. The sim
@@ -91,6 +107,10 @@ pub const BLESSED_CROSS_CRATE: &[(&str, &[&str])] = &[
     ("sim", &["workload", "trace"]),
     ("workload", &["trace"]),
     ("borg2019", &["sim", "query", "trace"]),
+    // The query service executes plans through the engine and loads
+    // epochs through core; its event-log determinism contract leans on
+    // both, so calls resolve across and stay policed.
+    ("serve", &["query", "core", "trace", "telemetry"]),
 ];
 
 /// One function node.
@@ -274,10 +294,12 @@ impl CallGraph {
                             ));
                         }
                         Callee::Qualified(head, name) => {
-                            // `WorkerPool::new(workers, worker_fn as fn…)`:
-                            // the worker fn (the next fn-pointer cast in
-                            // token order) is a pool root.
-                            if head == "WorkerPool" && name == "new" {
+                            // `WorkerPool::new(workers, worker_fn as fn…)`
+                            // (and the serve crate's streaming
+                            // `ServePool::new`): the worker fn (the next
+                            // fn-pointer cast in token order) is a pool
+                            // root.
+                            if (head == "WorkerPool" || head == "ServePool") && name == "new" {
                                 let worker =
                                     f.calls[c + 1..].iter().find_map(|w| match &w.callee {
                                         Callee::FnRef(n) => Some(n.clone()),

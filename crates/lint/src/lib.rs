@@ -63,6 +63,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "trace",
     "telemetry",
+    "serve",
     "borg2019",
 ];
 

@@ -227,9 +227,11 @@ const ORDER_SENSITIVE_REDUCERS: &[&str] =
 /// excluded from every determinism contract.
 const D2_BLESSED_FILES: &[&str] = &["crates/telemetry/src/clock.rs"];
 
-/// The one file allowed to call `.recv()` on a channel: the pool API
-/// restores batch order behind this boundary (C1).
-const BLESSED_POOL_FILE: &str = "crates/sim/src/pool.rs";
+/// The only files allowed to call `.recv()`/`.try_recv()` on a
+/// channel: the pool APIs restore result attribution behind these
+/// boundaries (C1) — batch order in the sim pool, id-tagged streaming
+/// results in the serve pool.
+const BLESSED_POOL_FILES: &[&str] = &["crates/sim/src/pool.rs", "crates/serve/src/pool.rs"];
 
 /// Everything the workspace pipeline hands a per-file rule run.
 pub(crate) struct FileInput<'a> {
@@ -840,16 +842,17 @@ fn rule_c1(ctx: &mut Ctx) {
             );
         }
         if matches!(t.text.as_str(), "recv" | "try_recv" | "recv_timeout")
-            && ctx.rel != BLESSED_POOL_FILE
+            && !BLESSED_POOL_FILES.contains(&ctx.rel)
         {
             let what = t.text.clone();
             ctx.emit(
                 t.line,
                 RuleId::C1,
                 format!(
-                    "bare `.{what}()` outside the blessed pool API \
-                     ({BLESSED_POOL_FILE}): consume results through WorkerPool::run so batch \
-                     order is restored, or annotate `// lint: channel-protocol-ok (reason)`"
+                    "bare `.{what}()` outside the blessed pool APIs \
+                     ({}): consume results through the pool API so result attribution \
+                     is restored, or annotate `// lint: channel-protocol-ok (reason)`",
+                    BLESSED_POOL_FILES.join(", ")
                 ),
             );
         }
@@ -871,10 +874,11 @@ const NON_INDEX_PRECEDERS: &[&str] = &[
 /// surface. A reachable span containing `catch_unwind` is exempt: the
 /// unwind is contained.
 fn rule_c2(ctx: &mut Ctx) {
-    // The pool implementation is the boundary itself: its panic sites
-    // are the protocol's own caller-thread re-raises (each already S2
-    // reason-suppressed), not payload code dispatched onto workers.
-    if ctx.rel == BLESSED_POOL_FILE {
+    // The pool implementations are the boundary itself: their panic
+    // sites are the protocol's own caller-thread re-raises (each
+    // already S2 reason-suppressed), not payload code dispatched onto
+    // workers.
+    if BLESSED_POOL_FILES.contains(&ctx.rel) {
         return;
     }
     let toks = ctx.toks;

@@ -1,0 +1,276 @@
+//! Plan+epoch-keyed result cache with single-flight deduplication.
+//!
+//! borg-serve answers many concurrent sessions asking overlapping
+//! questions about the same immutable trace epoch. Query results over an
+//! immutable snapshot are themselves immutable, so the cache key is the
+//! pair `(epoch_seq, plan_fingerprint)` — two queries with the same key
+//! must produce byte-identical tables, and the second one should pay
+//! nothing.
+//!
+//! **Single-flight:** when several threads miss on the same key at once,
+//! exactly one (the *leader*) computes; the rest block on a condvar and
+//! receive the leader's `Arc<Table>` when it lands. A leader that fails
+//! (including [`QueryError::Cancelled`] — an expired deadline must not
+//! poison the cache) removes the in-flight marker and wakes the waiters,
+//! the first of which becomes the new leader. Entries are evicted FIFO
+//! by insertion order once `capacity` is exceeded — deterministic, no
+//! clocks, no access-order state.
+//!
+//! The map is keyed storage only — no iteration except the FIFO order
+//! queue — so hash-map order can never leak into results (borg-lint D1).
+
+use crate::error::QueryError;
+use crate::fxhash::FxHashMap;
+use crate::table::Table;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Cache key: `(epoch_seq, plan_fingerprint)`.
+pub type CacheKey = (u64, u64);
+
+/// How a [`ResultCache::get_or_compute`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The result was already cached.
+    Hit,
+    /// This caller computed the result (the single-flight leader).
+    Miss,
+    /// Another in-flight caller computed it; this caller waited.
+    Coalesced,
+}
+
+enum Slot {
+    /// A leader is computing; waiters block on the condvar.
+    InFlight,
+    /// The finished result.
+    Ready(Arc<Table>),
+}
+
+struct Inner {
+    slots: FxHashMap<CacheKey, Slot>,
+    /// Ready keys in insertion order, for FIFO eviction.
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+/// A bounded, thread-safe result cache. See the module docs.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// Hit/miss/coalesced tallies for telemetry export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Calls answered from a cached entry.
+    pub hits: u64,
+    /// Calls that computed (led) the result.
+    pub misses: u64,
+    /// Calls that waited on another caller's computation.
+    pub coalesced: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` finished results (at least 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                slots: FxHashMap::default(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached table for `key`, or computes it with `f`
+    /// exactly once across all concurrent callers (single-flight). `f`
+    /// runs **outside** the cache lock. On `Err`, nothing is cached and
+    /// the error is returned to the caller that computed; waiting
+    /// callers retry leadership.
+    pub fn get_or_compute<F>(
+        &self,
+        key: CacheKey,
+        f: F,
+    ) -> Result<(Arc<Table>, CacheOutcome), QueryError>
+    where
+        F: FnOnce() -> Result<Table, QueryError>,
+    {
+        let mut waited = false;
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match inner.slots.get(&key) {
+                Some(Slot::Ready(t)) => {
+                    let t = Arc::clone(t);
+                    if waited {
+                        inner.coalesced += 1;
+                    } else {
+                        inner.hits += 1;
+                    }
+                    return Ok((
+                        t,
+                        if waited {
+                            CacheOutcome::Coalesced
+                        } else {
+                            CacheOutcome::Hit
+                        },
+                    ));
+                }
+                Some(Slot::InFlight) => {
+                    waited = true;
+                    inner = self
+                        .ready
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => break,
+            }
+        }
+        // This caller leads the computation for `key`.
+        inner.slots.insert(key, Slot::InFlight);
+        drop(inner);
+        let computed = f();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match computed {
+            Ok(table) => {
+                let t = Arc::new(table);
+                inner.slots.insert(key, Slot::Ready(Arc::clone(&t)));
+                inner.order.push_back(key);
+                inner.misses += 1;
+                while inner.order.len() > self.capacity {
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.slots.remove(&old);
+                    }
+                }
+                self.ready.notify_all();
+                Ok((t, CacheOutcome::Miss))
+            }
+            Err(e) => {
+                inner.slots.remove(&key);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Current hit/miss/coalesced tallies.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            coalesced: inner.coalesced,
+        }
+    }
+
+    /// Number of finished results currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .order
+            .len()
+    }
+
+    /// True when no finished result is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DataType;
+    use crate::value::Value;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn one_row(x: i64) -> Table {
+        let mut t = Table::new(vec![("x", DataType::Int)]);
+        t.push_row(vec![Value::Int(x)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_table() {
+        let cache = ResultCache::new(4);
+        let (a, o1) = cache.get_or_compute((1, 7), || Ok(one_row(42))).unwrap();
+        let (b, o2) = cache
+            .get_or_compute((1, 7), || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ResultCache::new(4);
+        let err = cache.get_or_compute((1, 1), || Err(QueryError::Cancelled));
+        assert_eq!(err.unwrap_err(), QueryError::Cancelled);
+        let (t, o) = cache.get_or_compute((1, 1), || Ok(one_row(5))).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(t.value(0, "x").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = ResultCache::new(2);
+        for k in 0..5u64 {
+            cache
+                .get_or_compute((0, k), || Ok(one_row(k as i64)))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // Oldest keys gone: recompute is a miss.
+        let (_, o) = cache.get_or_compute((0, 0), || Ok(one_row(0))).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        // Newest key still present.
+        let (_, o) = cache
+            .get_or_compute((0, 4), || panic!("must be cached"))
+            .unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn single_flight_computes_once_across_threads() {
+        let cache = ResultCache::new(8);
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                handles.push(s.spawn(|| {
+                    cache
+                        .get_or_compute((3, 3), || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Widen the in-flight window so others pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(one_row(9))
+                        })
+                        .unwrap()
+                }));
+            }
+            let outcomes: Vec<CacheOutcome> =
+                handles.into_iter().map(|h| h.join().unwrap().1).collect();
+            assert_eq!(computed.load(Ordering::SeqCst), 1);
+            assert_eq!(
+                outcomes
+                    .iter()
+                    .filter(|o| **o == CacheOutcome::Miss)
+                    .count(),
+                1
+            );
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 7);
+    }
+}

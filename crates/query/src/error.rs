@@ -36,6 +36,10 @@ pub enum QueryError {
     NonNumericAggregate(String),
     /// An invalid parameter (e.g. a percentile outside 0–100).
     InvalidParameter(String),
+    /// Execution stopped at a block boundary because the query's
+    /// [`crate::cancel::CancelToken`] was set (deadline exceeded or the
+    /// caller gave up). Partial work is discarded.
+    Cancelled,
 }
 
 impl fmt::Display for QueryError {
@@ -58,6 +62,7 @@ impl fmt::Display for QueryError {
                 write!(f, "aggregate over non-numeric column {c:?}")
             }
             QueryError::InvalidParameter(d) => write!(f, "invalid parameter: {d}"),
+            QueryError::Cancelled => write!(f, "query cancelled (deadline exceeded)"),
         }
     }
 }

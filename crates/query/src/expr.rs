@@ -204,14 +204,25 @@ impl Expr {
     /// Blocks of rows evaluate in parallel; the result is independent of
     /// the thread count.
     pub fn eval_mask(&self, table: &Table) -> Result<Vec<bool>, QueryError> {
+        self.eval_mask_cancel(table, None)
+    }
+
+    /// [`Expr::eval_mask`] with a cooperative cancellation check at every
+    /// block boundary; returns [`QueryError::Cancelled`] once `cancel`
+    /// is set. An unset (or absent) token changes nothing.
+    pub fn eval_mask_cancel(
+        &self,
+        table: &Table,
+        cancel: Option<&crate::cancel::CancelToken>,
+    ) -> Result<Vec<bool>, QueryError> {
         let n = table.num_rows();
         if n == 0 {
             return Ok(Vec::new());
         }
-        let blocks = parallel::map_blocks(n, parallel::num_threads(), |_, rows| {
+        let blocks = parallel::try_map_blocks(n, parallel::num_threads(), cancel, |_, rows| {
             let len = rows.len();
             self.eval_vec(table, rows).and_then(|v| mask_block(v, len))
-        });
+        })?;
         let mut mask = Vec::with_capacity(n);
         for block in blocks {
             mask.extend(block?);

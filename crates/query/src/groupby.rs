@@ -400,6 +400,20 @@ fn aggregate_block(
 /// aggregate. Group order follows first appearance in the input. The
 /// result is deterministic and independent of the worker-thread count.
 pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, QueryError> {
+    group_by_cancel(table, keys, aggs, None)
+}
+
+/// [`group_by`] with cooperative cancellation: the per-block partial
+/// aggregation re-checks `cancel` at every block boundary and the whole
+/// call returns [`QueryError::Cancelled`] once the token is set. An
+/// unset (or absent) token leaves the computation bit-identical to
+/// [`group_by`].
+pub fn group_by_cancel(
+    table: &Table,
+    keys: &[&str],
+    aggs: &[Agg],
+    cancel: Option<&crate::cancel::CancelToken>,
+) -> Result<Table, QueryError> {
     // Resolve and validate columns up front.
     let key_cols: Vec<&Column> = keys
         .iter()
@@ -432,7 +446,7 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, Que
             if a.kind == AggKind::CountAll {
                 return AggInput::NoInput;
             }
-            // lint: library-panic-ok (agg inputs resolved against the table earlier in this fn)
+            // lint: library-panic-ok (agg inputs resolved against the table earlier in this fn) unwind-across-pool-ok (serve pool worker contains unwinds via catch_unwind)
             let c = table.column(&a.input).expect("validated above");
             match a.kind {
                 AggKind::Count => AggInput::NullCheck(encode_column(c)),
@@ -448,9 +462,12 @@ pub fn group_by(table: &Table, keys: &[&str], aggs: &[Agg]) -> Result<Table, Que
 
     // Per-block partial aggregation (parallel), merged in block order so
     // the result is bit-identical to the single-threaded run.
-    let partials = parallel::map_blocks(table.num_rows(), parallel::num_threads(), |_, rows| {
-        aggregate_block(rows, &encoded_keys, &inputs, aggs)
-    });
+    let partials = parallel::try_map_blocks(
+        table.num_rows(),
+        parallel::num_threads(),
+        cancel,
+        |_, rows| aggregate_block(rows, &encoded_keys, &inputs, aggs),
+    )?;
     let mut merged = Partial::new();
     for partial in partials {
         for ((key, first_row), states) in partial

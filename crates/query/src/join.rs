@@ -166,7 +166,7 @@ pub fn join(
     let mut out_cols: Vec<(String, Column)> =
         Vec::with_capacity(left.num_columns() + right.num_columns());
     for name in left.column_names() {
-        // lint: library-panic-ok (name came from this table's own column list)
+        // lint: library-panic-ok (name came from this table's own column list) unwind-across-pool-ok (serve pool worker contains unwinds via catch_unwind)
         let col = left.column(name).expect("own column");
         out_cols.push((name.clone(), col.take(&left_rows)));
     }
@@ -174,7 +174,7 @@ pub fn join(
         if right_keys.contains(&name.as_str()) {
             continue;
         }
-        // lint: library-panic-ok (name came from this table's own column list)
+        // lint: library-panic-ok (name came from this table's own column list) unwind-across-pool-ok (serve pool worker contains unwinds via catch_unwind)
         let col = right.column(name).expect("own column");
         let out_name = if left.column_names().contains(name) {
             format!("right_{name}")

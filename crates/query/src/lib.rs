@@ -32,6 +32,8 @@
 //! ```
 
 pub mod bridge;
+pub mod cache;
+pub mod cancel;
 pub mod cast;
 pub mod column;
 pub mod dict;
@@ -48,6 +50,8 @@ pub mod sort;
 pub mod table;
 pub mod value;
 
+pub use cache::{CacheOutcome, CacheStats, ResultCache};
+pub use cancel::CancelToken;
 pub use column::{Column, DataType};
 pub use dict::StrVec;
 pub use error::QueryError;

@@ -7,7 +7,17 @@ use crate::table::Table;
 /// Rows of `table` where `predicate` evaluates to `true` (null does not
 /// select).
 pub fn filter(table: &Table, predicate: &Expr) -> Result<Table, QueryError> {
-    let mask = predicate.eval_mask(table)?;
+    filter_cancel(table, predicate, None)
+}
+
+/// [`filter`] with cooperative cancellation checked at block boundaries
+/// of the predicate scan ([`QueryError::Cancelled`] once set).
+pub fn filter_cancel(
+    table: &Table,
+    predicate: &Expr,
+    cancel: Option<&crate::cancel::CancelToken>,
+) -> Result<Table, QueryError> {
+    let mask = predicate.eval_mask_cancel(table, cancel)?;
     Ok(table.filter_rows(&mask))
 }
 

@@ -12,7 +12,15 @@
 //! Together these make the parallel path **bit-identical** to the
 //! sequential path: the sequential path is simply the same block loop run
 //! on one thread.
+//!
+//! [`try_map_blocks`] adds cooperative cancellation on top: workers
+//! re-check a [`CancelToken`] before claiming each block, so a query
+//! whose deadline has passed stops within one block of work
+//! (`QueryError::Cancelled`) instead of finishing the scan. A token that
+//! is never set leaves the schedule and results untouched.
 
+use crate::cancel::CancelToken;
+use crate::error::QueryError;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -46,10 +54,39 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    // With no token, try_map_blocks never cancels; the default is unreachable.
+    try_map_blocks(n_rows, threads, None, f).unwrap_or_default()
+}
+
+/// [`map_blocks`] with cooperative cancellation: every worker checks
+/// `cancel` before claiming each block, and the whole call returns
+/// [`QueryError::Cancelled`] — discarding all partial results — once the
+/// token is set. With `cancel: None` (or a token that is never set) the
+/// block schedule, accumulation order, and results are exactly those of
+/// [`map_blocks`]: cancellation can stop work early but can never change
+/// what a completed call returns.
+pub fn try_map_blocks<T, F>(
+    n_rows: usize,
+    threads: usize,
+    cancel: Option<&CancelToken>,
+    f: F,
+) -> Result<Vec<T>, QueryError>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let n_blocks = n_rows.div_ceil(BLOCK_ROWS);
     let block_range = |b: usize| b * BLOCK_ROWS..((b + 1) * BLOCK_ROWS).min(n_rows);
     if threads <= 1 || n_blocks <= 1 {
-        return (0..n_blocks).map(|b| f(b, block_range(b))).collect();
+        let mut out = Vec::with_capacity(n_blocks);
+        for b in 0..n_blocks {
+            if cancelled() {
+                return Err(QueryError::Cancelled);
+            }
+            out.push(f(b, block_range(b)));
+        }
+        return Ok(out);
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n_blocks).map(|_| None).collect();
@@ -59,6 +96,9 @@ where
                 scope.spawn(|| {
                     let mut done = Vec::new();
                     loop {
+                        if cancelled() {
+                            break;
+                        }
                         let b = next.fetch_add(1, Ordering::Relaxed);
                         if b >= n_blocks {
                             break;
@@ -70,17 +110,20 @@ where
             })
             .collect();
         for w in workers {
-            // lint: library-panic-ok (re-raises a worker panic on the caller thread)
+            // lint: library-panic-ok (re-raises a worker panic on the caller thread) unwind-across-pool-ok (serve pool worker contains unwinds via catch_unwind)
             for (b, value) in w.join().expect("query worker panicked") {
                 slots[b] = Some(value);
             }
         }
     });
-    slots
+    if cancelled() {
+        return Err(QueryError::Cancelled);
+    }
+    Ok(slots
         .into_iter()
-        // lint: library-panic-ok (the fetch_add work loop covers 0..n_blocks exactly)
+        // lint: library-panic-ok (the fetch_add work loop covers 0..n_blocks exactly) unwind-across-pool-ok (serve pool worker contains unwinds via catch_unwind)
         .map(|s| s.expect("every block computed"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -113,6 +156,50 @@ mod tests {
         let seq = map_blocks(n, 1, |_, r| r.sum::<usize>());
         let par = map_blocks(n, 8, |_, r| r.sum::<usize>());
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_map_blocks() {
+        let n = BLOCK_ROWS * 2 + 9;
+        let token = CancelToken::new();
+        for threads in [1, 4] {
+            let plain = map_blocks(n, threads, |b, r| (b, r.sum::<usize>()));
+            let tried = try_map_blocks(n, threads, Some(&token), |b, r| (b, r.sum::<usize>()))
+                .expect("token never set");
+            assert_eq!(plain, tried);
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_block() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 8] {
+            let counted = AtomicUsize::new(0);
+            let out = try_map_blocks(BLOCK_ROWS * 4, threads, Some(&token), |b, _| {
+                counted.fetch_add(1, Ordering::SeqCst);
+                b
+            });
+            assert_eq!(out, Err(QueryError::Cancelled));
+            assert_eq!(counted.load(Ordering::SeqCst), 0);
+        }
+    }
+
+    #[test]
+    fn mid_scan_cancellation_stops_at_a_block_boundary() {
+        // Cancel from inside block 1 of a sequential scan: block 2 must
+        // never run.
+        let token = CancelToken::new();
+        let seen = AtomicUsize::new(0);
+        let out = try_map_blocks(BLOCK_ROWS * 3, 1, Some(&token), |b, _| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            if b == 1 {
+                token.cancel();
+            }
+            b
+        });
+        assert_eq!(out, Err(QueryError::Cancelled));
+        assert_eq!(seen.load(Ordering::SeqCst), 2);
     }
 
     #[test]

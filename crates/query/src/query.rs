@@ -62,6 +62,7 @@ fn dict_entries(t: &Table) -> u64 {
 pub struct Query {
     source: Table,
     steps: Vec<Step>,
+    cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl Query {
@@ -70,7 +71,18 @@ impl Query {
         Query {
             source: table,
             steps: Vec::new(),
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation token: execution checks it
+    /// between plan steps and at block boundaries inside scan and
+    /// group-by operators, returning [`QueryError::Cancelled`] once it
+    /// is set. borg-serve arms one per admitted query with the query's
+    /// deadline budget.
+    pub fn with_cancel(mut self, token: crate::cancel::CancelToken) -> Query {
+        self.cancel = Some(token);
+        self
     }
 
     /// Keeps rows where `predicate` is true.
@@ -159,7 +171,11 @@ impl Query {
     /// disabled instance.
     pub fn run_with(self, tel: &mut Telemetry) -> Result<Table, QueryError> {
         let mut t = self.source;
+        let cancel = self.cancel.as_ref();
         for step in self.steps {
+            if cancel.is_some_and(crate::cancel::CancelToken::is_cancelled) {
+                return Err(QueryError::Cancelled);
+            }
             let name = step.name();
             let rows_in = t.num_rows() as u64;
             let span = tel.span_enter(&format!("query.{name}"));
@@ -178,7 +194,7 @@ impl Query {
                 }
             }
             t = match step {
-                Step::Filter(p) => crate::ops::filter(&t, &p)?,
+                Step::Filter(p) => crate::ops::filter_cancel(&t, &p, cancel)?,
                 Step::Project(cols) => {
                     let names: Vec<&str> = cols.iter().map(String::as_str).collect();
                     crate::ops::project(&t, &names)?
@@ -186,7 +202,7 @@ impl Query {
                 Step::Derive(name, expr) => crate::ops::derive(t, &name, &expr)?,
                 Step::GroupBy(keys, aggs) => {
                     let names: Vec<&str> = keys.iter().map(String::as_str).collect();
-                    crate::groupby::group_by(&t, &names, &aggs)?
+                    crate::groupby::group_by_cancel(&t, &names, &aggs, cancel)?
                 }
                 Step::Sort(keys) => {
                     let pairs: Vec<(&str, SortOrder)> =

@@ -137,7 +137,7 @@ impl Table {
             let name = &self.names[i];
             self.columns[i]
                 .push(value, name)
-                // lint: library-panic-ok (the loop above type-checked every cell)
+                // lint: library-panic-ok (the loop above type-checked every cell) unwind-across-pool-ok (serve pool worker contains unwinds via catch_unwind)
                 .expect("row pre-validated");
         }
         Ok(())

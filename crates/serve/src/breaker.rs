@@ -1,0 +1,133 @@
+//! Per-epoch circuit breaker.
+//!
+//! When an epoch's queries start panicking consecutively (a poisoned
+//! epoch, a plan that trips a data bug), retrying every request against
+//! it burns worker capacity that healthy epochs need. The breaker
+//! converts that failure mode into fast, cheap rejections: after
+//! `threshold` consecutive failures it **opens** for `cooloff_us`, then
+//! **half-opens** to let probe traffic through — one success closes it,
+//! one failure re-opens it.
+//!
+//! The service consults the breaker only for non-prod admissions: prod
+//! traffic always passes (its protection is the retry budget), so an
+//! open breaker sheds the tiers that are designed to be sheddable.
+
+/// Observable breaker state at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: non-prod requests are shed until the cooloff elapses.
+    Open,
+    /// Cooloff elapsed: probe traffic allowed; next result decides.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker (virtual-time, sans-io).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooloff_us: u64,
+    consecutive_failures: u32,
+    /// When `Some`, the breaker tripped at that time and is Open until
+    /// `opened_at + cooloff_us`, HalfOpen after.
+    opened_at: Option<u64>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Trips after `threshold` consecutive failures; probes again after
+    /// `cooloff_us`.
+    pub fn new(threshold: u32, cooloff_us: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooloff_us,
+            consecutive_failures: 0,
+            opened_at: None,
+            trips: 0,
+        }
+    }
+
+    /// State as of `now_us`.
+    pub fn state(&self, now_us: u64) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if now_us < at.saturating_add(self.cooloff_us) => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a (non-prod) request may be dispatched at `now_us`.
+    pub fn allows(&self, now_us: u64) -> bool {
+        self.state(now_us) != BreakerState::Open
+    }
+
+    /// Records a successful attempt: closes the breaker. Returns
+    /// `true` when this success closed a tripped breaker (a half-open
+    /// probe succeeded).
+    pub fn record_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        self.opened_at.take().is_some()
+    }
+
+    /// Records a failed attempt at `now_us`. Returns `true` when this
+    /// failure trips the breaker open (including a failed half-open
+    /// probe re-opening it).
+    pub fn record_failure(&mut self, now_us: u64) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let was_open = self.opened_at.is_some() && self.state(now_us) != BreakerState::HalfOpen;
+        if self.consecutive_failures >= self.threshold && !was_open {
+            self.opened_at = Some(now_us);
+            self.trips += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Number of times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_half_opens() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert!(!b.record_failure(10));
+        assert!(!b.record_failure(20));
+        assert!(b.record_failure(30), "third consecutive failure trips");
+        assert_eq!(b.state(40), BreakerState::Open);
+        assert!(!b.allows(40));
+        assert_eq!(b.state(1_030), BreakerState::HalfOpen);
+        assert!(b.allows(1_030), "half-open lets a probe through");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_everything() {
+        let mut b = CircuitBreaker::new(2, 500);
+        b.record_failure(0);
+        b.record_failure(1);
+        assert_eq!(b.state(2), BreakerState::Open);
+        b.record_success();
+        assert_eq!(b.state(3), BreakerState::Closed);
+        // Counter restarted: one failure is below threshold again.
+        assert!(!b.record_failure(4));
+        assert_eq!(b.state(5), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(1, 100);
+        assert!(b.record_failure(0));
+        assert_eq!(b.state(150), BreakerState::HalfOpen);
+        assert!(b.record_failure(150), "failed probe re-trips");
+        assert_eq!(b.state(200), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Seeded fault injection for the query service.
+//!
+//! Extends the trace-pipeline chaos discipline (fault injection →
+//! repair → validate, DESIGN.md §11) to the serving layer: worker
+//! stalls, panicking queries, and slow epoch loads, all drawn from a
+//! seed so every chaotic run is exactly replayable.
+//!
+//! The key property is *interleaving independence*: the fault for a
+//! given `(query id, attempt)` is a pure function of the chaos seed —
+//! not of thread scheduling, queue depth, or arrival order. Two runs
+//! with the same seed inject byte-identical fault schedules even if the
+//! service executes them in different real-time order, which is what
+//! makes the shed/retry/breaker determinism contract testable.
+
+use borg_query::fxhash::FxHasher;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hash::{Hash, Hasher};
+
+/// The fault injected into one execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fault {
+    /// Extra service time (virtual µs in the model, a real sleep in the
+    /// threaded pool) injected before the query runs.
+    pub stall_us: u64,
+    /// Whether the worker panics mid-query on this attempt.
+    pub panics: bool,
+}
+
+impl Fault {
+    /// The no-fault value.
+    pub fn none() -> Fault {
+        Fault::default()
+    }
+}
+
+/// Chaos parameters; `ChaosConfig::off()` disables everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Master switch; when false, [`ChaosConfig::fault_for`] always
+    /// returns [`Fault::none`] and epoch loads are never slowed.
+    pub enabled: bool,
+    /// Seed for the per-attempt fault draws.
+    pub seed: u64,
+    /// Probability an attempt is stalled.
+    pub stall_prob: f64,
+    /// Stall duration range `[min, max)` in µs.
+    pub stall_us: (u64, u64),
+    /// Probability an attempt panics (drawn independently of stalls).
+    pub panic_prob: f64,
+    /// Extra virtual delay before a newly loaded epoch is ready to
+    /// serve (the "slow epoch load" fault; 0 = instant).
+    pub slow_epoch_us: u64,
+}
+
+impl ChaosConfig {
+    /// Chaos disabled.
+    pub fn off() -> ChaosConfig {
+        ChaosConfig {
+            enabled: false,
+            seed: 0,
+            stall_prob: 0.0,
+            stall_us: (0, 0),
+            panic_prob: 0.0,
+            slow_epoch_us: 0,
+        }
+    }
+
+    /// A moderate profile for tests and the overload bench: 20% stalls
+    /// of 2–20 ms, 2% panics, 5 ms slow epoch loads.
+    pub fn moderate(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            enabled: true,
+            seed,
+            stall_prob: 0.20,
+            stall_us: (2_000, 20_000),
+            panic_prob: 0.02,
+            slow_epoch_us: 5_000,
+        }
+    }
+
+    /// The fault injected into attempt `attempt` of query `query_id`.
+    /// Pure in `(self.seed, query_id, attempt)`; see the module docs.
+    pub fn fault_for(&self, query_id: u64, attempt: u32) -> Fault {
+        if !self.enabled {
+            return Fault::none();
+        }
+        let mut h = FxHasher::default();
+        (self.seed, query_id, attempt).hash(&mut h);
+        let mut rng = StdRng::seed_from_u64(h.finish());
+        let stalled = rng.random_bool(self.stall_prob);
+        let span = self.stall_us.1.saturating_sub(self.stall_us.0);
+        let stall_us = if stalled {
+            self.stall_us.0 + (rng.random::<u64>() % span.max(1))
+        } else {
+            // Keep the draw count fixed so `panics` never depends on
+            // whether the stall branch was taken.
+            let _ = rng.random::<u64>();
+            0
+        };
+        let panics = rng.random_bool(self.panic_prob);
+        Fault { stall_us, panics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_injects_nothing() {
+        let c = ChaosConfig::off();
+        for id in 0..100 {
+            assert_eq!(c.fault_for(id, 0), Fault::none());
+        }
+    }
+
+    #[test]
+    fn faults_are_pure_in_seed_id_attempt() {
+        let c = ChaosConfig::moderate(42);
+        for id in 0..200u64 {
+            for attempt in 0..3 {
+                assert_eq!(c.fault_for(id, attempt), c.fault_for(id, attempt));
+            }
+        }
+        // Different attempts of the same query draw independent faults
+        // (retries are not doomed to repeat the first attempt's fate).
+        let differs = (0..200u64).any(|id| c.fault_for(id, 0) != c.fault_for(id, 1));
+        assert!(differs);
+        // And a different seed gives a different schedule.
+        let c2 = ChaosConfig::moderate(43);
+        let schedule =
+            |c: &ChaosConfig| (0..200u64).map(|id| c.fault_for(id, 0)).collect::<Vec<_>>();
+        assert_ne!(schedule(&c), schedule(&c2));
+    }
+
+    #[test]
+    fn rates_are_roughly_as_configured() {
+        let c = ChaosConfig::moderate(7);
+        let n = 10_000u64;
+        let stalls = (0..n).filter(|&id| c.fault_for(id, 0).stall_us > 0).count();
+        let panics = (0..n).filter(|&id| c.fault_for(id, 0).panics).count();
+        let stall_rate = stalls as f64 / n as f64;
+        let panic_rate = panics as f64 / n as f64;
+        assert!(
+            (0.15..0.25).contains(&stall_rate),
+            "stall rate {stall_rate}"
+        );
+        assert!(
+            (0.01..0.03).contains(&panic_rate),
+            "panic rate {panic_rate}"
+        );
+    }
+}

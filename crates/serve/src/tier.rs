@@ -1,0 +1,130 @@
+//! Service tiers and per-tier admission policy.
+//!
+//! The paper's central capacity argument (§5) is that best-effort batch
+//! (beb) work soaks up resources prod leaves idle *because* it can be
+//! displaced the moment prod needs them. borg-serve applies the same
+//! discipline to query capacity: three tiers with dedicated worker
+//! quotas and bounded queues, where overload is absorbed bottom-up —
+//! best-effort sheds first, batch next, and prod is engineered to never
+//! shed at all.
+
+/// Request priority class, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Latency-sensitive: dedicated quota, tight deadline, never shed.
+    Prod,
+    /// Throughput-oriented: generous queue, moderate deadline.
+    Batch,
+    /// Scavenger class: first to be displaced or shed under overload.
+    BestEffort,
+}
+
+impl Tier {
+    /// All tiers, highest priority first.
+    pub const ALL: [Tier; 3] = [Tier::Prod, Tier::Batch, Tier::BestEffort];
+
+    /// Stable short name for logs and metric paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Prod => "prod",
+            Tier::Batch => "batch",
+            Tier::BestEffort => "best_effort",
+        }
+    }
+
+    /// Index into per-tier arrays (`ALL[t.index()] == t`).
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Prod => 0,
+            Tier::Batch => 1,
+            Tier::BestEffort => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Admission parameters for one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierPolicy {
+    /// Dedicated worker slots: requests of this tier dispatch only into
+    /// these, so a lower tier can never starve a higher one.
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet running) requests.
+    pub queue_cap: usize,
+    /// Budget from submission to last byte; propagated into the query
+    /// engine as a cooperative cancellation token.
+    pub deadline_us: u64,
+    /// Total execution attempts (1 = no retry) for failed workers.
+    pub max_attempts: u32,
+}
+
+/// Per-tier policies plus the global queue bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Policies indexed by [`Tier::index`].
+    pub tiers: [TierPolicy; 3],
+    /// Bound on total queued requests across tiers; beyond it a new
+    /// request must displace lower-tier queued work or be shed.
+    pub global_queue_cap: usize,
+}
+
+impl AdmissionConfig {
+    /// Policy for one tier.
+    pub fn tier(&self, t: Tier) -> &TierPolicy {
+        &self.tiers[t.index()]
+    }
+
+    /// A small profile sized for tests and the virtual-time harness:
+    /// 2/2/1 workers, deadlines 50 ms / 200 ms / 400 ms.
+    pub fn small() -> AdmissionConfig {
+        AdmissionConfig {
+            tiers: [
+                TierPolicy {
+                    workers: 2,
+                    queue_cap: 64,
+                    deadline_us: 50_000,
+                    max_attempts: 3,
+                },
+                TierPolicy {
+                    workers: 2,
+                    queue_cap: 32,
+                    deadline_us: 200_000,
+                    max_attempts: 2,
+                },
+                TierPolicy {
+                    workers: 1,
+                    queue_cap: 8,
+                    deadline_us: 400_000,
+                    max_attempts: 1,
+                },
+            ],
+            global_queue_cap: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_order_is_priority_order() {
+        assert!(Tier::Prod < Tier::Batch);
+        assert!(Tier::Batch < Tier::BestEffort);
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_metric_safe() {
+        for t in Tier::ALL {
+            assert!(t.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+}

@@ -25,9 +25,14 @@
 //! placement layer moves whole per-shard `PlacementIndex` values into
 //! jobs and back out with the results (a handful of `Vec` headers per
 //! move), and `multi::run_cells_parallel` moves `(profile, config)`
-//! pairs. Worker functions must not panic — a panicking job surfaces as
-//! a `recv` failure on the caller, after the batch stalls.
+//! pairs. A panicking job is caught inside the worker loop
+//! (`catch_unwind`), carried back over the result channel, and
+//! re-raised on the caller **after** the whole batch has drained: the
+//! lowest-tagged panic wins, so which panic the caller observes does
+//! not depend on scheduling, the channels never hold stale tags, and
+//! the pool stays usable (and `Drop` joins cleanly) afterwards.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -36,8 +41,8 @@ use std::thread::JoinHandle;
 pub struct WorkerPool<J: Send + 'static, R: Send + 'static> {
     /// One job channel per worker; jobs are dealt round-robin.
     job_txs: Vec<Sender<(usize, J)>>,
-    /// Tagged results from every worker.
-    results: Receiver<(usize, R)>,
+    /// Tagged results from every worker; `Err` carries a caught panic.
+    results: Receiver<(usize, std::thread::Result<R>)>,
     handles: Vec<JoinHandle<()>>,
     run: fn(J) -> R,
 }
@@ -46,7 +51,7 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
     /// Spawns `workers` threads running `run`. Zero workers is valid
     /// and makes every batch run inline on the caller.
     pub fn new(workers: usize, run: fn(J) -> R) -> WorkerPool<J, R> {
-        let (res_tx, results) = channel::<(usize, R)>();
+        let (res_tx, results) = channel::<(usize, std::thread::Result<R>)>();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -56,7 +61,8 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
                 .name(format!("borg-pool-{w}"))
                 .spawn(move || {
                     while let Ok((tag, job)) = rx.recv() {
-                        if res_tx.send((tag, run(job))).is_err() {
+                        let out = catch_unwind(AssertUnwindSafe(|| run(job)));
+                        if res_tx.send((tag, out)).is_err() {
                             break; // Pool dropped mid-flight.
                         }
                     }
@@ -102,11 +108,30 @@ impl<J: Send + 'static, R: Send + 'static> WorkerPool<J, R> {
         }
         // lint: library-panic-ok (the tag == 0 arm above always ran)
         let first = first.expect("first job reserved for the caller");
-        slots[0] = Some((self.run)(first));
+        // Collect every outcome before surfacing any panic: the result
+        // channel must be fully drained, or the next batch would receive
+        // this batch's stale tags and fill the wrong slots.
+        let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
+        let run = self.run;
+        match catch_unwind(AssertUnwindSafe(|| run(first))) {
+            Ok(r) => slots[0] = Some(r),
+            Err(p) => panics.push((0, p)),
+        }
         for _ in 1..n {
-            // lint: library-panic-ok (re-raises a worker panic on the caller thread)
-            let (tag, r) = self.results.recv().expect("pool worker panicked");
-            slots[tag] = Some(r);
+            // lint: library-panic-ok (workers catch job panics and never exit early)
+            let (tag, r) = self.results.recv().expect("pool worker alive");
+            match r {
+                Ok(r) => slots[tag] = Some(r),
+                Err(p) => panics.push((tag, p)),
+            }
+        }
+        if !panics.is_empty() {
+            // Arrival order is scheduling-dependent; the lowest job tag
+            // is not. Re-raise that one so the surfaced panic is
+            // deterministic for a given batch.
+            panics.sort_by_key(|(tag, _)| *tag);
+            let (_, payload) = panics.swap_remove(0);
+            resume_unwind(payload);
         }
         slots
             .into_iter()
@@ -120,8 +145,8 @@ impl<J: Send + 'static, R: Send + 'static> Drop for WorkerPool<J, R> {
     fn drop(&mut self) {
         self.job_txs.clear(); // Hang up; workers drain and exit.
         for h in self.handles.drain(..) {
-            // Worker panics already surfaced through recv in run_batch;
-            // never double-panic during drop.
+            // Job panics are caught in the worker loop and re-raised by
+            // run_batch; never double-panic during drop.
             let _ = h.join();
         }
     }
@@ -168,6 +193,50 @@ mod tests {
                 ]
             );
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_and_pool_stays_usable() {
+        // Regression: a panicking job used to kill its worker with jobs
+        // still queued on its channel, leaving run_batch blocked on
+        // recv forever. The panic must surface on the caller and the
+        // pool must keep working afterwards.
+        fn boom(x: u64) -> u64 {
+            if x % 10 == 3 {
+                panic!("job rejected: {x}");
+            }
+            x * x
+        }
+        let mut pool = WorkerPool::new(3, boom as fn(u64) -> u64);
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run_batch((0..20).collect())))
+            .expect_err("a panicking job must surface");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        // Jobs 3 and 13 both panic; the lowest tag wins deterministically.
+        assert_eq!(msg, "job rejected: 3");
+        // The batch fully drained, so the pool is immediately reusable.
+        let out = pool.run_batch(vec![1, 2, 4]);
+        assert_eq!(out, vec![1, 4, 16]);
+        // Dropping the pool at end of scope must join cleanly (the test
+        // would hang here before the fix).
+    }
+
+    #[test]
+    fn inline_job_panic_still_drains_dispatched_work() {
+        // Job 0 runs on the caller; its panic must not strand the
+        // results the workers are about to send.
+        fn boom_zero(x: u64) -> u64 {
+            if x == 0 {
+                panic!("zero");
+            }
+            x
+        }
+        let mut pool = WorkerPool::new(2, boom_zero as fn(u64) -> u64);
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run_batch((0..8).collect())))
+            .expect_err("job 0 panics");
+        assert_eq!(err.downcast_ref::<&str>().copied(), Some("zero"));
+        assert_eq!(pool.run_batch(vec![5, 6]), vec![5, 6]);
     }
 
     #[test]

@@ -63,6 +63,29 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`, clamped), or 0 for an empty histogram. The
+    /// rank is computed on exact integer counts, so for any given
+    /// histogram contents the answer is exact and deterministic; the
+    /// resolution is the power-of-two bucket width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * count),
+        // floored at 1 so q=0 means "the smallest observation's bucket".
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
     /// Compact `lo..hi:count` rendering of the non-empty buckets, used
     /// by snapshots (stable, human-greppable).
     pub fn render(&self) -> String {
@@ -199,5 +222,25 @@ mod tests {
         assert_eq!(h.count, 5);
         assert_eq!(h.sum, 1030);
         assert!(h.render().contains("n=5"));
+    }
+
+    #[test]
+    fn quantile_walks_bucket_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [1u64, 2, 2, 100, 1000] {
+            h.record(v);
+        }
+        // Ranks: q=0.2 → rank 1 (bucket of 1, bound 1);
+        // q=0.5 → rank 3 (bucket of 2..4, bound 3);
+        // q=0.99 → rank 5 (bucket of 512..1024, bound 1023).
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(0.2), 1);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(1.0), 1023);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(7.0), 1023);
+        assert_eq!(h.quantile(-1.0), 1);
     }
 }

@@ -28,6 +28,12 @@
 # (every shard count bit-identical to the single index, DESIGN.md §14),
 # the fast loop when working on the shard/pool subsystem.
 #
+# With --serve, runs only the borg-serve fast loop: the crate's unit
+# tests plus the wall-clock chaos smoke (200 mixed-tier queries through
+# a real ServePool with injected stalls and panics; asserts clean drain
+# and zero prod deadline misses, DESIGN.md §16). Budgeted under 10 s
+# after the build.
+#
 # With --profile, runs only the borg-telemetry profile report
 # (experiments/profile): the per-event-kind breakdown of a 512-machine
 # cell-day, with the query-engine round-trip and chrome-trace JSON
@@ -55,6 +61,7 @@ Modes:
   --lint-graph  dump the computed contract/pool reachability set and exit
   --chaos    chaos roundtrip suite only (fault injection & trace repair)
   --shards   sharded-placement equivalence suite only (bit-identity sweep)
+  --serve    borg-serve fast loop only (unit tests + wall-clock chaos smoke)
   --profile  telemetry profile report only (512-machine cell-day breakdown)
   --bench    default path plus a one-pass smoke of every criterion bench
   --help     this text
@@ -67,6 +74,7 @@ lint_graph=0
 chaos_only=0
 profile_only=0
 shards_only=0
+serve_only=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
@@ -74,6 +82,7 @@ for arg in "$@"; do
     --lint-graph) lint_graph=1 ;;
     --chaos) chaos_only=1 ;;
     --shards) shards_only=1 ;;
+    --serve) serve_only=1 ;;
     --profile) profile_only=1 ;;
     --help | -h)
         usage
@@ -134,6 +143,15 @@ if [ "$shards_only" -eq 1 ]; then
     cargo test -p borg-sim --offline -q --lib shard::
     cargo test -p borg-sim --offline -q --lib pool::
     echo "Shard check passed."
+    exit 0
+fi
+
+if [ "$serve_only" -eq 1 ]; then
+    echo "==> borg-serve unit tests"
+    cargo test -p borg-serve --offline -q
+    echo "==> serve smoke (wall-clock chaos: stalls, panics, tiered deadlines)"
+    cargo run -q -p borg-experiments --offline --bin serve_smoke -- --scale tiny
+    echo "Serve check passed."
     exit 0
 fi
 

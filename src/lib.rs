@@ -14,6 +14,8 @@
 //! * [`query`] — the in-memory columnar query engine.
 //! * [`analysis`] — statistical primitives (CCDF, C², Pareto fits, ...).
 //! * [`core`] — the paper pipeline: one module per table/figure.
+//! * [`serve`] — the overload-hardened trace query service (tiered
+//!   admission, deadlines, seeded retries, chaos harness).
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 pub use borg_analysis as analysis;
 pub use borg_core as core;
 pub use borg_query as query;
+pub use borg_serve as serve;
 pub use borg_sim as sim;
 pub use borg_trace as trace;
 pub use borg_workload as workload;

@@ -1,0 +1,98 @@
+//! Serve equivalence: with chaos disabled, the service is transparent.
+//!
+//! The robustness machinery (admission, deadline plumbing, retry
+//! scaffolding, result cache) must be a no-op on the data path: every
+//! query served through the full stack in inline mode returns bytes
+//! identical to calling the query engine directly, and the single-
+//! flight cache changes only *when* work happens, never *what* comes
+//! back.
+
+use borg2019::core::pipeline::{simulate_cell, SimScale};
+use borg2019::core::tables;
+use borg2019::query::prelude::*;
+use borg2019::serve::{
+    generate_arrivals, plan_catalog, Epoch, ExecMode, Outcome, ServeConfig, ServeSim, TableId,
+    WorkloadSpec,
+};
+use borg2019::workload::cells::CellProfile;
+use std::sync::Arc;
+
+#[test]
+fn served_bytes_match_direct_library_calls() {
+    let outcome = simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 1);
+    let epoch = Arc::new(Epoch::from_trace("a", 0, &outcome.trace).expect("epoch tables"));
+
+    let spec = WorkloadSpec {
+        seed: 11,
+        queries: 120,
+        mean_gap_us: 1_500.0,
+        tier_mix: [0.3, 0.4, 0.3],
+        epochs: vec!["a".into()],
+    };
+    let arrivals = generate_arrivals(&spec);
+    let sim = ServeSim {
+        exec: ExecMode::Inline,
+        ..ServeSim::default()
+    };
+    // Chaos off (ServeConfig::small): nothing sheds, nothing expires.
+    let report = sim.run(
+        ServeConfig::small(11),
+        std::slice::from_ref(&epoch),
+        &arrivals,
+    );
+
+    let done = report.ids_where(|o| matches!(o, Outcome::Done { .. }));
+    assert_eq!(done.len(), 120, "chaos-free run completed everything");
+    assert_eq!(report.results.len(), 120);
+    for (id, served) in &report.results {
+        let (_, req) = arrivals
+            .iter()
+            .find(|(_, r)| r.id == *id)
+            .expect("arrival for served id");
+        let direct = req
+            .plan
+            .execute(epoch.table(req.plan.table).clone(), None)
+            .expect("direct plan execution");
+        assert_eq!(
+            served,
+            &direct.to_string().into_bytes(),
+            "query {id}: served bytes differ from the direct library call"
+        );
+    }
+    // The cache deduplicated but never changed payloads: at most one
+    // miss per distinct catalog plan, everything else hits/coalesces.
+    assert!(
+        (report.cache.misses as usize) <= plan_catalog().len(),
+        "cache stats: {:?}",
+        report.cache
+    );
+    assert_eq!(
+        report.cache.hits + report.cache.coalesced + report.cache.misses,
+        120
+    );
+}
+
+#[test]
+fn plan_layer_matches_handwritten_query() {
+    // Pin one catalog plan against the query DSL spelled out by hand,
+    // so PlanSpec::execute cannot drift from the engine's semantics.
+    let outcome = simulate_cell(&CellProfile::cell_2019('a'), SimScale::Tiny, 1);
+    let epoch = Arc::new(Epoch::from_trace("a", 0, &outcome.trace).expect("epoch tables"));
+    let plan = plan_catalog()
+        .into_iter()
+        .find(|p| p.table == TableId::InstanceEvents)
+        .expect("instance-events catalog plan");
+    let via_plan = plan
+        .execute(epoch.table(TableId::InstanceEvents).clone(), None)
+        .expect("plan execution");
+
+    let table = tables::instance_events_table(&outcome.trace).expect("instance events table");
+    let direct = Query::from(table)
+        .filter(col("priority").ge(lit(103i64)))
+        .group_by(&["tier"], vec![Agg::count_all("n")])
+        .sort_by("n", SortOrder::Descending)
+        .run()
+        .expect("handwritten query");
+
+    assert_eq!(via_plan.to_string(), direct.to_string());
+}
