@@ -24,6 +24,11 @@
 //! ```
 
 use borg_query::{bridge, col, lit, Agg, Query, SortOrder};
+use borg_serve::{
+    generate_arrivals, open_loop_gap_us, overload_admission, ChaosConfig, Epoch, ModelCost,
+    RecorderConfig, RetryPolicy, ServeConfig, ServeSim, SloConfig, Tier, WitnessConfig,
+    WorkloadSpec,
+};
 use borg_sim::{CellSim, SimConfig};
 use borg_telemetry::{
     breakdown_report, chrome_trace_json, fmt_ns, grid_breakdown, human_report, validate_json,
@@ -33,13 +38,14 @@ use borg_trace::time::Micros;
 use borg_workload::cells::CellProfile;
 
 const USAGE: &str =
-    "usage: profile [--seed N] [--machines N] [--shards K] [--trace-out PATH] [--full]";
+    "usage: profile [--seed N] [--machines N] [--shards K] [--trace-out PATH] [--serve] [--full]";
 
 struct Opts {
     seed: u64,
     machines: u64,
     shards: Option<usize>,
     trace_out: Option<std::path::PathBuf>,
+    serve: bool,
     full: bool,
 }
 
@@ -49,6 +55,7 @@ fn parse_opts() -> Opts {
         machines: 512,
         shards: None,
         trace_out: None,
+        serve: false,
         full: false,
     };
     let mut args = std::env::args().skip(1);
@@ -65,6 +72,7 @@ fn parse_opts() -> Opts {
                 opts.shards = Some(value("--shards needs a number").parse().expect("shards"));
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out needs a path").into()),
+            "--serve" => opts.serve = true,
             "--full" => opts.full = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -251,6 +259,64 @@ fn main() {
         println!("    {:<36} {:>10}", c.name, c.value);
     }
     print_spans(&query_snap, "    ");
+
+    // 8. Serve-side observability (--serve): a short chaotic serve run
+    // over the same trace; the witness's per-segment aggregates flow
+    // through the identical registry/breakdown path as the event loop.
+    if opts.serve {
+        let epoch =
+            std::sync::Arc::new(Epoch::from_trace("d", 0, &outcome.trace).expect("epoch tables"));
+        let admission = overload_admission();
+        let chaos = ChaosConfig::moderate(opts.seed);
+        let gap = open_loop_gap_us(&admission, &ModelCost::default(), &chaos, 1.0, 1.5);
+        let cfg = ServeConfig {
+            admission,
+            retry: RetryPolicy::default_with_seed(opts.seed),
+            breaker_threshold: 5,
+            breaker_cooloff_us: 50_000,
+            chaos,
+            slo: SloConfig::for_admission(&admission),
+            witness: WitnessConfig::on(),
+            recorder: RecorderConfig::standard(),
+        };
+        let spec = WorkloadSpec {
+            seed: opts.seed,
+            queries: 1_000,
+            mean_gap_us: gap,
+            tier_mix: [0.2, 0.4, 0.4],
+            epochs: vec!["d".into()],
+        };
+        let arrivals = generate_arrivals(&spec);
+        let r = ServeSim::default().run(cfg, std::slice::from_ref(&epoch), &arrivals);
+        let mut serve_tel = Telemetry::enabled();
+        r.witness.export_telemetry(&mut serve_tel);
+        let serve_snap = serve_tel.snapshot();
+        println!(
+            "\n{}",
+            breakdown_report(
+                &serve_snap,
+                "serve.seg",
+                "serve span-segment breakdown (1000 queries, 1.5x load, moderate chaos)"
+            )
+        );
+        println!("serve completion-latency quantiles:");
+        for t in Tier::ALL {
+            println!(
+                "  {:<12} p50 {:>8}us  p99 {:>8}us",
+                t.name(),
+                r.stats.latency_quantile_us(t, 0.50),
+                r.stats.latency_quantile_us(t, 0.99),
+            );
+        }
+        println!(
+            "serve alerts: {}, recorder snapshots: {}",
+            r.alerts.len(),
+            String::from_utf8_lossy(&r.recorder_dump)
+                .lines()
+                .filter(|l| l.starts_with("-- snapshot"))
+                .count()
+        );
+    }
 
     if opts.full {
         println!("\n=== full simulator snapshot ===");

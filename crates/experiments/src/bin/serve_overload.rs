@@ -17,7 +17,8 @@ use borg_core::pipeline::simulate_cell;
 use borg_experiments::{banner, parse_opts};
 use borg_serve::{
     generate_arrivals, open_loop_gap_us, overload_admission, ChaosConfig, Epoch, ModelCost,
-    Outcome, RetryPolicy, ServeConfig, ServeSim, Tier, WorkloadSpec,
+    Outcome, RecorderConfig, RetryPolicy, ServeConfig, ServeSim, SloConfig, Tier, WitnessConfig,
+    WorkloadSpec,
 };
 use borg_workload::cells::CellProfile;
 use std::sync::Arc;
@@ -50,6 +51,9 @@ fn main() {
             breaker_threshold: 5,
             breaker_cooloff_us: 50_000,
             chaos,
+            slo: SloConfig::for_admission(&admission),
+            witness: WitnessConfig::on(),
+            recorder: RecorderConfig::standard(),
         };
         let spec = WorkloadSpec {
             seed,
@@ -63,6 +67,19 @@ fn main() {
         let r1 = sim.run(cfg.clone(), std::slice::from_ref(&epoch), &arrivals);
         let r2 = sim.run(cfg, std::slice::from_ref(&epoch), &arrivals);
         assert_eq!(r1.log, r2.log, "seed {seed}: event log not byte-replayable");
+        assert_eq!(
+            r1.trace_export(),
+            r2.trace_export(),
+            "seed {seed}: span-tree export not byte-replayable"
+        );
+        assert_eq!(
+            r1.alerts, r2.alerts,
+            "seed {seed}: alert log not replayable"
+        );
+        assert_eq!(
+            r1.recorder_dump, r2.recorder_dump,
+            "seed {seed}: flight-recorder dump not replayable"
+        );
 
         println!(
             "seed {seed}: gap {:.0}us, horizon {:.1}s, digest {:016x}",
@@ -117,6 +134,70 @@ fn main() {
         assert!(
             !done.is_empty(),
             "seed {seed}: nothing completed under overload"
+        );
+        println!(
+            "  observability: {} traces, {} alerts, {} recorder snapshot(s)",
+            r1.witness.len(),
+            r1.alerts.len(),
+            r1.recorder_dump
+                .split(|b| *b == b'\n')
+                .filter(|l| l.starts_with(b"-- snapshot"))
+                .count(),
+        );
+    }
+
+    // Witness overhead A/B on the base seed: the observability layer
+    // must ride within noise of the bare state machine (the delta lands
+    // in BENCH_simulator.json).
+    {
+        let chaos = ChaosConfig::moderate(opts.seed);
+        let gap = open_loop_gap_us(&admission, &cost, &chaos, 1.0, LOAD_FACTOR);
+        let spec = WorkloadSpec {
+            seed: opts.seed,
+            queries: QUERIES,
+            mean_gap_us: gap,
+            tier_mix: [0.10, 0.40, 0.50],
+            epochs: vec!["a".into()],
+        };
+        let arrivals = generate_arrivals(&spec);
+        let mk = |on: bool| ServeConfig {
+            admission,
+            retry: RetryPolicy::default_with_seed(opts.seed),
+            breaker_threshold: 5,
+            breaker_cooloff_us: 50_000,
+            chaos,
+            slo: if on {
+                SloConfig::for_admission(&admission)
+            } else {
+                SloConfig::off()
+            },
+            witness: if on {
+                WitnessConfig::on()
+            } else {
+                WitnessConfig::off()
+            },
+            recorder: if on {
+                RecorderConfig::standard()
+            } else {
+                RecorderConfig::off()
+            },
+        };
+        let sim = ServeSim::default();
+        // lint: nondeterministic-source-ok (wall-clock measures harness overhead only; never enters a log)
+        let t = std::time::Instant::now();
+        let bare = sim.run(mk(false), std::slice::from_ref(&epoch), &arrivals);
+        let off_ms = t.elapsed().as_secs_f64() * 1e3;
+        // lint: nondeterministic-source-ok (wall-clock measures harness overhead only; never enters a log)
+        let t = std::time::Instant::now();
+        let full = sim.run(mk(true), std::slice::from_ref(&epoch), &arrivals);
+        let on_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            bare.log, full.log,
+            "witness must not perturb the decision log"
+        );
+        println!(
+            "witness overhead: off {off_ms:.1}ms on {on_ms:.1}ms ({:+.1}%)",
+            (on_ms / off_ms - 1.0) * 100.0
         );
     }
     println!("serve overload: OK (3 seeds, replayable, prod protected)");

@@ -1,4 +1,4 @@
-//! The rule engine: ten named rules pattern-matched over the token
+//! The rule engine: eleven named rules pattern-matched over the token
 //! stream from [`crate::lexer`], scoped by the call-graph reachability
 //! computed in [`crate::graph`].
 //!
@@ -14,6 +14,7 @@
 //! | S2 | library-panic               | `unwrap`/`expect`/`panic!` in library code      |
 //! | S3 | truncating-cast             | `as u32` in the query crate's code paths        |
 //! | G1 | contract-root               | a `CONTRACT_ROOTS` entry points at nothing      |
+//! | M1 | unregistered-metric         | raw latency sample vectors outside the registry |
 //!
 //! C2 and C3 are the graph-scoped rules: they apply not to named files
 //! but to every function transitively reachable from the contract
@@ -49,11 +50,12 @@ pub enum RuleId {
     S2,
     S3,
     G1,
+    M1,
 }
 
 impl RuleId {
     /// All rules, in catalogue order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -64,6 +66,7 @@ impl RuleId {
         RuleId::S2,
         RuleId::S3,
         RuleId::G1,
+        RuleId::M1,
     ];
 
     /// Short ID as printed in diagnostics and allowlists.
@@ -79,6 +82,7 @@ impl RuleId {
             RuleId::S2 => "S2",
             RuleId::S3 => "S3",
             RuleId::G1 => "G1",
+            RuleId::M1 => "M1",
         }
     }
 
@@ -95,6 +99,7 @@ impl RuleId {
             RuleId::S2 => "library-panic",
             RuleId::S3 => "truncating-cast",
             RuleId::G1 => "contract-root",
+            RuleId::M1 => "unregistered-metric",
         }
     }
 
@@ -137,6 +142,11 @@ impl RuleId {
             RuleId::G1 => {
                 "a graph::CONTRACT_ROOTS entry names a function its file no longer defines; \
                  update the root table so the contract scope cannot silently shrink"
+            }
+            RuleId::M1 => {
+                "a latency/duration/timing declaration typed as a raw Vec/VecDeque sample \
+                 buffer; record into a registered telemetry::Histogram so quantiles, \
+                 snapshots, and exports see the metric"
             }
         }
     }
@@ -302,6 +312,14 @@ pub(crate) fn lint_tokens(input: &FileInput, timings: &mut Timings) -> FileOutco
         fc.krate == "query" && fc.target == Target::Lib,
         &mut ctx,
         rule_s3,
+    );
+    // telemetry is exempt: it *implements* the registry the rule
+    // routes everyone else toward.
+    run(
+        RuleId::M1,
+        deterministic_lib && fc.krate != "telemetry",
+        &mut ctx,
+        rule_m1,
     );
 
     ctx.out.sort_by_key(|d| (d.line, d.rule));
@@ -1102,6 +1120,61 @@ fn rule_s2(ctx: &mut Ctx) {
                 "`panic!` in library code; return an error or annotate \
                  `// lint: library-panic-ok (reason)`"
                     .to_string(),
+            );
+        }
+    }
+}
+
+/// Identifier hints marking a latency/duration metric declaration.
+const M1_HINTS: &[&str] = &["latenc", "duration", "timing"];
+
+/// M1: latency metrics hoarded as raw sample vectors. A field, local,
+/// or parameter whose name says "latency/duration/timing" but whose
+/// type is a `Vec`/`VecDeque` keeps every sample outside the metrics
+/// registry: quantiles get recomputed ad hoc, memory grows with the
+/// run, and the metric never reaches snapshot/export. Record into a
+/// `telemetry::Histogram` (registered through `telemetry::registry`)
+/// instead. Names containing "samples" are exempt — an explicit sample
+/// buffer (e.g. a CCDF input) is the declared intent, not a metric.
+fn rule_m1(ctx: &mut Ctx) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.to_ascii_lowercase();
+        if !M1_HINTS.iter().any(|h| name.contains(h)) || name.contains("samples") {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| t.text.as_str()) != Some(":") {
+            continue;
+        }
+        // Scan a few tokens of the declared type for Vec/VecDeque<…>,
+        // passing through array syntax (`[Vec<u64>; 3]`) but stopping
+        // where the declaration ends.
+        let mut hit: Option<(u32, String)> = None;
+        for j in (i + 2)..toks.len().min(i + 8) {
+            let t = &toks[j];
+            match t.text.as_str() {
+                "Vec" | "VecDeque" if toks.get(j + 1).map(|t| t.text.as_str()) == Some("<") => {
+                    hit = Some((t.line, t.text.clone()));
+                    break;
+                }
+                "," | ";" | ")" | "{" | "}" | "=" => break,
+                _ => {}
+            }
+        }
+        if let Some((line, ty)) = hit {
+            let ident = toks[i].text.clone();
+            ctx.emit(
+                line,
+                RuleId::M1,
+                format!(
+                    "`{ident}: {ty}<…>` hoards raw samples outside the metrics registry; \
+                     record into a registered `telemetry::Histogram` so quantiles, \
+                     snapshots, and exports see the metric, or annotate \
+                     `// lint: unregistered-metric-ok (reason)`"
+                ),
             );
         }
     }

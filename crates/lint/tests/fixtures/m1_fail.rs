@@ -1,0 +1,12 @@
+//! M1 failing fixture: latency metrics hoarded as raw sample vectors —
+//! one plain `Vec` field, one per-tier array of `VecDeque`s.
+
+pub struct Stats {
+    pub latency_us: Vec<u64>,
+    pub dispatch_timing: [VecDeque<u64>; 3],
+}
+
+pub fn quantile(stats: &Stats, q: f64) -> u64 {
+    let idx = ((stats.latency_us.len() as f64 - 1.0) * q) as usize;
+    stats.latency_us.get(idx).copied().unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+//! M1 passing fixture: the metric records into registered histograms;
+//! a deliberate raw buffer is annotated with its reason, and explicit
+//! sample buffers (CCDF inputs) are out of scope by name.
+
+pub struct Stats {
+    pub latency_us: [Histogram; 3],
+    // lint: unregistered-metric-ok (bounded debug buffer, dropped after the run)
+    pub stall_duration_us: Vec<u64>,
+    pub latency_samples: Vec<u64>,
+}
+
+pub fn record(stats: &mut Stats, tier: usize, v: u64) {
+    if let Some(h) = stats.latency_us.get_mut(tier) {
+        h.record(v);
+    }
+}

@@ -515,6 +515,44 @@ fn s3_only_polices_query() {
     assert_clean(SIM_LIB, include_str!("fixtures/s3_fail.rs"));
 }
 
+// ---------------------------------------------------------------- M1
+
+#[test]
+fn m1_fail_fixture_fires() {
+    let hits = rules_hit(SIM_LIB, include_str!("fixtures/m1_fail.rs"));
+    assert_eq!(hits, vec![RuleId::M1]);
+    assert_eq!(
+        count_rule(SIM_LIB, include_str!("fixtures/m1_fail.rs"), RuleId::M1),
+        2,
+        "plain Vec field and per-tier VecDeque array"
+    );
+}
+
+#[test]
+fn m1_pass_fixture_is_clean() {
+    assert_clean(SIM_LIB, include_str!("fixtures/m1_pass.rs"));
+}
+
+#[test]
+fn m1_switching_to_raw_vec_flips_verdict() {
+    let mutated = include_str!("fixtures/m1_pass.rs").replace("[Histogram; 3]", "Vec<u64>");
+    assert!(rules_hit(SIM_LIB, &mutated).contains(&RuleId::M1));
+}
+
+#[test]
+fn m1_deleting_annotation_flips_verdict() {
+    let mutated = strip_suppressions(include_str!("fixtures/m1_pass.rs"));
+    assert!(rules_hit(SIM_LIB, &mutated).contains(&RuleId::M1));
+}
+
+#[test]
+fn m1_telemetry_implements_the_registry_and_is_exempt() {
+    assert_clean(
+        "crates/telemetry/src/fixture.rs",
+        include_str!("fixtures/m1_fail.rs"),
+    );
+}
+
 // ------------------------------------------------- suppression syntax
 
 #[test]

@@ -17,13 +17,21 @@
 //! the parallel==sequential bit-identity contract is unaffected for
 //! queries that complete.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared cancellation flag. Clones observe the same flag.
+///
+/// The token doubles as the per-attempt *progress* channel: workers
+/// note each block they claim ([`CancelToken::note_block`]), so the
+/// owner can read how far a scan got ([`CancelToken::blocks_scanned`])
+/// — the observability hook borg-witness uses to attribute block-scan
+/// work to a trace. The counter is purely observational: it never
+/// influences scheduling or results.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    blocks: Arc<AtomicU64>,
 }
 
 impl CancelToken {
@@ -41,6 +49,25 @@ impl CancelToken {
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Records one claimed scan block against this token's attempt.
+    #[inline]
+    pub fn note_block(&self) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` blocks at once (virtual-time drivers that model a
+    /// whole attempt in one step).
+    pub fn add_blocks(&self, n: u64) {
+        self.blocks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Blocks claimed so far across every clone of this token. Exact
+    /// once the attempt's result has been handed back (the pool's
+    /// result channel orders the workers' notes before the read).
+    pub fn blocks_scanned(&self) -> u64 {
+        self.blocks.load(Ordering::Relaxed)
     }
 }
 
@@ -64,6 +91,21 @@ mod tests {
         let b = a.clone();
         b.cancel();
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn block_counter_is_shared_and_additive() {
+        let t = CancelToken::new();
+        assert_eq!(t.blocks_scanned(), 0);
+        let u = t.clone();
+        u.note_block();
+        u.note_block();
+        t.add_blocks(3);
+        assert_eq!(t.blocks_scanned(), 5);
+        assert_eq!(u.blocks_scanned(), 5);
+        // Cancellation does not disturb the progress counter.
+        t.cancel();
+        assert_eq!(t.blocks_scanned(), 5);
     }
 
     #[test]

@@ -65,6 +65,11 @@ where
 /// block schedule, accumulation order, and results are exactly those of
 /// [`map_blocks`]: cancellation can stop work early but can never change
 /// what a completed call returns.
+///
+/// Each claimed block is also noted on the token
+/// ([`CancelToken::note_block`]) so the caller can attribute block-scan
+/// progress to the attempt — purely observational, no effect on the
+/// schedule or results.
 pub fn try_map_blocks<T, F>(
     n_rows: usize,
     threads: usize,
@@ -84,6 +89,9 @@ where
             if cancelled() {
                 return Err(QueryError::Cancelled);
             }
+            if let Some(tok) = cancel {
+                tok.note_block();
+            }
             out.push(f(b, block_range(b)));
         }
         return Ok(out);
@@ -102,6 +110,9 @@ where
                         let b = next.fetch_add(1, Ordering::Relaxed);
                         if b >= n_blocks {
                             break;
+                        }
+                        if let Some(tok) = cancel {
+                            tok.note_block();
                         }
                         done.push((b, f(b, block_range(b))));
                     }
@@ -167,6 +178,17 @@ mod tests {
             let tried = try_map_blocks(n, threads, Some(&token), |b, r| (b, r.sum::<usize>()))
                 .expect("token never set");
             assert_eq!(plain, tried);
+        }
+    }
+
+    #[test]
+    fn completed_scans_note_every_block_on_the_token() {
+        let n = BLOCK_ROWS * 3 + 5;
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let out = try_map_blocks(n, threads, Some(&token), |b, _| b).expect("never cancelled");
+            assert_eq!(out.len(), 4);
+            assert_eq!(token.blocks_scanned(), 4, "threads={threads}");
         }
     }
 

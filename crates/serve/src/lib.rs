@@ -33,6 +33,14 @@
 //! robustness claims testable — determinism contracts pin the decision
 //! log, chaos tests pound the mechanisms.
 //!
+//! * **Observability, deterministic** ([`witness`], [`slo`],
+//!   [`recorder`]): every submission mints a causal trace id and
+//!   builds a per-query span tree (queue / attempt / execute /
+//!   block-scan / cancel), an SLO engine evaluates per-tier
+//!   multi-window burn rates over the same time values, and a flight
+//!   recorder snapshots recent events on anomalies — all byte-
+//!   replayable under the same seed (DESIGN.md §17).
+//!
 //! Results are rendered through a plan-and-epoch-keyed single-flight
 //! cache ([`borg_query::cache`]), so identical plans against the same
 //! epoch dedupe instead of dog-piling the workers.
@@ -44,17 +52,21 @@ pub mod chaos;
 pub mod epoch;
 pub mod plan;
 pub mod pool;
+pub mod recorder;
 pub mod retry;
 pub mod service;
 pub mod sim;
+pub mod slo;
 pub mod smoke;
 pub mod tier;
+pub mod witness;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use chaos::{ChaosConfig, Fault};
 pub use epoch::{Epoch, EpochStore, TableId};
 pub use plan::{AggSpec, CmpOp, FilterSpec, GroupSpec, PlanSpec};
 pub use pool::{run_serve_job, JobResult, ServeJob, ServePool};
+pub use recorder::{FlightRecorder, RecorderConfig, RecorderSnapshot, TriggerKind};
 pub use retry::RetryPolicy;
 pub use service::{
     Action, Attempt, AttemptResult, Outcome, QueryRequest, ServeConfig, Service, ServiceStats,
@@ -64,5 +76,7 @@ pub use sim::{
     generate_arrivals, open_loop_gap_us, overload_admission, plan_catalog, ExecMode, ModelCost,
     ServeSim, SimReport, WorkloadSpec,
 };
+pub use slo::{SloBudget, SloConfig, SloEngine, TierSlo};
 pub use smoke::{run_smoke, SmokeReport};
 pub use tier::{AdmissionConfig, Tier, TierPolicy};
+pub use witness::{mint_trace_id, QueryTrace, SegKind, Segment, Witness, WitnessConfig};

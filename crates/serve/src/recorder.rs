@@ -1,0 +1,333 @@
+//! Flight recorder: a bounded ring of recent service events that
+//! snapshots itself when something anomalous happens.
+//!
+//! Aggregate metrics say *that* a run went bad; the flight recorder
+//! preserves *what the service was doing at that moment*. Every event-
+//! log line is mirrored into a bounded ring buffer, and four anomaly
+//! triggers — a prod deadline miss, a circuit breaker opening, a shed
+//! spike, a burn-rate alert — freeze a copy of the ring. Snapshot
+//! budgets are capped per trigger kind and in total, so a sustained
+//! incident produces a handful of representative captures instead of
+//! an unbounded dump.
+//!
+//! Everything is a pure function of the (deterministic) event stream
+//! and time values the service feeds in, so the full recorder dump is
+//! byte-identical across same-seed runs — it is part of the
+//! determinism surface pinned by `tests/serve_witness.rs`.
+
+use std::collections::VecDeque;
+
+/// What tripped a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// A prod-tier request expired (missed its deadline).
+    ProdDeadlineMiss,
+    /// An epoch's circuit breaker opened.
+    BreakerOpen,
+    /// Sheds clustered faster than the configured spike threshold.
+    ShedSpike,
+    /// The SLO engine fired a burn-rate alert.
+    BurnRate,
+}
+
+impl TriggerKind {
+    /// All trigger kinds, stable order.
+    pub const ALL: [TriggerKind; 4] = [
+        TriggerKind::ProdDeadlineMiss,
+        TriggerKind::BreakerOpen,
+        TriggerKind::ShedSpike,
+        TriggerKind::BurnRate,
+    ];
+
+    /// Stable token for dumps and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerKind::ProdDeadlineMiss => "prod_deadline_miss",
+            TriggerKind::BreakerOpen => "breaker_open",
+            TriggerKind::ShedSpike => "shed_spike",
+            TriggerKind::BurnRate => "burn_rate",
+        }
+    }
+
+    /// Index into per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TriggerKind::ProdDeadlineMiss => 0,
+            TriggerKind::BreakerOpen => 1,
+            TriggerKind::ShedSpike => 2,
+            TriggerKind::BurnRate => 3,
+        }
+    }
+}
+
+/// Recorder tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Whether anything is recorded (off = all no-ops).
+    pub enabled: bool,
+    /// Ring capacity in event lines.
+    pub ring_capacity: usize,
+    /// Window for the shed-spike trigger, µs.
+    pub shed_window_us: u64,
+    /// Sheds within the window that count as a spike.
+    pub shed_spike_threshold: usize,
+    /// Snapshot budget per trigger kind.
+    pub per_trigger_cap: usize,
+    /// Snapshot budget across all kinds.
+    pub total_cap: usize,
+}
+
+impl RecorderConfig {
+    /// A disabled recorder.
+    pub fn off() -> RecorderConfig {
+        RecorderConfig {
+            enabled: false,
+            ring_capacity: 0,
+            shed_window_us: 1,
+            shed_spike_threshold: usize::MAX,
+            per_trigger_cap: 0,
+            total_cap: 0,
+        }
+    }
+
+    /// The standard profile: a 64-line ring, shed spike at 8 sheds in
+    /// 100 ms, at most 2 snapshots per trigger kind and 6 overall.
+    pub fn standard() -> RecorderConfig {
+        RecorderConfig {
+            enabled: true,
+            ring_capacity: 64,
+            shed_window_us: 100_000,
+            shed_spike_threshold: 8,
+            per_trigger_cap: 2,
+            total_cap: 6,
+        }
+    }
+}
+
+/// One frozen capture of the ring.
+#[derive(Debug, Clone)]
+pub struct RecorderSnapshot {
+    /// What tripped it.
+    pub trigger: TriggerKind,
+    /// When it tripped, µs.
+    pub at_us: u64,
+    /// The ring's contents at that instant, oldest first.
+    pub lines: Vec<String>,
+}
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cfg: RecorderConfig,
+    ring: VecDeque<String>,
+    /// Recent shed times for the spike trigger.
+    sheds: VecDeque<u64>,
+    /// Triggers observed per kind (counted even when the snapshot
+    /// budget is spent).
+    observed: [u64; 4],
+    snapshots: Vec<RecorderSnapshot>,
+}
+
+impl FlightRecorder {
+    /// A fresh recorder.
+    pub fn new(cfg: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            cfg,
+            ring: VecDeque::new(),
+            sheds: VecDeque::new(),
+            observed: [0; 4],
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Mirrors one event-log line into the ring.
+    pub fn push(&mut self, line: &str) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if self.ring.len() >= self.cfg.ring_capacity.max(1) {
+            // Reuse the evicted entry's buffer: once the ring is warm,
+            // pushing a line allocates nothing.
+            if let Some(mut s) = self.ring.pop_front() {
+                s.clear();
+                s.push_str(line);
+                self.ring.push_back(s);
+            }
+        } else {
+            self.ring.push_back(line.to_string());
+        }
+    }
+
+    /// Notes one shed; fires the shed-spike trigger when the window
+    /// fills past the threshold (then resets the window so a sustained
+    /// shed storm re-arms instead of firing per shed).
+    pub fn note_shed(&mut self, now_us: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.sheds.push_back(now_us);
+        let from = now_us.saturating_sub(self.cfg.shed_window_us);
+        while self.sheds.front().is_some_and(|&at| at < from) {
+            self.sheds.pop_front();
+        }
+        if self.sheds.len() >= self.cfg.shed_spike_threshold {
+            self.sheds.clear();
+            self.trigger(now_us, TriggerKind::ShedSpike);
+        }
+    }
+
+    /// Records an anomaly; snapshots the ring if budgets allow.
+    /// Returns `true` when a snapshot was actually taken.
+    pub fn trigger(&mut self, now_us: u64, kind: TriggerKind) -> bool {
+        if !self.cfg.enabled {
+            return false;
+        }
+        self.observed[kind.index()] += 1;
+        let taken = self.snapshots.iter().filter(|s| s.trigger == kind).count();
+        if taken >= self.cfg.per_trigger_cap || self.snapshots.len() >= self.cfg.total_cap {
+            return false;
+        }
+        self.snapshots.push(RecorderSnapshot {
+            trigger: kind,
+            at_us: now_us,
+            lines: self.ring.iter().cloned().collect(),
+        });
+        true
+    }
+
+    /// Frozen captures, trigger order.
+    pub fn snapshots(&self) -> &[RecorderSnapshot] {
+        &self.snapshots
+    }
+
+    /// Times each trigger kind was observed (with or without budget).
+    pub fn observed(&self, kind: TriggerKind) -> u64 {
+        self.observed[kind.index()]
+    }
+
+    /// The whole recorder state as canonical bytes — header, per-kind
+    /// observation counts, then each snapshot with its lines. Part of
+    /// the determinism surface.
+    pub fn dump_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(&format!("recorder {} snapshot(s)\n", self.snapshots.len()));
+        for kind in TriggerKind::ALL {
+            out.push_str(&format!(
+                "observed {} {}\n",
+                kind.name(),
+                self.observed[kind.index()]
+            ));
+        }
+        for (i, s) in self.snapshots.iter().enumerate() {
+            out.push_str(&format!(
+                "-- snapshot {} {} at {} ({} lines)\n",
+                i + 1,
+                s.trigger.name(),
+                s.at_us,
+                s.lines.len()
+            ));
+            for line in &s.lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_fifo() {
+        let mut r = FlightRecorder::new(RecorderConfig {
+            ring_capacity: 3,
+            ..RecorderConfig::standard()
+        });
+        for k in 0..5 {
+            r.push(&format!("line {k}"));
+        }
+        r.trigger(100, TriggerKind::BreakerOpen);
+        let snap = &r.snapshots()[0];
+        assert_eq!(snap.lines, vec!["line 2", "line 3", "line 4"]);
+    }
+
+    #[test]
+    fn budgets_cap_snapshots_but_not_observation_counts() {
+        let mut r = FlightRecorder::new(RecorderConfig {
+            per_trigger_cap: 2,
+            total_cap: 3,
+            ..RecorderConfig::standard()
+        });
+        r.push("x");
+        assert!(r.trigger(1, TriggerKind::ProdDeadlineMiss));
+        assert!(r.trigger(2, TriggerKind::ProdDeadlineMiss));
+        assert!(!r.trigger(3, TriggerKind::ProdDeadlineMiss), "per-kind cap");
+        assert!(r.trigger(4, TriggerKind::BreakerOpen));
+        assert!(!r.trigger(5, TriggerKind::BurnRate), "total cap");
+        assert_eq!(r.observed(TriggerKind::ProdDeadlineMiss), 3);
+        assert_eq!(r.observed(TriggerKind::BurnRate), 1);
+        assert_eq!(r.snapshots().len(), 3);
+    }
+
+    #[test]
+    fn shed_spike_fires_at_threshold_then_rearms() {
+        let mut r = FlightRecorder::new(RecorderConfig {
+            shed_window_us: 1_000,
+            shed_spike_threshold: 3,
+            ..RecorderConfig::standard()
+        });
+        r.note_shed(10);
+        r.note_shed(20);
+        assert_eq!(r.observed(TriggerKind::ShedSpike), 0);
+        r.note_shed(30);
+        assert_eq!(r.observed(TriggerKind::ShedSpike), 1);
+        // The window cleared: two more sheds stay quiet, the third fires.
+        r.note_shed(40);
+        r.note_shed(50);
+        assert_eq!(r.observed(TriggerKind::ShedSpike), 1);
+        r.note_shed(60);
+        assert_eq!(r.observed(TriggerKind::ShedSpike), 2);
+    }
+
+    #[test]
+    fn spread_out_sheds_never_spike() {
+        let mut r = FlightRecorder::new(RecorderConfig {
+            shed_window_us: 100,
+            shed_spike_threshold: 3,
+            ..RecorderConfig::standard()
+        });
+        for k in 0..20u64 {
+            r.note_shed(k * 1_000);
+        }
+        assert_eq!(r.observed(TriggerKind::ShedSpike), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut r = FlightRecorder::new(RecorderConfig::off());
+        r.push("x");
+        r.note_shed(1);
+        assert!(!r.trigger(2, TriggerKind::BreakerOpen));
+        assert!(r.snapshots().is_empty());
+        let dump = String::from_utf8(r.dump_bytes()).unwrap_or_default();
+        assert!(dump.starts_with("recorder 0 snapshot(s)"));
+    }
+
+    #[test]
+    fn dump_is_deterministic_for_identical_feeds() {
+        let feed = |r: &mut FlightRecorder| {
+            for k in 0..10 {
+                r.push(&format!("{k} a {k}"));
+            }
+            r.trigger(9, TriggerKind::BurnRate);
+        };
+        let mut a = FlightRecorder::new(RecorderConfig::standard());
+        let mut b = FlightRecorder::new(RecorderConfig::standard());
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.dump_bytes(), b.dump_bytes());
+        assert!(!a.dump_bytes().is_empty());
+    }
+}

@@ -28,10 +28,13 @@ use crate::breaker::CircuitBreaker;
 use crate::chaos::{ChaosConfig, Fault};
 use crate::epoch::Epoch;
 use crate::plan::PlanSpec;
+use crate::recorder::{FlightRecorder, RecorderConfig, TriggerKind};
 use crate::retry::RetryPolicy;
+use crate::slo::{SloConfig, SloEngine};
 use crate::tier::{AdmissionConfig, Tier};
+use crate::witness::{mint_trace_id, Witness, WitnessConfig};
 use borg_query::CancelToken;
-use borg_telemetry::{Plane, Telemetry};
+use borg_telemetry::{Histogram, Plane, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
@@ -159,17 +162,28 @@ pub struct ServeConfig {
     pub breaker_cooloff_us: u64,
     /// Fault injection (off for production-equivalence runs).
     pub chaos: ChaosConfig,
+    /// Per-tier SLO objectives and burn-rate alerting.
+    pub slo: SloConfig,
+    /// Request-scoped tracing (borg-witness).
+    pub witness: WitnessConfig,
+    /// Anomaly flight recorder.
+    pub recorder: RecorderConfig,
 }
 
 impl ServeConfig {
-    /// Small test profile with chaos off.
+    /// Small test profile with chaos off; observability on, with SLO
+    /// objectives derived from the admission deadlines.
     pub fn small(seed: u64) -> ServeConfig {
+        let admission = AdmissionConfig::small();
         ServeConfig {
-            admission: AdmissionConfig::small(),
+            admission,
             retry: RetryPolicy::default_with_seed(seed),
             breaker_threshold: 5,
             breaker_cooloff_us: 50_000,
             chaos: ChaosConfig::off(),
+            slo: SloConfig::for_admission(&admission),
+            witness: WitnessConfig::on(),
+            recorder: RecorderConfig::standard(),
         }
     }
 }
@@ -194,8 +208,10 @@ pub struct ServiceStats {
     pub failed: [u64; 3],
     /// Retry attempts scheduled.
     pub retries: [u64; 3],
-    /// Completion latencies (µs) of done requests, submission order.
-    pub latencies_us: [Vec<u64>; 3],
+    /// Completion-latency histograms (µs) of done requests — the same
+    /// [`borg_telemetry::Histogram`] the registry/export path uses, so
+    /// serve metrics fold into snapshots without re-recording samples.
+    pub latency_us: [Histogram; 3],
 }
 
 impl ServiceStats {
@@ -206,15 +222,10 @@ impl ServiceStats {
     }
 
     /// The `q`-quantile completion latency for a tier (exact
-    /// nearest-rank over the integer latencies; 0 when none).
+    /// nearest-rank over the histogram's integer counts; 0 when none;
+    /// resolution is the power-of-two bucket width).
     pub fn latency_quantile_us(&self, t: Tier, q: f64) -> u64 {
-        let mut v = self.latencies_us[t.index()].clone();
-        if v.is_empty() {
-            return 0;
-        }
-        v.sort_unstable();
-        let rank = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).max(1);
-        v[rank.min(v.len()) - 1]
+        self.latency_us[t.index()].quantile(q)
     }
 }
 
@@ -251,11 +262,20 @@ pub struct Service {
     log: Vec<String>,
     stats: ServiceStats,
     breaker_trips: u64,
+    /// Request-scoped tracing (span trees, exemplars).
+    witness: Witness,
+    /// Per-tier burn-rate evaluation over terminal outcomes.
+    slo: SloEngine,
+    /// Bounded ring of recent log lines, frozen on anomalies.
+    recorder: FlightRecorder,
 }
 
 impl Service {
     /// A service with no epochs registered yet.
     pub fn new(cfg: ServeConfig) -> Service {
+        let witness = Witness::new(cfg.witness);
+        let slo = SloEngine::new(cfg.slo);
+        let recorder = FlightRecorder::new(cfg.recorder);
         Service {
             cfg,
             epochs: BTreeMap::new(),
@@ -271,6 +291,24 @@ impl Service {
             log: Vec::new(),
             stats: ServiceStats::default(),
             breaker_trips: 0,
+            witness,
+            slo,
+            recorder,
+        }
+    }
+
+    /// Appends one event-log line, mirroring it into the flight
+    /// recorder's ring.
+    fn push_log(&mut self, line: String) {
+        self.recorder.push(&line);
+        self.log.push(line);
+    }
+
+    /// Feeds one terminal outcome to the SLO engine; a fired burn-rate
+    /// alert also trips the flight recorder.
+    fn slo_event(&mut self, now_us: u64, t: Tier, good: bool) {
+        if self.slo.on_event(now_us, t, good) {
+            self.recorder.trigger(now_us, TriggerKind::BurnRate);
         }
     }
 
@@ -283,7 +321,7 @@ impl Service {
         } else {
             now_us
         };
-        self.log.push(format!(
+        self.push_log(format!(
             "{now_us} e {} {} {ready_at}",
             epoch.name, epoch.seq
         ));
@@ -297,13 +335,15 @@ impl Service {
     pub fn submit(&mut self, now_us: u64, req: QueryRequest) {
         let t = req.tier;
         self.stats.submitted[t.index()] += 1;
-        self.log.push(format!(
+        self.push_log(format!(
             "{now_us} a {} {} {} {:x}",
             req.id,
             t.name(),
             req.epoch,
             req.plan.fingerprint()
         ));
+        let trace_id = mint_trace_id(req.id, t, &req.epoch, req.plan.fingerprint());
+        self.witness.on_submit(now_us, req.id, t, trace_id);
         if !self.epochs.contains_key(&req.epoch) {
             self.shed(now_us, req.id, t, ShedReason::NoEpoch);
             return;
@@ -415,16 +455,20 @@ impl Service {
         let fault = self.cfg.chaos.fault_for(id, attempt);
         let cancel = CancelToken::new();
         self.running[t.index()] += 1;
+        let deadline_us = qs.deadline_us;
+        let plan = qs.plan.clone();
+        let epoch = Arc::clone(epoch);
         self.running_tokens
-            .insert(id, (qs.deadline_us, cancel.clone()));
-        self.log.push(format!("{now_us} d {id} {attempt}"));
+            .insert(id, (deadline_us, cancel.clone()));
+        self.push_log(format!("{now_us} d {id} {attempt}"));
+        self.witness.on_start(now_us, id, attempt, fault.stall_us);
         self.actions.push_back(Action::Start(Attempt {
             id,
             attempt,
             tier: t,
-            epoch: Arc::clone(epoch),
-            plan: qs.plan.clone(),
-            deadline_us: qs.deadline_us,
+            epoch,
+            plan,
+            deadline_us,
             fault,
             cancel,
         }));
@@ -432,7 +476,7 @@ impl Service {
 
     /// Feeds back the result of a started attempt.
     pub fn on_attempt_done(&mut self, now_us: u64, id: u64, result: AttemptResult) {
-        let Some((_, _token)) = self.running_tokens.remove(&id) else {
+        let Some((_, token)) = self.running_tokens.remove(&id) else {
             return;
         };
         let Some(qs) = self.queries.get_mut(&id) else {
@@ -444,18 +488,30 @@ impl Service {
         let attempts = qs.attempts_done;
         let latency_us = now_us.saturating_sub(qs.submitted_at);
         let epoch = qs.epoch.clone();
+        // Blocks the engine (or the cost model) attributed to this
+        // attempt via the cancellation token.
+        let blocks = token.blocks_scanned();
+        self.witness
+            .on_attempt_end(now_us, id, result == AttemptResult::Cancelled, blocks);
         match result {
             AttemptResult::Ok => {
-                if let Some(b) = self.breakers.get_mut(&epoch) {
-                    if b.record_success() {
-                        self.log.push(format!("{now_us} b {epoch} close"));
-                    }
+                let closed = self
+                    .breakers
+                    .get_mut(&epoch)
+                    .is_some_and(CircuitBreaker::record_success);
+                if closed {
+                    self.push_log(format!("{now_us} b {epoch} close"));
                 }
                 self.queries.remove(&id);
                 self.stats.done[t.index()] += 1;
-                self.stats.latencies_us[t.index()].push(latency_us);
-                self.log
-                    .push(format!("{now_us} c {id} {attempts} {latency_us}"));
+                self.stats.latency_us[t.index()].record(latency_us);
+                self.push_log(format!("{now_us} c {id} {attempts} {latency_us}"));
+                if let Some(trace_id) = self.witness.trace(id).map(|tr| tr.trace_id) {
+                    self.witness.note_done(t, latency_us, trace_id);
+                }
+                self.witness.on_terminal(now_us, id, "done");
+                let good = self.slo.is_good_latency(t, latency_us);
+                self.slo_event(now_us, t, good);
                 self.outcomes.push((
                     id,
                     Outcome::Done {
@@ -470,12 +526,15 @@ impl Service {
                 self.expire(now_us, id, t, latency_us, attempts);
             }
             AttemptResult::Panicked => {
-                self.log.push(format!("{now_us} f {id} {}", attempts - 1));
-                if let Some(b) = self.breakers.get_mut(&epoch) {
-                    if b.record_failure(now_us) {
-                        self.breaker_trips += 1;
-                        self.log.push(format!("{now_us} b {epoch} open"));
-                    }
+                self.push_log(format!("{now_us} f {id} {}", attempts - 1));
+                let tripped = self
+                    .breakers
+                    .get_mut(&epoch)
+                    .is_some_and(|b| b.record_failure(now_us));
+                if tripped {
+                    self.breaker_trips += 1;
+                    self.push_log(format!("{now_us} b {epoch} open"));
+                    self.recorder.trigger(now_us, TriggerKind::BreakerOpen);
                 }
                 let max_attempts = self.cfg.admission.tier(t).max_attempts;
                 if attempts < max_attempts {
@@ -484,11 +543,14 @@ impl Service {
                     self.stats.retries[t.index()] += 1;
                     self.timer_seq += 1;
                     self.timers.push(Reverse((at, self.timer_seq, id)));
-                    self.log.push(format!("{now_us} r {id} {attempts} {at}"));
+                    self.push_log(format!("{now_us} r {id} {attempts} {at}"));
+                    self.witness.on_retry(now_us, id, attempts);
                 } else {
                     self.queries.remove(&id);
                     self.stats.failed[t.index()] += 1;
-                    self.log.push(format!("{now_us} g {id} {attempts}"));
+                    self.push_log(format!("{now_us} g {id} {attempts}"));
+                    self.witness.on_terminal(now_us, id, "failed");
+                    self.slo_event(now_us, t, false);
                     self.outcomes.push((id, Outcome::Failed { attempts }));
                 }
             }
@@ -571,13 +633,21 @@ impl Service {
             ShedReason::Displaced => self.stats.shed_displaced[t.index()] += 1,
             ShedReason::BreakerOpen => self.stats.shed_breaker[t.index()] += 1,
         }
-        self.log.push(format!("{now_us} s {id} {}", reason.name()));
+        self.push_log(format!("{now_us} s {id} {}", reason.name()));
+        self.witness.on_terminal(now_us, id, reason.name());
+        self.recorder.note_shed(now_us);
+        self.slo_event(now_us, t, false);
         self.outcomes.push((id, Outcome::Shed { reason }));
     }
 
     fn expire(&mut self, now_us: u64, id: u64, t: Tier, latency_us: u64, attempts: u32) {
         self.stats.expired[t.index()] += 1;
-        self.log.push(format!("{now_us} x {id} {attempts}"));
+        self.push_log(format!("{now_us} x {id} {attempts}"));
+        self.witness.on_terminal(now_us, id, "expired");
+        if t == Tier::Prod {
+            self.recorder.trigger(now_us, TriggerKind::ProdDeadlineMiss);
+        }
+        self.slo_event(now_us, t, false);
         self.outcomes.push((
             id,
             Outcome::Expired {
@@ -655,9 +725,37 @@ impl Service {
         self.breaker_trips
     }
 
+    /// The request-scoped trace collection (span trees, exemplars).
+    pub fn witness(&self) -> &Witness {
+        &self.witness
+    }
+
+    /// Moves the witness out for a report, leaving a disabled one
+    /// behind (avoids cloning every span tree at end of run).
+    pub fn take_witness(&mut self) -> Witness {
+        std::mem::replace(&mut self.witness, Witness::new(WitnessConfig::off()))
+    }
+
+    /// The SLO engine (burn rates, budgets, alert log).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// The anomaly flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The SLO alert log as canonical bytes (see
+    /// [`SloEngine::alert_bytes`]).
+    pub fn alert_bytes(&self) -> Vec<u8> {
+        self.slo.alert_bytes()
+    }
+
     /// Exports per-tier latency histograms and tallies on the
     /// telemetry engine plane (`serve.tier.<tier>.*`,
-    /// `serve.breaker.trips`).
+    /// `serve.breaker.trips`), plus the witness's per-segment-kind
+    /// aggregates (`serve.seg.*`).
     pub fn export_metrics(&self, tel: &mut Telemetry) {
         if !tel.is_enabled() {
             return;
@@ -668,9 +766,7 @@ impl Service {
                 &format!("serve.tier.{}.latency_us", t.name()),
                 Plane::Engine,
             );
-            for &l in &self.stats.latencies_us[i] {
-                tel.record(hist, l);
-            }
+            tel.record_hist(hist, &self.stats.latency_us[i]);
             for (metric, v) in [
                 ("submitted", self.stats.submitted[i]),
                 ("done", self.stats.done[i]),
@@ -687,5 +783,11 @@ impl Service {
             }
         }
         tel.count("serve.breaker.trips", Plane::Engine, self.breaker_trips);
+        tel.count(
+            "serve.slo.alerts_fired",
+            Plane::Engine,
+            self.slo.alerts_fired(),
+        );
+        self.witness.export_telemetry(tel);
     }
 }

@@ -22,7 +22,9 @@ use crate::plan::{table_bytes, AggSpec, CmpOp, FilterSpec, GroupSpec, PlanSpec};
 use crate::service::{
     Action, AttemptResult, Outcome, QueryRequest, ServeConfig, Service, ServiceStats,
 };
+use crate::slo::SloBudget;
 use crate::tier::{AdmissionConfig, Tier, TierPolicy};
+use crate::witness::Witness;
 use borg_query::cache::ResultCache;
 use borg_query::fxhash::FxHasher;
 use borg_query::CacheStats;
@@ -191,9 +193,23 @@ pub struct SimReport {
     pub breaker_trips: u64,
     /// Final virtual time, µs.
     pub horizon_us: u64,
+    /// The full trace collection (span trees, exemplars).
+    pub witness: Witness,
+    /// SLO alert/resolve lines, time order (deterministic).
+    pub alerts: Vec<String>,
+    /// Flight-recorder dump bytes (deterministic).
+    pub recorder_dump: Vec<u8>,
+    /// Cumulative per-tier error-budget ledgers.
+    pub budgets: [SloBudget; 3],
 }
 
 impl SimReport {
+    /// Canonical witness export bytes (byte-identity surface).
+    /// Rendered on demand so the timed run doesn't pay for it.
+    pub fn trace_export(&self) -> Vec<u8> {
+        self.witness.export_bytes()
+    }
+
     /// Sorted ids whose outcome matches `f`.
     pub fn ids_where(&self, f: impl Fn(&Outcome) -> bool) -> Vec<u64> {
         let mut v: Vec<u64> = self
@@ -282,11 +298,14 @@ impl ServeSim {
                     let blocks = att.plan.cost_blocks(att.epoch.rows(att.plan.table));
                     let mut t = now + self.cost.overhead_us + att.fault.stall_us;
                     let end = if att.fault.panics {
-                        // The panic fires one block into execution.
+                        // The panic fires one block into execution,
+                        // before that block completes (mirrors the real
+                        // worker panicking before its scan).
                         t += self.cost.block_us;
                         ModelEnd::Panicked
                     } else {
                         let mut end = ModelEnd::Ok;
+                        let mut scanned = 0u64;
                         for _ in 0..blocks {
                             // Cooperative cancellation: the worker
                             // checks the token before each block and
@@ -296,7 +315,12 @@ impl ServeSim {
                                 break;
                             }
                             t += self.cost.block_us;
+                            scanned += 1;
                         }
+                        // Mirror the engine's per-block token notes so
+                        // the witness attributes block-scan progress in
+                        // model mode too.
+                        att.cancel.add_blocks(scanned);
                         end
                     };
                     if end == ModelEnd::Ok && self.exec == ExecMode::Inline {
@@ -354,6 +378,11 @@ impl ServeSim {
             debug_assert!(next > now, "virtual time must advance");
             now = now.max(next);
         }
+        let budgets = [
+            service.slo().budget(Tier::Prod),
+            service.slo().budget(Tier::Batch),
+            service.slo().budget(Tier::BestEffort),
+        ];
         SimReport {
             stats: service.stats().clone(),
             outcomes: service.outcomes().to_vec(),
@@ -362,6 +391,10 @@ impl ServeSim {
             cache: cache.stats(),
             breaker_trips: service.breaker_trips(),
             horizon_us: now,
+            alerts: service.slo().alert_lines().to_vec(),
+            recorder_dump: service.recorder().dump_bytes(),
+            witness: service.take_witness(),
+            budgets,
         }
     }
 }

@@ -19,10 +19,13 @@
 use crate::chaos::ChaosConfig;
 use crate::epoch::Epoch;
 use crate::pool::{run_serve_job, JobResult, ServeJob, ServePool};
+use crate::recorder::RecorderConfig;
 use crate::retry::RetryPolicy;
 use crate::service::{Action, AttemptResult, Outcome, ServeConfig, Service, ServiceStats};
 use crate::sim::{generate_arrivals, WorkloadSpec};
+use crate::slo::SloConfig;
 use crate::tier::{AdmissionConfig, Tier, TierPolicy};
+use crate::witness::WitnessConfig;
 use borg_telemetry::clock::now_ns;
 use std::sync::Arc;
 
@@ -42,6 +45,12 @@ pub struct SmokeReport {
     pub elapsed_us: u64,
     /// Times any epoch breaker tripped open.
     pub breaker_trips: u64,
+    /// SLO alerts fired during the run (timing-flavored — do not pin).
+    pub slo_alerts: u64,
+    /// Flight-recorder snapshots captured (timing-flavored — do not pin).
+    pub recorder_snapshots: usize,
+    /// Witness span trees built — one per submitted query.
+    pub traces: usize,
 }
 
 impl SmokeReport {
@@ -105,12 +114,19 @@ const SMOKE_BUDGET_US: u64 = 10_000_000;
 /// a real thread pool, on the wall clock. See the module docs for the
 /// contract.
 pub fn run_smoke(epoch: Arc<Epoch>, seed: u64) -> SmokeReport {
+    let admission = smoke_admission();
     let cfg = ServeConfig {
-        admission: smoke_admission(),
+        admission,
         retry: RetryPolicy::default_with_seed(seed),
         breaker_threshold: 5,
         breaker_cooloff_us: 50_000,
         chaos: smoke_chaos(seed),
+        // The same SLO engine runs on the blessed clock here: alert
+        // content is timing-flavored (do not pin), but the machinery
+        // is exercised against real threads.
+        slo: SloConfig::for_admission(&admission),
+        witness: WitnessConfig::on(),
+        recorder: RecorderConfig::standard(),
     };
     let spec = WorkloadSpec {
         seed,
@@ -179,6 +195,9 @@ pub fn run_smoke(epoch: Arc<Epoch>, seed: u64) -> SmokeReport {
         drained,
         elapsed_us: now_us(t0),
         breaker_trips: service.breaker_trips(),
+        slo_alerts: service.slo().alerts_fired(),
+        recorder_snapshots: service.recorder().snapshots().len(),
+        traces: service.witness().len(),
     }
 }
 
@@ -206,5 +225,7 @@ mod tests {
         let done: u64 = report.stats.done.iter().sum();
         assert_eq!(done as usize, report.results_returned);
         assert!(report.elapsed_us < SMOKE_BUDGET_US);
+        // Every submission minted a span tree, even sheds.
+        assert_eq!(report.traces, 200);
     }
 }

@@ -40,6 +40,17 @@ impl Tier {
             Tier::BestEffort => 2,
         }
     }
+
+    /// Default SLO success target for the tier: the fraction of
+    /// requests that must complete within the tier's latency objective
+    /// (prod promises three nines, the scavenger class very little).
+    pub fn default_slo_target(self) -> f64 {
+        match self {
+            Tier::Prod => 0.999,
+            Tier::Batch => 0.95,
+            Tier::BestEffort => 0.80,
+        }
+    }
 }
 
 impl std::fmt::Display for Tier {

@@ -66,6 +66,49 @@ pub fn chrome_trace_json(snap: &Snapshot) -> String {
     format!("{{\"traceEvents\":[{}]}}", events.join(","))
 }
 
+/// One real-timestamped complete event for the chrome-tracing sink —
+/// the shape request-scoped tracers (borg-witness) emit, as opposed to
+/// the synthetic cumulative layout [`chrome_trace_json`] builds for
+/// aggregated spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span segment kind, etc.).
+    pub name: String,
+    /// Track id — one lane per logical flow (e.g. per query).
+    pub tid: u64,
+    /// Start timestamp, µs.
+    pub ts_us: u64,
+    /// Duration, µs (rendered as at least 1 so zero-length markers stay
+    /// visible).
+    pub dur_us: u64,
+    /// Extra `args` entries, rendered as JSON strings.
+    pub args: Vec<(String, String)>,
+}
+
+/// Renders real-timestamped events as a chrome://tracing /
+/// Perfetto-loadable JSON object (`{"traceEvents": [...]}`), one
+/// complete ("X") event per [`TraceEvent`], in input order.
+pub fn trace_events_json(events: &[TraceEvent]) -> String {
+    let mut out: Vec<String> = Vec::with_capacity(events.len());
+    for e in events {
+        let args = e
+            .args
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            json_escape(&e.name),
+            e.ts_us,
+            e.dur_us.max(1),
+            e.tid,
+            args
+        ));
+    }
+    format!("{{\"traceEvents\":[{}]}}", out.join(","))
+}
+
 /// A per-kind aggregate distilled from grid counters, for breakdown
 /// reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -390,6 +433,32 @@ mod tests {
         assert!(json.starts_with("{\"traceEvents\":["));
         validate_json(&json).unwrap();
         assert!(json.contains("\"name\":\"ev.dispatch\""));
+    }
+
+    #[test]
+    fn trace_events_render_as_valid_json() {
+        let events = vec![
+            TraceEvent {
+                name: "queue".into(),
+                tid: 7,
+                ts_us: 100,
+                dur_us: 50,
+                args: vec![("trace_id".into(), "deadbeef".into())],
+            },
+            TraceEvent {
+                name: "cancel \"marker\"".into(),
+                tid: 7,
+                ts_us: 150,
+                dur_us: 0,
+                args: Vec::new(),
+            },
+        ];
+        let json = trace_events_json(&events);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"tid\":7"));
+        assert!(json.contains("\"trace_id\":\"deadbeef\""));
+        // Zero-length markers render with a visible 1µs duration.
+        assert!(json.contains("\"dur\":1"));
     }
 
     #[test]

@@ -30,8 +30,8 @@ mod registry;
 mod span;
 
 pub use export::{
-    breakdown_report, chrome_trace_json, fmt_ns, grid_breakdown, human_report, validate_json,
-    KindBreakdown,
+    breakdown_report, chrome_trace_json, fmt_ns, grid_breakdown, human_report, trace_events_json,
+    validate_json, KindBreakdown, TraceEvent,
 };
 pub use grid::PhaseGrid;
 pub use registry::{CounterId, CounterRow, HistId, HistRow, Histogram};
@@ -142,13 +142,7 @@ impl Snapshot {
         self.counters.sort_by(|a, b| a.name.cmp(&b.name));
         for h in &other.hists {
             match self.hists.iter_mut().find(|m| m.name == h.name) {
-                Some(m) => {
-                    for (b, n) in m.hist.buckets.iter_mut().zip(h.hist.buckets.iter()) {
-                        *b += n;
-                    }
-                    m.hist.count += h.hist.count;
-                    m.hist.sum = m.hist.sum.saturating_add(h.hist.sum);
-                }
+                Some(m) => m.hist.merge(&h.hist),
                 None => self.hists.push(h.clone()),
             }
         }
@@ -252,6 +246,17 @@ impl Telemetry {
             return;
         }
         self.registry.record(id, value);
+    }
+
+    /// Folds a pre-accumulated [`Histogram`] into a registered one —
+    /// the bridge for subsystems (e.g. borg-serve's per-tier latency
+    /// histograms) that accumulate locally and export at the end of a
+    /// run. No-op for disabled ids.
+    pub fn record_hist(&mut self, id: HistId, hist: &Histogram) {
+        if id.0 == registry::DISABLED {
+            return;
+        }
+        self.registry.merge_hist(id, hist);
     }
 
     /// Convenience: register-and-add in one call (cold paths only; hot

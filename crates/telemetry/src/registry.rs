@@ -55,22 +55,44 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// Index of the bucket that holds `value` (its bit length).
+    pub fn bucket_of(value: u64) -> usize {
+        64 - value.leading_zeros() as usize
+    }
+
     /// Records one observation.
     pub fn record(&mut self, value: u64) {
-        let b = 64 - value.leading_zeros() as usize;
-        self.buckets[b] += 1;
+        self.buckets[Histogram::bucket_of(value)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
     }
 
-    /// Upper bound of the bucket holding the `q`-quantile observation
-    /// (`q` in `[0, 1]`, clamped), or 0 for an empty histogram. The
-    /// rank is computed on exact integer counts, so for any given
-    /// histogram contents the answer is exact and deterministic; the
-    /// resolution is the power-of-two bucket width.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// Folds another histogram into this one, bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Inclusive upper bound of bucket `b` (`2^b - 1`; `u64::MAX` for
+    /// the top bucket).
+    pub fn bucket_bound(b: usize) -> u64 {
+        if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Index of the bucket holding the `q`-quantile observation, or
+    /// `None` for an empty histogram. The rank is computed on exact
+    /// integer counts, so for any given histogram contents the answer
+    /// is exact and deterministic.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         // Rank of the target observation, 1-based: ceil(q * count),
@@ -80,10 +102,17 @@ impl Histogram {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                return Some(b);
             }
         }
-        u64::MAX
+        Some(64)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`, clamped), or 0 for an empty histogram. The
+    /// resolution is the power-of-two bucket width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bucket(q).map_or(0, Histogram::bucket_bound)
     }
 
     /// Compact `lo..hi:count` rendering of the non-empty buckets, used
@@ -154,6 +183,12 @@ impl Registry {
     pub(crate) fn record(&mut self, id: HistId, value: u64) {
         if let Some(slot) = self.hists.get_mut(id.0 as usize) {
             slot.2.record(value);
+        }
+    }
+
+    pub(crate) fn merge_hist(&mut self, id: HistId, other: &Histogram) {
+        if let Some(slot) = self.hists.get_mut(id.0 as usize) {
+            slot.2.merge(other);
         }
     }
 

@@ -34,6 +34,11 @@
 # and zero prod deadline misses, DESIGN.md §16). Budgeted under 10 s
 # after the build.
 #
+# With --slo, runs only the observability fast loop: the witness / SLO
+# / flight-recorder unit tests plus the serve_slo experiment at tiny
+# scale (incident replay byte-identity, exemplar drill-down, chaos-off
+# control; DESIGN.md §17).
+#
 # With --profile, runs only the borg-telemetry profile report
 # (experiments/profile): the per-event-kind breakdown of a 512-machine
 # cell-day, with the query-engine round-trip and chrome-trace JSON
@@ -62,6 +67,7 @@ Modes:
   --chaos    chaos roundtrip suite only (fault injection & trace repair)
   --shards   sharded-placement equivalence suite only (bit-identity sweep)
   --serve    borg-serve fast loop only (unit tests + wall-clock chaos smoke)
+  --slo      observability fast loop only (witness/SLO/recorder tests + serve_slo)
   --profile  telemetry profile report only (512-machine cell-day breakdown)
   --bench    default path plus a one-pass smoke of every criterion bench
   --help     this text
@@ -75,6 +81,7 @@ chaos_only=0
 profile_only=0
 shards_only=0
 serve_only=0
+slo_only=0
 for arg in "$@"; do
     case "$arg" in
     --bench) run_bench=1 ;;
@@ -83,6 +90,7 @@ for arg in "$@"; do
     --chaos) chaos_only=1 ;;
     --shards) shards_only=1 ;;
     --serve) serve_only=1 ;;
+    --slo) slo_only=1 ;;
     --profile) profile_only=1 ;;
     --help | -h)
         usage
@@ -152,6 +160,19 @@ if [ "$serve_only" -eq 1 ]; then
     echo "==> serve smoke (wall-clock chaos: stalls, panics, tiered deadlines)"
     cargo run -q -p borg-experiments --offline --bin serve_smoke -- --scale tiny
     echo "Serve check passed."
+    exit 0
+fi
+
+if [ "$slo_only" -eq 1 ]; then
+    echo "==> observability unit tests (witness, slo, recorder)"
+    cargo test -p borg-serve --offline -q --lib witness::
+    cargo test -p borg-serve --offline -q --lib slo::
+    cargo test -p borg-serve --offline -q --lib recorder::
+    echo "==> witness determinism suite"
+    cargo test -p borg2019 --test serve_witness --offline -q
+    echo "==> serve_slo (incident replay, exemplar drill-down, control)"
+    cargo run -q --release -p borg-experiments --offline --bin serve_slo -- --scale tiny
+    echo "SLO check passed."
     exit 0
 fi
 
